@@ -1,0 +1,101 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace peek::bench {
+
+namespace {
+
+graph::WeightOptions random_w(std::uint64_t seed) {
+  return {graph::WeightKind::kUniform01, seed};
+}
+graph::WeightOptions unit_w() { return {graph::WeightKind::kUnit, 0}; }
+
+}  // namespace
+
+std::vector<BenchGraph> benchmark_suite(int scale_shift) {
+  const int s = scale_shift;
+  std::vector<BenchGraph> graphs;
+  // R21 / R21U: synthetic R-MAT (paper: scale 21, ef 16).
+  graphs.push_back({"R21", "rmat", graph::rmat(12 + s, 8, random_w(11), 101)});
+  graphs.push_back({"R21U", "rmat", graph::rmat(12 + s, 8, unit_w(), 101)});
+  // LJ / LJU: social network -> preferential attachment.
+  const vid_t lj_n = s >= 0 ? (vid_t{5000} << s) : (vid_t{5000} >> -s);
+  graphs.push_back(
+      {"LJ", "pref-attach",
+       graph::preferential_attachment(lj_n, 4, random_w(13), 103)});
+  graphs.push_back({"LJU", "pref-attach",
+                    graph::preferential_attachment(lj_n, 4, unit_w(), 103)});
+  // WL / WLU: article network -> small world.
+  const vid_t wl_n = s >= 0 ? (vid_t{20000} << s) : (vid_t{20000} >> -s);
+  graphs.push_back(
+      {"WL", "small-world", graph::small_world(wl_n, 8, 0.05, random_w(17), 107)});
+  graphs.push_back(
+      {"WLU", "small-world", graph::small_world(wl_n, 8, 0.05, unit_w(), 107)});
+  // GW: web crawl -> deeper, more clustered R-MAT.
+  graphs.push_back({"GW", "rmat-web",
+                    graph::rmat(13 + s, 12, random_w(19), 109, 0.45, 0.22, 0.22)});
+  // GT: twitter -> skewed R-MAT.
+  graphs.push_back({"GT", "rmat-twitter", graph::rmat(13 + s, 12, random_w(23), 113)});
+  return graphs;
+}
+
+CsrGraph twitter_like(int scale) {
+  return graph::rmat(scale, 12, random_w(23), 113);
+}
+
+std::vector<std::pair<vid_t, vid_t>> sample_pairs(const CsrGraph& g, int count,
+                                                  std::uint64_t seed,
+                                                  int min_hops) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<vid_t> pick(0, g.num_vertices() - 1);
+  std::vector<std::pair<vid_t, vid_t>> pairs;
+  int attempts = 0;
+  while (static_cast<int>(pairs.size()) < count && attempts < count * 200) {
+    attempts++;
+    const vid_t s = pick(rng);
+    // BFS recording hop counts; collect vertices at >= min_hops.
+    std::vector<int> hops(static_cast<size_t>(g.num_vertices()), -1);
+    std::deque<vid_t> queue{s};
+    hops[s] = 0;
+    std::vector<vid_t> far;
+    while (!queue.empty()) {
+      const vid_t u = queue.front();
+      queue.pop_front();
+      for (vid_t v : g.neighbors(u)) {
+        if (hops[v] != -1) continue;
+        hops[v] = hops[u] + 1;
+        if (hops[v] >= min_hops) far.push_back(v);
+        queue.push_back(v);
+      }
+    }
+    if (far.empty()) continue;
+    std::uniform_int_distribution<size_t> pick_t(0, far.size() - 1);
+    pairs.push_back({s, far[pick_t(rng)]});
+  }
+  return pairs;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==== %s ====\n# paper: %s\n", title.c_str(), paper_ref.c_str());
+}
+
+void print_row(const std::vector<std::string>& cells, int width) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace peek::bench

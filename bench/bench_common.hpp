@@ -1,0 +1,56 @@
+// Shared bench harness: the eight stand-in benchmark graphs (Table 1 scaled
+// down ~1000x per DESIGN.md §3), source/target pair sampling, wall-clock
+// timing and aligned table printing. Every bench binary prints a `# paper:`
+// line naming the table/figure it regenerates.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/stats.hpp"
+
+namespace peek::bench {
+
+using graph::CsrGraph;
+
+struct BenchGraph {
+  std::string name;   // the paper's label (R21, LJ, ... as stand-ins)
+  std::string kind;   // generator family used
+  CsrGraph g;
+};
+
+/// The eight graphs of Table 1, generated as scaled-down synthetic stand-ins
+/// (paper: Rmat21/LiveJournal/Wikipedia/GAP-web/GAP-twitter at 2M-62M
+/// vertices; here: same families at bench-friendly sizes). `scale_shift`
+/// shrinks (negative) or grows every graph for quick runs.
+std::vector<BenchGraph> benchmark_suite(int scale_shift = 0);
+
+/// A smaller Twitter-like R-MAT used by the single-graph figures (1, 6, 12).
+CsrGraph twitter_like(int scale = 13);
+
+/// Random source vertices paired with reachable targets at >= `min_hops`
+/// BFS hops (mirrors the paper's "randomly selected source and reachable
+/// target vertices"). Deterministic in `seed`.
+std::vector<std::pair<vid_t, vid_t>> sample_pairs(const CsrGraph& g, int count,
+                                                  std::uint64_t seed,
+                                                  int min_hops = 3);
+
+/// Seconds of wall-clock for `fn()`.
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Printf-style table helpers (fixed-width columns).
+void print_header(const std::string& title, const std::string& paper_ref);
+void print_row(const std::vector<std::string>& cells, int width = 12);
+std::string fmt(double v, int precision = 3);
+
+}  // namespace peek::bench

@@ -1,0 +1,119 @@
+// Extension / design-choice ablations beyond the paper's figures:
+//   (a) the adaptive-compaction α sweep (§5.4 says heavier downstream work
+//       wants larger α; this locates the plateau),
+//   (b) paper edge rule (w > b) vs the tighter spSrc[u]+w+spTgt[v] > b rule,
+//   (c) SB/SB* resident-tree cap (the PSB memory/time trade-off, §8),
+//   (d) the postponed algorithms PNC / PNC* vs NC and OptYen.
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "compact/adaptive.hpp"
+#include "core/peek.hpp"
+#include "core/upper_bound.hpp"
+#include "ksp/node_classification.hpp"
+#include "ksp/optyen.hpp"
+#include "ksp/pnc.hpp"
+#include "ksp/sidetrack.hpp"
+
+namespace {
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+}  // namespace
+
+int main() {
+  auto g = twitter_like(env_int("PEEK_BENCH_SCALE", 13));
+  auto pts = sample_pairs(g, 2, 42);
+  if (pts.empty()) return 0;
+
+  // (a) alpha sweep.
+  print_header("Extension ablation (a): adaptive alpha sweep",
+               "design choice §5.4 — strategy threshold, PeeK K=128");
+  print_row({"alpha", "strategy", "total(s)"});
+  for (double alpha : {0.0, 0.1, 0.3, 0.5, 0.7, 1.0}) {
+    double total = 0;
+    compact::Strategy strat = compact::Strategy::kEdgeSwap;
+    for (auto [s, t] : pts) {
+      core::PeekOptions po;
+      po.k = 128;
+      po.alpha = alpha;
+      auto r = core::peek_ksp(g, s, t, po);
+      total += r.total_seconds();
+      strat = r.strategy_used;
+    }
+    print_row({fmt(alpha, 1), compact::to_string(strat),
+               fmt(total / pts.size(), 4)});
+  }
+
+  // (b) edge pruning rule.
+  print_header("Extension ablation (b): edge-prune rule",
+               "Algorithm 2 line 13 (w > b) vs tight spSrc[u]+w+spTgt[v] > b");
+  print_row({"K", "rule", "keptE", "prune(s)", "total(s)"});
+  for (int k : {8, 128}) {
+    for (bool tight : {false, true}) {
+      double total = 0, prune = 0, kept = 0;
+      for (auto [s, t] : pts) {
+        core::PeekOptions po;
+        po.k = k;
+        po.tight_edge_prune = tight;
+        auto r = core::peek_ksp(g, s, t, po);
+        total += r.total_seconds();
+        prune += r.prune_seconds;
+        kept += static_cast<double>(r.kept_edges);
+      }
+      print_row({std::to_string(k), tight ? "tight" : "paper",
+                 fmt(kept / pts.size(), 0), fmt(prune / pts.size(), 4),
+                 fmt(total / pts.size(), 4)});
+    }
+  }
+
+  // (c) SB resident-tree cap.
+  print_header("Extension ablation (c): SB*/PSB tree cap",
+               "related work §8 — PSB bounds resident trees; time vs cap");
+  print_row({"cap", "SB(s)", "SB*(s)", "trees_peak"});
+  for (size_t cap : {4u, 16u, 64u, 256u}) {
+    double t_sb = 0, t_sbs = 0;
+    size_t peak = 0;
+    for (auto [s, t] : pts) {
+      ksp::SidetrackOptions so;
+      so.base.k = 64;
+      so.max_resident_trees = cap;
+      t_sb += time_seconds([&] { ksp::sb_ksp(sssp::BiView::of(g), s, t, so); });
+      so.resume_trees = true;
+      ksp::KspResult r;
+      t_sbs += time_seconds([&] { r = ksp::sb_ksp(sssp::BiView::of(g), s, t, so); });
+      peak = std::max(peak, r.stats.trees_stored);
+    }
+    print_row({std::to_string(cap), fmt(t_sb / pts.size(), 4),
+               fmt(t_sbs / pts.size(), 4), std::to_string(peak)});
+  }
+
+  // (d) postponed node classification.
+  print_header("Extension ablation (d): PNC / PNC*",
+               "related work §8 — postponement vs NC/OptYen, serial");
+  print_row({"K", "NC", "OptYen", "PNC", "PNC*", "pnc_sssp", "nc_sssp"});
+  for (int k : {8, 32, 128}) {
+    double t_nc = 0, t_opt = 0, t_pnc = 0, t_pncs = 0;
+    int pnc_sssp = 0, nc_sssp = 0;
+    for (auto [s, t] : pts) {
+      ksp::KspOptions ko;
+      ko.k = k;
+      ksp::KspResult r;
+      t_nc += time_seconds([&] { r = ksp::nc_ksp(g, s, t, ko); });
+      nc_sssp += r.stats.sssp_calls;
+      t_opt += time_seconds([&] { ksp::optyen_ksp(g, s, t, ko); });
+      t_pnc += time_seconds([&] { r = ksp::pnc_ksp(g, s, t, ko); });
+      pnc_sssp += r.stats.sssp_calls;
+      t_pncs += time_seconds([&] { ksp::pnc_star_ksp(g, s, t, ko); });
+    }
+    const double n = pts.size();
+    print_row({std::to_string(k), fmt(t_nc / n, 4), fmt(t_opt / n, 4),
+               fmt(t_pnc / n, 4), fmt(t_pncs / n, 4),
+               std::to_string(pnc_sssp), std::to_string(nc_sssp)});
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 1: percentage of vertices/edges covered by the top-K shortest paths
+// on the Twitter-like graph, for K = 4 .. 1024. The paper's observation —
+// coverage stays minuscule even at huge K — is the motivation for pruning.
+#include <cstdlib>
+#include <unordered_set>
+
+#include "bench_common.hpp"
+#include "core/peek.hpp"
+
+namespace {
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+}  // namespace
+
+int main() {
+  const int pairs = env_int("PEEK_BENCH_PAIRS", 2);
+  auto g = twitter_like(env_int("PEEK_BENCH_SCALE", 12));
+  print_header("Figure 1: covered vertices/edges vs K",
+               "Figure 1 — Twitter graph, K = 4..4096 (here 4..1024, scaled "
+               "stand-in)");
+  print_row({"K", "covered_V%", "covered_E%", "covered_V", "covered_E"});
+
+  auto pts = sample_pairs(g, pairs, 7);
+  for (int k : {4, 16, 64, 256, 1024}) {
+    double vsum = 0, esum = 0;
+    int counted = 0;
+    for (auto [s, t] : pts) {
+      core::PeekOptions po;
+      po.k = k;
+      auto r = core::peek_ksp(g, s, t, po);
+      if (r.ksp.paths.empty()) continue;
+      std::unordered_set<vid_t> verts;
+      std::unordered_set<std::uint64_t> edges;
+      for (const auto& p : r.ksp.paths) {
+        for (size_t i = 0; i < p.verts.size(); ++i) {
+          verts.insert(p.verts[i]);
+          if (i + 1 < p.verts.size())
+            edges.insert((static_cast<std::uint64_t>(p.verts[i]) << 32) |
+                         static_cast<std::uint32_t>(p.verts[i + 1]));
+        }
+      }
+      vsum += static_cast<double>(verts.size());
+      esum += static_cast<double>(edges.size());
+      counted++;
+    }
+    if (counted == 0) continue;
+    vsum /= counted;
+    esum /= counted;
+    print_row({std::to_string(k),
+               fmt(100.0 * vsum / g.num_vertices(), 5),
+               fmt(100.0 * esum / static_cast<double>(g.num_edges()), 5),
+               fmt(vsum, 1), fmt(esum, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 4: percentage of vertices and edges deleted by K upper bound
+// pruning on the eight benchmark graphs, for K = 8 and K = 128 (paper: 98.4%
+// / 97.7% average at K = 8).
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "compact/adaptive.hpp"
+#include "core/upper_bound.hpp"
+
+namespace {
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+}  // namespace
+
+int main() {
+  const int pairs = env_int("PEEK_BENCH_PAIRS", 4);
+  auto suite = benchmark_suite(env_int("PEEK_BENCH_SHIFT", 0));
+  print_header("Figure 4: pruned vertex/edge percentage",
+               "Figure 4 — K upper bound pruning power, K = 8 and 128");
+  print_row({"graph", "K", "prunedV%", "prunedE%", "keptV", "keptE"});
+
+  for (int k : {8, 128}) {
+    double avg_v = 0, avg_e = 0;
+    int graphs_counted = 0;
+    for (const auto& bg : suite) {
+      auto pts = sample_pairs(bg.g, pairs, 77);
+      double vkept = 0, ekept = 0;
+      int counted = 0;
+      for (auto [s, t] : pts) {
+        core::PruneOptions po;
+        po.k = k;
+        auto r = core::k_upper_bound_prune(bg.g, s, t, po);
+        if (r.kept_vertices == 0) continue;
+        const eid_t m_r = compact::count_remaining_edges(
+            sssp::GraphView(bg.g), r.vertex_keep.data(), r.edge_keep);
+        vkept += static_cast<double>(r.kept_vertices);
+        ekept += static_cast<double>(m_r);
+        counted++;
+      }
+      if (counted == 0) continue;
+      vkept /= counted;
+      ekept /= counted;
+      const double pv = 100.0 * (1.0 - vkept / bg.g.num_vertices());
+      const double pe =
+          100.0 * (1.0 - ekept / static_cast<double>(bg.g.num_edges()));
+      avg_v += pv;
+      avg_e += pe;
+      graphs_counted++;
+      print_row({bg.name, std::to_string(k), fmt(pv, 2), fmt(pe, 2),
+                 fmt(vkept, 0), fmt(ekept, 0)});
+    }
+    if (graphs_counted)
+      print_row({"AVG", std::to_string(k), fmt(avg_v / graphs_counted, 2),
+                 fmt(avg_e / graphs_counted, 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 6: end-to-end time (compaction + downstream KSP, K = 8) of the
+// status-array, edge-swap and regeneration strategies as the remaining-edge
+// percentage sweeps from ~0.01% to 100% on the Twitter-like graph.
+// Expected shape: regeneration wins when almost everything is deleted,
+// edge-swap wins when almost nothing is, status-array never wins.
+#include <cstdlib>
+#include <random>
+#include <unordered_set>
+
+#include "bench_common.hpp"
+#include "compact/adaptive.hpp"
+#include "compact/status_array.hpp"
+#include "ksp/optyen.hpp"
+
+namespace {
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+std::uint64_t pair_key(vid_t u, vid_t v) {
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+int main() {
+  auto g = twitter_like(env_int("PEEK_BENCH_SCALE", 14));
+  const auto pts = sample_pairs(g, 1, 99);
+  if (pts.empty()) return 0;
+  const auto [s, t] = pts[0];
+
+  // The K = 8 shortest paths must always survive (as in the paper's setup).
+  ksp::KspOptions ko;
+  ko.k = 8;
+  auto base = ksp::optyen_ksp(g, s, t, ko);
+  std::unordered_set<std::uint64_t> required;
+  for (const auto& p : base.paths)
+    for (size_t i = 0; i + 1 < p.verts.size(); ++i)
+      required.insert(pair_key(p.verts[i], p.verts[i + 1]));
+
+  // Deterministic random edge order for the keep-set growth.
+  std::vector<std::pair<vid_t, vid_t>> all_edges;
+  all_edges.reserve(static_cast<size_t>(g.num_edges()));
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (eid_t e = g.edge_begin(u); e < g.edge_end(u); ++e)
+      all_edges.push_back({u, g.edge_target(e)});
+  std::shuffle(all_edges.begin(), all_edges.end(), std::mt19937_64(5));
+
+  print_header("Figure 6: compaction strategies, end-to-end",
+               "Figure 6 — status-array / edge-swap / regeneration + KSP(K=8) "
+               "vs remaining-edge %");
+  print_row({"kept_E%", "status_c", "status_ksp", "swap_c", "swap_ksp",
+             "regen_c", "regen_ksp"});
+
+  for (double ratio : {0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.0}) {
+    const size_t target =
+        std::max(required.size(),
+                 static_cast<size_t>(ratio * static_cast<double>(g.num_edges())));
+    std::unordered_set<std::uint64_t> kept = required;
+    for (const auto& [u, v] : all_edges) {
+      if (kept.size() >= target) break;
+      kept.insert(pair_key(u, v));
+    }
+    // Kept vertices: endpoints of kept edges.
+    std::vector<std::uint8_t> vkeep(static_cast<size_t>(g.num_vertices()), 0);
+    for (const auto& [u, v] : all_edges) {
+      if (kept.count(pair_key(u, v))) vkeep[u] = vkeep[v] = 1;
+    }
+    vkeep[s] = vkeep[t] = 1;
+    compact::EdgeKeep pred = [&kept](vid_t u, vid_t v, weight_t) {
+      return kept.count(pair_key(u, v)) > 0;
+    };
+
+    // Status-array.
+    compact::StatusArrayGraph sa(g);
+    const double sa_c = time_seconds([&] { sa.apply(vkeep.data(), pred); });
+    const double sa_k =
+        time_seconds([&] { ksp::optyen_ksp(sa.biview(), s, t, ko); });
+
+    // Edge-swap.
+    compact::MutableCsr mc(g);
+    const double sw_c = time_seconds(
+        [&] { compact::edge_swap_compact(mc, vkeep.data(), pred); });
+    const double sw_k =
+        time_seconds([&] { ksp::optyen_ksp(mc.biview(), s, t, ko); });
+
+    // Regeneration.
+    compact::RegeneratedGraph regen;
+    const double rg_c = time_seconds([&] {
+      regen = compact::regenerate(sssp::GraphView(g), vkeep.data(), pred);
+    });
+    const vid_t cs = regen.map.to_new(s), ct = regen.map.to_new(t);
+    const double rg_k = time_seconds(
+        [&] { ksp::optyen_ksp(sssp::BiView::of(regen.graph), cs, ct, ko); });
+
+    print_row({fmt(100.0 * static_cast<double>(kept.size()) /
+                       static_cast<double>(g.num_edges()),
+                   4),
+               fmt(sa_c, 4), fmt(sa_k, 4), fmt(sw_c, 4), fmt(sw_k, 4),
+               fmt(rg_c, 4), fmt(rg_k, 4)});
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 8: ablation of the two techniques. Base = OptYen on the original
+// graph; +Pruning = K upper bound pruning with the status-array (no real
+// compaction); +Pruning+Compaction = full adaptive PeeK. Reported as speedup
+// over Base for K = 8 and 128.
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "core/peek.hpp"
+
+namespace {
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+}  // namespace
+
+int main() {
+  const int pairs = env_int("PEEK_BENCH_PAIRS", 1);
+  auto suite = benchmark_suite(env_int("PEEK_BENCH_SHIFT", 0));
+  print_header("Figure 8: technique ablation (speedup over Base)",
+               "Figure 8 — Base vs +Pruning vs +Pruning+Compaction, K=8/128");
+  print_row({"graph", "K", "base(s)", "+prune", "+compact", "spd_p", "spd_pc"});
+
+  for (int k : {8, 128}) {
+    double avg_p = 0, avg_pc = 0;
+    int counted = 0;
+    for (const auto& bg : suite) {
+      auto pts = sample_pairs(bg.g, pairs, 42);
+      if (pts.empty()) continue;
+      double t_base = 0, t_prune = 0, t_full = 0;
+      for (auto [s, t] : pts) {
+        core::PeekOptions base;
+        base.k = k;
+        base.parallel = true;
+        base.prune = false;
+        t_base += time_seconds([&] { core::peek_ksp(bg.g, s, t, base); });
+
+        core::PeekOptions pruned = base;
+        pruned.prune = true;
+        pruned.compaction = core::PeekOptions::Compaction::kStatusArray;
+        t_prune += time_seconds([&] { core::peek_ksp(bg.g, s, t, pruned); });
+
+        core::PeekOptions full = base;
+        full.prune = true;
+        full.compaction = core::PeekOptions::Compaction::kAdaptive;
+        t_full += time_seconds([&] { core::peek_ksp(bg.g, s, t, full); });
+      }
+      const double sp = t_base / t_prune;
+      const double spc = t_base / t_full;
+      avg_p += sp;
+      avg_pc += spc;
+      counted++;
+      print_row({bg.name, std::to_string(k), fmt(t_base / pts.size()),
+                 fmt(t_prune / pts.size()), fmt(t_full / pts.size()),
+                 fmt(sp, 1) + "x", fmt(spc, 1) + "x"});
+    }
+    if (counted)
+      print_row({"AVG", std::to_string(k), "", "", "",
+                 fmt(avg_p / counted, 1) + "x", fmt(avg_pc / counted, 1) + "x"});
+  }
+  return 0;
+}

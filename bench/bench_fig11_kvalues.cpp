@@ -1,0 +1,57 @@
+// Figure 11: runtime vs K (2..128) for Yen, NC, OptYen and PeeK on every
+// benchmark graph. The paper's headline: PeeK grows ~1.1x over the whole
+// sweep while the others grow 10-60x.
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "core/peek.hpp"
+#include "ksp/node_classification.hpp"
+#include "ksp/optyen.hpp"
+#include "ksp/yen.hpp"
+
+namespace {
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+}  // namespace
+
+int main() {
+  auto suite = benchmark_suite(env_int("PEEK_BENCH_SHIFT", -1));
+  print_header("Figure 11: runtime (s) vs K",
+               "Figure 11 — Yen/NC/OptYen/PeeK, K = 2..128, 32 threads");
+  print_row({"graph", "algo", "K=2", "K=4", "K=8", "K=16", "K=32", "K=64",
+             "K=128"});
+
+  for (const auto& bg : suite) {
+    auto pts = sample_pairs(bg.g, 1, 42);
+    if (pts.empty()) continue;
+    const auto [s, t] = pts[0];
+    std::vector<std::string> yen_row{bg.name, "Yen"}, nc_row{bg.name, "NC"},
+        opt_row{bg.name, "OptYen"}, peek_row{bg.name, "PeeK"};
+    for (int k : {2, 4, 8, 16, 32, 64, 128}) {
+      ksp::KspOptions ko;
+      ko.k = k;
+      ko.parallel = true;
+      yen_row.push_back(
+          fmt(time_seconds([&] { ksp::yen_ksp(bg.g, s, t, ko); })));
+      nc_row.push_back(
+          fmt(time_seconds([&] { ksp::nc_ksp(bg.g, s, t, ko); })));
+      opt_row.push_back(
+          fmt(time_seconds([&] { ksp::optyen_ksp(bg.g, s, t, ko); })));
+      core::PeekOptions po;
+      po.k = k;
+      po.parallel = true;
+      peek_row.push_back(
+          fmt(time_seconds([&] { core::peek_ksp(bg.g, s, t, po); })));
+    }
+    print_row(yen_row, 10);
+    print_row(nc_row, 10);
+    print_row(opt_row, 10);
+    print_row(peek_row, 10);
+  }
+  return 0;
+}

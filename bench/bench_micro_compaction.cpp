@@ -1,0 +1,74 @@
+// Micro-benchmarks of the three compaction kernels at two keep ratios —
+// the §5.4 Observation I data (regeneration costs more to compact; both
+// scale with the surviving size).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_common.hpp"
+#include "compact/adaptive.hpp"
+#include "compact/status_array.hpp"
+
+namespace {
+
+using namespace peek;
+
+const graph::CsrGraph& test_graph() {
+  static graph::CsrGraph g = bench::twitter_like(11);
+  return g;
+}
+
+/// keep_permille of vertices survive, deterministically.
+std::vector<std::uint8_t> keep_mask(vid_t n, int keep_permille) {
+  std::vector<std::uint8_t> keep(static_cast<size_t>(n), 0);
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> d(0, 999);
+  for (vid_t v = 0; v < n; ++v) keep[v] = d(rng) < keep_permille ? 1 : 0;
+  return keep;
+}
+
+void BM_StatusArrayCompact(benchmark::State& state) {
+  const auto& g = test_graph();
+  auto keep = keep_mask(g.num_vertices(), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    compact::StatusArrayGraph sa(g);
+    benchmark::DoNotOptimize(sa.apply(keep.data()));
+  }
+}
+BENCHMARK(BM_StatusArrayCompact)->Arg(10)->Arg(500)->Arg(990);
+
+void BM_EdgeSwapCompact(benchmark::State& state) {
+  const auto& g = test_graph();
+  auto keep = keep_mask(g.num_vertices(), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    compact::MutableCsr mc(g);  // the pipeline owns this copy; not measured
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(compact::edge_swap_compact(mc, keep.data()));
+  }
+}
+BENCHMARK(BM_EdgeSwapCompact)->Arg(10)->Arg(500)->Arg(990);
+
+void BM_Regenerate(benchmark::State& state) {
+  const auto& g = test_graph();
+  auto keep = keep_mask(g.num_vertices(), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = compact::regenerate(sssp::GraphView(g), keep.data());
+    benchmark::DoNotOptimize(r.graph.num_edges());
+  }
+}
+BENCHMARK(BM_Regenerate)->Arg(10)->Arg(500)->Arg(990);
+
+void BM_CountRemainingEdges(benchmark::State& state) {
+  const auto& g = test_graph();
+  auto keep = keep_mask(g.num_vertices(), 500);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compact::count_remaining_edges(sssp::GraphView(g), keep.data()));
+  }
+}
+BENCHMARK(BM_CountRemainingEdges);
+
+}  // namespace
+
+BENCHMARK_MAIN();

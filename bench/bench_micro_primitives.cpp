@@ -1,0 +1,65 @@
+// Micro-benchmarks of the parallel primitives (prefix sum, sort, transpose,
+// sort permutation) backing the pruning and compaction stages.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_common.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/sort.hpp"
+
+namespace {
+
+using namespace peek;
+
+std::vector<double> random_doubles(size_t n) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> d(0, 1);
+  std::vector<double> v(n);
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+void BM_ExclusivePrefixSum(benchmark::State& state) {
+  std::vector<std::int64_t> in(static_cast<size_t>(state.range(0)), 3);
+  std::vector<std::int64_t> out(in.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par::exclusive_prefix_sum(
+        std::span<const std::int64_t>(in), std::span<std::int64_t>(out)));
+  }
+}
+BENCHMARK(BM_ExclusivePrefixSum)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParallelSort(benchmark::State& state) {
+  auto base = random_doubles(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    state.ResumeTiming();
+    par::parallel_sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_ParallelSort)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SortPermutation(benchmark::State& state) {
+  auto keys = random_doubles(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto p = par::sort_permutation(keys);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_SortPermutation)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Transpose(benchmark::State& state) {
+  static graph::CsrGraph g = bench::twitter_like(11);
+  for (auto _ : state) {
+    auto r = graph::transpose(g);
+    benchmark::DoNotOptimize(r.num_edges());
+  }
+}
+BENCHMARK(BM_Transpose);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table 2: parallel runtime (s) of Yen, NC, OptYen and PeeK on the eight
+// benchmark graphs for K = 8 and K = 128, plus PeeK's speedup over the best
+// competitor. Paper setup: 32 threads on 2x Xeon; here: whatever OpenMP
+// offers in this container (documented in EXPERIMENTS.md).
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "core/peek.hpp"
+#include "ksp/node_classification.hpp"
+#include "ksp/optyen.hpp"
+#include "ksp/yen.hpp"
+
+namespace {
+
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  const int pairs = env_int("PEEK_BENCH_PAIRS", 2);
+  const int shift = env_int("PEEK_BENCH_SHIFT", 0);
+  auto suite = benchmark_suite(shift);
+
+  print_header("Table 2: parallel runtime (s)",
+               "Table 2 — Yen/NC/OptYen/PeeK, 32 threads, K=8 and K=128");
+  print_row({"graph", "K", "Yen", "NC", "OptYen", "PeeK", "speedup"});
+
+  for (int k : {8, 128}) {
+    for (const auto& bg : suite) {
+      auto pts = sample_pairs(bg.g, pairs, 42);
+      if (pts.empty()) continue;
+      double t_yen = 0, t_nc = 0, t_opt = 0, t_peek = 0;
+      for (auto [s, t] : pts) {
+        ksp::KspOptions ko;
+        ko.k = k;
+        ko.parallel = true;
+        t_yen += time_seconds([&] { ksp::yen_ksp(bg.g, s, t, ko); });
+        t_nc += time_seconds([&] { ksp::nc_ksp(bg.g, s, t, ko); });
+        t_opt += time_seconds([&] { ksp::optyen_ksp(bg.g, s, t, ko); });
+        core::PeekOptions po;
+        po.k = k;
+        po.parallel = true;
+        t_peek += time_seconds([&] { core::peek_ksp(bg.g, s, t, po); });
+      }
+      const double n = pts.size();
+      const double best = std::min({t_yen, t_nc, t_opt}) / n;
+      print_row({bg.name, std::to_string(k), fmt(t_yen / n), fmt(t_nc / n),
+                 fmt(t_opt / n), fmt(t_peek / n),
+                 "(" + fmt(best / (t_peek / n), 1) + "x)"});
+    }
+  }
+  return 0;
+}

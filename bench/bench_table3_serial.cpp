@@ -1,0 +1,62 @@
+// Table 3: serial runtime (s) of Yen, NC, OptYen, SB, SB* and PeeK (one
+// thread) on the eight benchmark graphs for K = 8 and K = 128, plus PeeK's
+// speedup over the best competitor.
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "core/peek.hpp"
+#include "ksp/node_classification.hpp"
+#include "ksp/optyen.hpp"
+#include "ksp/sidetrack.hpp"
+#include "ksp/yen.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace {
+
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  const int pairs = env_int("PEEK_BENCH_PAIRS", 2);
+  const int shift = env_int("PEEK_BENCH_SHIFT", 0);
+  par::ThreadScope one_thread(1);
+  auto suite = benchmark_suite(shift);
+
+  print_header("Table 3: serial runtime (s)",
+               "Table 3 — Yen/NC/OptYen/SB/SB*/PeeK, 1 thread, K=8 and K=128");
+  print_row({"graph", "K", "Yen", "NC", "OptYen", "SB", "SB*", "PeeK",
+             "speedup"});
+
+  for (int k : {8, 128}) {
+    for (const auto& bg : suite) {
+      auto pts = sample_pairs(bg.g, pairs, 42);
+      if (pts.empty()) continue;
+      double t_yen = 0, t_nc = 0, t_opt = 0, t_sb = 0, t_sbs = 0, t_peek = 0;
+      for (auto [s, t] : pts) {
+        ksp::KspOptions ko;
+        ko.k = k;
+        t_yen += time_seconds([&] { ksp::yen_ksp(bg.g, s, t, ko); });
+        t_nc += time_seconds([&] { ksp::nc_ksp(bg.g, s, t, ko); });
+        t_opt += time_seconds([&] { ksp::optyen_ksp(bg.g, s, t, ko); });
+        t_sb += time_seconds([&] { ksp::sb_ksp(bg.g, s, t, ko); });
+        t_sbs += time_seconds([&] { ksp::sb_star_ksp(bg.g, s, t, ko); });
+        core::PeekOptions po;
+        po.k = k;
+        t_peek += time_seconds([&] { core::peek_ksp(bg.g, s, t, po); });
+      }
+      const double n = pts.size();
+      const double best = std::min({t_yen, t_nc, t_opt, t_sb, t_sbs}) / n;
+      print_row({bg.name, std::to_string(k), fmt(t_yen / n), fmt(t_nc / n),
+                 fmt(t_opt / n), fmt(t_sb / n), fmt(t_sbs / n), fmt(t_peek / n),
+                 "(" + fmt(best / (t_peek / n), 1) + "x)"});
+    }
+  }
+  return 0;
+}

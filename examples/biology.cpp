@@ -1,0 +1,84 @@
+// Gene-interaction pathway inference (§1, "Biology analysis"): in a gene
+// interaction network, the K shortest paths from a causal gene to a target
+// gene are candidate regulatory pathways (Shih & Parthasarathy 2012).
+//
+// The network is a synthetic scale-free interactome (preferential
+// attachment, like real PPI/gene networks); edge weight = -log(confidence),
+// so the SHORTEST path is the MOST CONFIDENT regulatory chain.
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "core/diverse.hpp"
+#include "core/peek.hpp"
+#include "core/shortest_k_group.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace peek;
+  std::mt19937_64 rng(7);
+
+  // Scale-free topology, then confidence-derived weights.
+  auto topo = graph::preferential_attachment(
+      3000, 3, {graph::WeightKind::kUnit, 1}, 77);
+  std::uniform_real_distribution<double> conf(0.05, 0.98);
+  graph::Builder b(topo.num_vertices());
+  for (vid_t u = 0; u < topo.num_vertices(); ++u) {
+    for (eid_t e = topo.edge_begin(u); e < topo.edge_end(u); ++e) {
+      // -log(confidence): multiplying confidences == adding weights.
+      b.add_edge(u, topo.edge_target(e), -std::log(conf(rng)));
+    }
+  }
+  auto g = b.build();
+
+  const vid_t causal_gene = 17;   // e.g. the GWAS hit
+  const vid_t target_gene = 2412; // the phenotype-associated gene
+
+  std::printf("gene interaction network: %d genes, %lld interactions\n",
+              g.num_vertices(), static_cast<long long>(g.num_edges()));
+
+  core::PeekOptions opts;
+  opts.k = 12;
+  auto r = core::peek_ksp(g, causal_gene, target_gene, opts);
+  if (r.ksp.paths.empty()) {
+    std::printf("no regulatory pathway connects gene %d to gene %d\n",
+                causal_gene, target_gene);
+    return 0;
+  }
+
+  std::printf("candidate regulatory pathways gene%d -> gene%d "
+              "(confidence = exp(-cost)):\n\n",
+              causal_gene, target_gene);
+  for (size_t i = 0; i < r.ksp.paths.size(); ++i) {
+    const auto& p = r.ksp.paths[i];
+    std::printf("  %2zu. confidence %.4f via %zu intermediate genes:",
+                i + 1, std::exp(-p.dist), p.verts.size() - 2);
+    for (vid_t v : p.verts) std::printf(" g%d", v);
+    std::printf("\n");
+  }
+
+  // Pathways through the same hub often tie in hop count; the GQL-style
+  // grouped query reports them by confidence level instead.
+  auto groups = core::shortest_k_groups(g, causal_gene, target_gene, 3, opts);
+  std::printf("\n%zu distinct confidence levels among the top pathways "
+              "(SHORTEST k GROUP view)\n",
+              groups.groups.size());
+
+  // Ranked pathways are usually near-copies through the same hub gene; the
+  // DIVERSE variant (Lhota & Xie 2016) returns mechanistically distinct
+  // alternatives for the wet-lab shortlist.
+  core::DiverseOptions dopts;
+  dopts.k = 4;
+  dopts.max_similarity = 0.4;
+  auto diverse = core::diverse_ksp(g, causal_gene, target_gene, dopts);
+  std::printf("\n%zu mutually diverse pathways (vertex overlap <= 40%%, "
+              "scanned %d ranked paths):\n",
+              diverse.paths.size(), diverse.scanned);
+  for (const auto& p : diverse.paths) {
+    std::printf("  confidence %.4f:", std::exp(-p.dist));
+    for (vid_t v : p.verts) std::printf(" g%d", v);
+    std::printf("\n");
+  }
+  return 0;
+}

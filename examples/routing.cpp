@@ -1,0 +1,100 @@
+// Routing & spectrum assignment on an optical transport network (§1,
+// "Routing"): find the K shortest candidate routes, then walk them in
+// increasing length and assign the first one with a free wavelength on every
+// hop — the KSP-based RSA scheme of Wan et al. the paper cites.
+//
+// The network is a synthetic continental backbone: a jittered grid of cities
+// with a few long-haul express links; per-link wavelength occupancy is
+// simulated with a deterministic RNG.
+#include <cstdio>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/peek.hpp"
+#include "graph/builder.hpp"
+
+namespace {
+
+using namespace peek;
+
+constexpr int kRows = 12, kCols = 16;     // 192 nodes
+constexpr int kWavelengths = 16;          // channels per fibre
+
+vid_t node(int r, int c) { return r * kCols + c; }
+
+std::uint64_t link_key(vid_t u, vid_t v) {
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(2024);
+  std::uniform_real_distribution<double> jitter(0.8, 1.2);
+
+  graph::Builder b(kRows * kCols);
+  std::vector<std::pair<vid_t, vid_t>> links;
+  auto add_link = [&](vid_t u, vid_t v, double km) {
+    b.add_undirected_edge(u, v, km);
+    links.push_back({u, v});
+    links.push_back({v, u});
+  };
+  // Mesh fibres between neighbouring cities (~100 km, jittered)...
+  for (int r = 0; r < kRows; ++r) {
+    for (int c = 0; c < kCols; ++c) {
+      if (c + 1 < kCols) add_link(node(r, c), node(r, c + 1), 100 * jitter(rng));
+      if (r + 1 < kRows) add_link(node(r, c), node(r + 1, c), 100 * jitter(rng));
+    }
+  }
+  // ...plus a handful of long-haul express links (cheaper per km).
+  for (int i = 0; i < 12; ++i) {
+    std::uniform_int_distribution<int> rr(0, kRows - 1), cc(0, kCols - 1);
+    const vid_t u = node(rr(rng), cc(rng)), v = node(rr(rng), cc(rng));
+    if (u != v) add_link(u, v, 180 * jitter(rng));
+  }
+  auto g = b.build();
+
+  // Simulated spectrum occupancy: per (link, wavelength) busy bit.
+  std::unordered_map<std::uint64_t, std::uint32_t> busy;  // bitmask per link
+  std::uniform_int_distribution<int> load(0, 99);
+  for (const auto& [u, v] : links) {
+    std::uint32_t mask = 0;
+    for (int w = 0; w < kWavelengths; ++w)
+      if (load(rng) < 10) mask |= 1u << w;  // 10% channel utilisation
+    busy[link_key(u, v)] = mask;
+  }
+
+  const vid_t src = node(0, 0), dst = node(kRows - 1, kCols - 1);
+  std::printf("optical backbone: %d nodes, %lld fibres, %d wavelengths\n",
+              g.num_vertices(), static_cast<long long>(g.num_edges()),
+              kWavelengths);
+
+  // Step 1 of the RSA algorithm: K candidate routes, shortest first.
+  core::PeekOptions opts;
+  opts.k = 16;
+  auto r = core::peek_ksp(g, src, dst, opts);
+  std::printf("PeeK produced %zu candidate routes (pruned graph: %d of %d "
+              "nodes)\n\n",
+              r.ksp.paths.size(), r.kept_vertices, g.num_vertices());
+
+  // Step 2: first candidate with one wavelength free on EVERY hop wins
+  // (wavelength-continuity constraint).
+  for (size_t i = 0; i < r.ksp.paths.size(); ++i) {
+    const auto& p = r.ksp.paths[i];
+    std::uint32_t free_mask = (1u << kWavelengths) - 1;
+    for (size_t h = 0; h + 1 < p.verts.size(); ++h)
+      free_mask &= ~busy[link_key(p.verts[h], p.verts[h + 1])];
+    std::printf("route %2zu: %5.1f km, %zu hops, free channels: %d  %s\n",
+                i + 1, p.dist, p.hops(),
+                __builtin_popcount(free_mask),
+                free_mask ? "<- ASSIGNED" : "(blocked)");
+    if (free_mask) {
+      std::printf("\nassigned wavelength %d on route: %s\n",
+                  __builtin_ctz(free_mask), sssp::to_string(p).c_str());
+      return 0;
+    }
+  }
+  std::printf("\nno route with a continuous free wavelength — increase K\n");
+  return 0;
+}

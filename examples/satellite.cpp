@@ -1,0 +1,78 @@
+// Low-earth-orbit satellite routing (§1 cites KSP routing for LSNs such as
+// Starlink and Kuiper): inter-satellite laser links form a torus grid
+// (orbital planes x satellites per plane); ground stations uplink to the
+// satellites overhead. Every optical hop adds processing latency, so routes
+// carry a HOP BUDGET on top of the distance metric — the hop-limited KSP
+// variant.
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "graph/builder.hpp"
+#include "ksp/hop_limited.hpp"
+#include "ksp/yen.hpp"
+
+namespace {
+
+using namespace peek;
+
+constexpr int kPlanes = 12;
+constexpr int kPerPlane = 20;
+constexpr int kSats = kPlanes * kPerPlane;
+
+vid_t sat(int plane, int idx) { return plane * kPerPlane + idx; }
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> jitter(0.9, 1.1);
+
+  // Torus of inter-satellite links: intra-plane ring + cross-plane links.
+  graph::Builder b(kSats + 2);  // +2 ground stations
+  for (int p = 0; p < kPlanes; ++p) {
+    for (int i = 0; i < kPerPlane; ++i) {
+      b.add_undirected_edge(sat(p, i), sat(p, (i + 1) % kPerPlane),
+                            2.0 * jitter(rng));  // ~2 ms intra-plane
+      b.add_undirected_edge(sat(p, i), sat((p + 1) % kPlanes, i),
+                            3.0 * jitter(rng));  // ~3 ms cross-plane
+    }
+  }
+  // A few express laser links skip three planes: fewer hops, more latency
+  // per hop — they only matter under a tight hop budget.
+  for (int p = 0; p < kPlanes; ++p) {
+    b.add_undirected_edge(sat(p, 0), sat((p + 3) % kPlanes, 0),
+                          11.0 * jitter(rng));
+    b.add_undirected_edge(sat(p, kPerPlane / 2), sat((p + 3) % kPlanes, kPerPlane / 2),
+                          11.0 * jitter(rng));
+  }
+  // Ground stations on opposite sides of the constellation.
+  const vid_t london = kSats, sydney = kSats + 1;
+  for (int i = 0; i < 3; ++i) {
+    b.add_undirected_edge(london, sat(0, i), 5.0 * jitter(rng));
+    b.add_undirected_edge(sydney, sat(kPlanes / 2, kPerPlane / 2 + i),
+                          5.0 * jitter(rng));
+  }
+  auto g = b.build();
+
+  std::printf("constellation: %d satellites in %d planes, %lld laser links\n",
+              kSats, kPlanes, static_cast<long long>(g.num_edges()) );
+
+  // Unconstrained: cheapest-latency routes.
+  ksp::KspOptions ko;
+  ko.k = 4;
+  auto plain = ksp::yen_ksp(g, london, sydney, ko);
+  std::printf("\nunconstrained K=4 routes (latency ms / optical hops):\n");
+  for (const auto& p : plain.paths)
+    std::printf("  %6.2f ms, %2zu hops\n", p.dist, p.hops());
+
+  // Each optical hop costs a regeneration slot; ops caps the hop count.
+  for (int budget : {20, 14, 11}) {
+    auto routed = ksp::hop_limited_ksp(g, london, sydney, 4, budget);
+    std::printf("\nhop budget %d: %zu feasible routes\n", budget,
+                routed.paths.size());
+    for (const auto& p : routed.paths)
+      std::printf("  %6.2f ms, %2zu hops\n", p.dist, p.hops());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "compact/adaptive.hpp"
+
+#include <atomic>
+
+#include "parallel/parallel_for.hpp"
+
+namespace peek::compact {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kEdgeSwap: return "edge-swap";
+    case Strategy::kRegeneration: return "regeneration";
+    case Strategy::kStatusArray: return "status-array";
+  }
+  return "?";
+}
+
+Strategy choose_strategy(eid_t m_remaining, eid_t m_original, double alpha) {
+  return static_cast<double>(m_remaining) < alpha * static_cast<double>(m_original)
+             ? Strategy::kRegeneration
+             : Strategy::kEdgeSwap;
+}
+
+eid_t count_remaining_edges(const GraphView& view,
+                            const std::uint8_t* vertex_keep,
+                            const EdgeKeep& keep, bool parallel) {
+  auto vertex_kept = [&](vid_t v) {
+    return view.vertex_alive(v) && (!vertex_keep || vertex_keep[v]);
+  };
+  std::atomic<eid_t> total{0};
+  auto body = [&](vid_t v) {
+    if (!vertex_kept(v)) return;
+    eid_t local = 0;
+    for (eid_t e = view.edge_begin(v); e < view.edge_end(v); ++e) {
+      if (!view.edge_alive(e)) continue;
+      const vid_t w = view.edge_target(e);
+      if (!vertex_kept(w)) continue;
+      if (keep && !keep(v, w, view.edge_weight(e))) continue;
+      local++;
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  };
+  if (parallel) par::parallel_for_dynamic(vid_t{0}, view.num_vertices(), body);
+  else for (vid_t v = 0; v < view.num_vertices(); ++v) body(v);
+  return total.load();
+}
+
+CompactionResult adaptive_compact(MutableCsr& g, eid_t m_original,
+                                  const std::uint8_t* vertex_keep,
+                                  const EdgeKeep& keep,
+                                  const AdaptiveOptions& opts) {
+  CompactionResult result;
+  const eid_t m_r =
+      count_remaining_edges(g.view(), vertex_keep, keep, opts.parallel);
+  result.remaining_edges = m_r;
+  result.strategy = choose_strategy(m_r, m_original, opts.alpha);
+  if (result.strategy == Strategy::kRegeneration) {
+    result.regenerated =
+        regenerate(g.view(), vertex_keep, keep, {.parallel = opts.parallel});
+  } else {
+    edge_swap_compact(g, vertex_keep, keep, {.parallel = opts.parallel});
+    result.swapped = g.biview();
+  }
+  return result;
+}
+
+}  // namespace peek::compact

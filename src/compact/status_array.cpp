@@ -1,0 +1,59 @@
+#include "compact/status_array.hpp"
+
+#include <atomic>
+
+#include "parallel/parallel_for.hpp"
+
+namespace peek::compact {
+
+StatusArrayGraph::StatusArrayGraph(const CsrGraph& g) : g_(&g) {
+  vertex_alive_.assign(static_cast<size_t>(g.num_vertices()), 1);
+  edge_alive_.assign(static_cast<size_t>(g.num_edges()), 1);
+  rev_edge_alive_.assign(static_cast<size_t>(g.num_edges()), 1);
+  g.warm_reverse();
+}
+
+eid_t StatusArrayGraph::apply(const std::uint8_t* vertex_keep,
+                              const EdgeKeep& keep, bool parallel) {
+  const vid_t n = g_->num_vertices();
+  const CsrGraph& rev = g_->reverse();
+  std::atomic<eid_t> remaining{0};
+
+  auto body = [&](vid_t v) {
+    if (vertex_keep && !vertex_keep[v]) vertex_alive_[v] = 0;
+    if (!vertex_alive_[v]) return;
+    eid_t live = 0;
+    for (eid_t e = g_->edge_begin(v); e < g_->edge_end(v); ++e) {
+      if (!edge_alive_[e]) continue;
+      const vid_t w = g_->edge_target(e);
+      const bool dead = (vertex_keep && !vertex_keep[w]) || !vertex_alive_[w] ||
+                        (keep && !keep(v, w, g_->edge_weight(e)));
+      if (dead) edge_alive_[e] = 0;
+      else live++;
+    }
+    for (eid_t e = rev.edge_begin(v); e < rev.edge_end(v); ++e) {
+      if (!rev_edge_alive_[e]) continue;
+      const vid_t u = rev.edge_target(e);  // original edge u -> v
+      const bool dead = (vertex_keep && !vertex_keep[u]) || !vertex_alive_[u] ||
+                        (keep && !keep(u, v, rev.edge_weight(e)));
+      if (dead) rev_edge_alive_[e] = 0;
+    }
+    remaining.fetch_add(live, std::memory_order_relaxed);
+  };
+
+  // NOTE: the vertex mask must be fully applied before edges are scanned,
+  // otherwise a thread may read a vertex not yet marked dead. Two phases.
+  auto kill = [&](vid_t v) {
+    if (vertex_keep && !vertex_keep[v]) vertex_alive_[v] = 0;
+  };
+  if (parallel) {
+    par::parallel_for(vid_t{0}, n, kill);
+    par::parallel_for_dynamic(vid_t{0}, n, body);
+  } else {
+    for (vid_t v = 0; v < n; ++v) kill(v);
+    for (vid_t v = 0; v < n; ++v) body(v);
+  }
+  return remaining.load();
+}
+
+}  // namespace peek::compact

@@ -1,0 +1,38 @@
+// Status-array "compaction" — the conventional baseline of §5.4/Figure 6:
+// nothing is moved; deleted vertices and edges are merely marked in byte
+// arrays and every traversal pays the masked-out entries.
+#pragma once
+
+#include "compact/edge_swap.hpp"
+
+namespace peek::compact {
+
+class StatusArrayGraph {
+ public:
+  explicit StatusArrayGraph(const CsrGraph& g);
+
+  /// Applies a deletion round: vertices with vertex_keep[v]==0 die, edges
+  /// failing `keep` (or touching dead vertices) die. Returns remaining alive
+  /// forward edges.
+  eid_t apply(const std::uint8_t* vertex_keep, const EdgeKeep& keep = nullptr,
+              bool parallel = true);
+
+  GraphView view() const {
+    return GraphView(*g_, vertex_alive_.data(), edge_alive_.data());
+  }
+  GraphView reverse_view() const {
+    return GraphView(g_->reverse(), vertex_alive_.data(),
+                     rev_edge_alive_.data());
+  }
+  BiView biview() const { return {view(), reverse_view()}; }
+
+  const std::vector<std::uint8_t>& vertex_alive() const { return vertex_alive_; }
+
+ private:
+  const CsrGraph* g_;
+  std::vector<std::uint8_t> vertex_alive_;
+  std::vector<std::uint8_t> edge_alive_;      // forward CSR edge mask
+  std::vector<std::uint8_t> rev_edge_alive_;  // reverse CSR edge mask
+};
+
+}  // namespace peek::compact

@@ -1,0 +1,37 @@
+#include "core/batch.hpp"
+
+#include <chrono>
+
+#include "parallel/parallel_for.hpp"
+
+namespace peek::core {
+
+BatchResult peek_ksp_batch(const graph::CsrGraph& g,
+                           std::span<const BatchQuery> queries,
+                           const BatchOptions& opts) {
+  BatchResult out;
+  out.results.resize(queries.size());
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // One transpose shared by every query (peek_ksp would otherwise race to
+  // build it lazily — warm it up front).
+  g.warm_reverse();
+
+  PeekOptions per = opts.per_query;
+  if (opts.parallel_queries) per.parallel = false;  // outer owns the threads
+
+  auto run_one = [&](size_t i) {
+    out.results[i] = peek_ksp(g, queries[i].s, queries[i].t, per);
+  };
+  if (opts.parallel_queries) {
+    par::parallel_for_dynamic(size_t{0}, queries.size(), run_one, 1);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace peek::core

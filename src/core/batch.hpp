@@ -1,0 +1,35 @@
+// Batched KSP: answer many (source, target) queries over one graph — the
+// shape of every real deployment (and of the paper's own evaluation, which
+// averages 32 random pairs per graph). Shares the reverse CSR across queries
+// and optionally task-parallelizes across them (each query then runs its
+// pipeline serially, the classic throughput-oriented layout).
+#pragma once
+
+#include <span>
+
+#include "core/peek.hpp"
+
+namespace peek::core {
+
+struct BatchQuery {
+  vid_t s;
+  vid_t t;
+};
+
+struct BatchOptions {
+  PeekOptions per_query;
+  /// Run queries concurrently (outer parallelism). When set, the per-query
+  /// pipelines are forced serial so threads are not oversubscribed.
+  bool parallel_queries = false;
+};
+
+struct BatchResult {
+  std::vector<PeekResult> results;  // index-aligned with the queries
+  double wall_seconds = 0;
+};
+
+BatchResult peek_ksp_batch(const graph::CsrGraph& g,
+                           std::span<const BatchQuery> queries,
+                           const BatchOptions& opts = {});
+
+}  // namespace peek::core

@@ -1,0 +1,137 @@
+#include "core/peek.hpp"
+
+#include <chrono>
+
+#include "compact/status_array.hpp"
+
+namespace peek::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Translates every path of `r` through new->old ids (in place).
+void translate_paths(ksp::KspResult& r, const compact::VertexMap& map) {
+  for (auto& p : r.paths) {
+    for (auto& v : p.verts) v = map.to_old(v);
+  }
+}
+
+}  // namespace
+
+PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
+                               const PeekOptions& opts,
+                               const KspAlgorithm& algo) {
+  using Clock = std::chrono::steady_clock;
+  PeekResult result;
+  const eid_t m_original = g.num_edges();
+
+  if (!opts.prune) {
+    // Ablation "Base": the downstream algorithm on the untouched graph.
+    const auto t0 = Clock::now();
+    result.ksp = algo(sssp::BiView::of(g), s, t);
+    result.ksp_seconds = seconds_since(t0);
+    result.kept_vertices = g.num_vertices();
+    result.kept_edges = m_original;
+    return result;
+  }
+
+  // Stage 1: K upper bound pruning.
+  const auto t0 = Clock::now();
+  PruneOptions po;
+  po.k = opts.k;
+  po.parallel = opts.parallel;
+  po.delta = opts.delta;
+  po.tight_edge_prune = opts.tight_edge_prune;
+  PruneResult pruned = k_upper_bound_prune(g, s, t, po);
+  result.prune_seconds = seconds_since(t0);
+  result.upper_bound = pruned.upper_bound;
+  result.kept_vertices = pruned.kept_vertices;
+  if (pruned.kept_vertices == 0) return result;  // t unreachable
+
+  // Stage 2: compaction.
+  const auto t1 = Clock::now();
+  const std::uint8_t* keep = pruned.vertex_keep.data();
+  const auto& edge_keep = pruned.edge_keep;
+
+  auto run_ksp = [&](const sssp::BiView& view, vid_t cs, vid_t ct,
+                     const compact::VertexMap* map) {
+    const auto t2 = Clock::now();
+    ksp::KspResult r = algo(view, cs, ct);
+    result.ksp_seconds = seconds_since(t2);
+    if (map) translate_paths(r, *map);
+    result.ksp = std::move(r);
+  };
+
+  switch (opts.compaction) {
+    case PeekOptions::Compaction::kStatusArray: {
+      compact::StatusArrayGraph sa(g);
+      result.kept_edges = sa.apply(keep, edge_keep, opts.parallel);
+      result.strategy_used = compact::Strategy::kStatusArray;
+      result.compact_seconds = seconds_since(t1);
+      run_ksp(sa.biview(), s, t, nullptr);
+      break;
+    }
+    case PeekOptions::Compaction::kEdgeSwap: {
+      compact::MutableCsr mc(g);
+      result.kept_edges = compact::edge_swap_compact(
+          mc, keep, edge_keep, {.parallel = opts.parallel});
+      result.strategy_used = compact::Strategy::kEdgeSwap;
+      result.compact_seconds = seconds_since(t1);
+      run_ksp(mc.biview(), s, t, nullptr);
+      break;
+    }
+    case PeekOptions::Compaction::kRegeneration: {
+      auto regen = compact::regenerate(sssp::GraphView(g), keep, edge_keep,
+                                       {.parallel = opts.parallel});
+      result.kept_edges = regen.graph.num_edges();
+      result.strategy_used = compact::Strategy::kRegeneration;
+      result.compact_seconds = seconds_since(t1);
+      const vid_t cs = regen.map.to_new(s), ct = regen.map.to_new(t);
+      if (cs == kNoVertex || ct == kNoVertex) break;
+      run_ksp(sssp::BiView::of(regen.graph), cs, ct, &regen.map);
+      break;
+    }
+    case PeekOptions::Compaction::kAdaptive: {
+      const eid_t m_r = compact::count_remaining_edges(
+          sssp::GraphView(g), keep, edge_keep, opts.parallel);
+      result.kept_edges = m_r;
+      const compact::Strategy strat =
+          compact::choose_strategy(m_r, m_original, opts.alpha);
+      result.strategy_used = strat;
+      if (strat == compact::Strategy::kRegeneration) {
+        auto regen = compact::regenerate(sssp::GraphView(g), keep, edge_keep,
+                                         {.parallel = opts.parallel});
+        result.compact_seconds = seconds_since(t1);
+        const vid_t cs = regen.map.to_new(s), ct = regen.map.to_new(t);
+        if (cs == kNoVertex || ct == kNoVertex) break;
+        run_ksp(sssp::BiView::of(regen.graph), cs, ct, &regen.map);
+      } else {
+        compact::MutableCsr mc(g);
+        compact::edge_swap_compact(mc, keep, edge_keep,
+                                   {.parallel = opts.parallel});
+        result.compact_seconds = seconds_since(t1);
+        run_ksp(mc.biview(), s, t, nullptr);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+PeekResult peek_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                    const PeekOptions& opts) {
+  ksp::KspOptions ko;
+  ko.k = opts.k;
+  ko.parallel = opts.parallel;
+  ko.delta = opts.delta;
+  return peek_with_algorithm(
+      g, s, t, opts, [&ko](const sssp::BiView& view, vid_t s2, vid_t t2) {
+        return ksp::optyen_ksp(view, s2, t2, ko);
+      });
+}
+
+}  // namespace peek::core

@@ -1,0 +1,67 @@
+// PeeK — the end-to-end prune-centric KSP pipeline (§3):
+//   1. K upper bound pruning        (core/upper_bound)
+//   2. adaptive graph compaction    (compact/)
+//   3. KSP on the compacted graph   (OptYen-style: static reverse tree, no
+//                                    vertex colors — ksp/optyen)
+// Results are always reported in ORIGINAL vertex ids, whatever compaction
+// strategy ran. Per-stage wall times are returned for the benches.
+#pragma once
+
+#include "compact/adaptive.hpp"
+#include "core/upper_bound.hpp"
+#include "ksp/optyen.hpp"
+
+namespace peek::core {
+
+struct PeekOptions {
+  int k = 8;
+  /// Parallel PeeK (§6): data-parallel pruning, embarrassingly parallel
+  /// compaction, task-parallel KSP.
+  bool parallel = false;
+  weight_t delta = 0;  // Δ-stepping bucket width (<=0 auto)
+
+  /// Compaction policy.
+  enum class Compaction {
+    kAdaptive,      // §5.4 rule (alpha)
+    kEdgeSwap,      // always edge-swap
+    kRegeneration,  // always regenerate
+    kStatusArray,   // baseline: mark-only ("Base + Pruning" in Figure 8)
+  };
+  Compaction compaction = Compaction::kAdaptive;
+  double alpha = 0.5;  // §5.4 trade-off coefficient
+
+  /// Ablation switch: skip pruning entirely (the Figure 8 "Base" — plain
+  /// OptYen on the original graph).
+  bool prune = true;
+  bool tight_edge_prune = false;  // see PruneOptions
+};
+
+struct PeekResult {
+  ksp::KspResult ksp;          // paths in original vertex ids
+  weight_t upper_bound = kInfDist;
+  vid_t kept_vertices = 0;
+  eid_t kept_edges = 0;
+  compact::Strategy strategy_used = compact::Strategy::kStatusArray;
+  double prune_seconds = 0;
+  double compact_seconds = 0;
+  double ksp_seconds = 0;
+
+  double total_seconds() const {
+    return prune_seconds + compact_seconds + ksp_seconds;
+  }
+};
+
+/// The K shortest simple paths from s to t via the PeeK pipeline.
+PeekResult peek_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                    const PeekOptions& opts = {});
+
+/// PeeK-as-preprocessor (§1.3 novelty iii): run any KSP algorithm on the
+/// pruned-and-compacted graph. `algo` receives the compacted BiView and the
+/// translated (s, t); returned paths are translated back to original ids.
+using KspAlgorithm =
+    std::function<ksp::KspResult(const sssp::BiView&, vid_t, vid_t)>;
+PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
+                               const PeekOptions& opts,
+                               const KspAlgorithm& algo);
+
+}  // namespace peek::core

@@ -1,0 +1,65 @@
+#include "core/shortest_k_group.hpp"
+
+#include <algorithm>
+
+namespace peek::core {
+
+namespace {
+
+/// Splits distance-sorted paths into equal-distance groups.
+std::vector<PathGroup> group_paths(const std::vector<sssp::Path>& paths) {
+  std::vector<PathGroup> groups;
+  for (const auto& p : paths) {
+    if (groups.empty() || groups.back().dist != p.dist) {
+      groups.push_back({p.dist, {}});
+    }
+    groups.back().paths.push_back(p);
+  }
+  return groups;
+}
+
+}  // namespace
+
+KGroupResult shortest_k_groups(const graph::CsrGraph& g, vid_t s, vid_t t,
+                               int k_groups, const PeekOptions& opts) {
+  KGroupResult result;
+  if (k_groups <= 0) {
+    result.complete = true;
+    return result;
+  }
+  PeekOptions my = opts;
+  int k = std::max(8, 2 * k_groups);
+  // Grow K until more than k_groups distinct distances are seen (the k-th
+  // group is then closed) or the path space is exhausted.
+  constexpr int kMaxK = 1 << 16;
+  while (true) {
+    my.k = k;
+    PeekResult pr = peek_ksp(g, s, t, my);
+    result.ksp_paths_computed = static_cast<int>(pr.ksp.paths.size());
+    auto groups = group_paths(pr.ksp.paths);
+    const bool exhausted =
+        static_cast<int>(pr.ksp.paths.size()) < k;  // no more simple paths
+    if (static_cast<int>(groups.size()) > k_groups) {
+      groups.resize(static_cast<size_t>(k_groups));  // k-th group is closed
+      result.groups = std::move(groups);
+      result.complete = true;
+      return result;
+    }
+    if (exhausted) {
+      if (static_cast<int>(groups.size()) > k_groups)
+        groups.resize(static_cast<size_t>(k_groups));
+      result.groups = std::move(groups);
+      result.complete = true;
+      return result;
+    }
+    if (k >= kMaxK) {
+      // Give up growing; the last group may be incomplete.
+      result.groups = std::move(groups);
+      result.complete = false;
+      return result;
+    }
+    k *= 2;
+  }
+}
+
+}  // namespace peek::core

@@ -1,0 +1,29 @@
+// SHORTEST k GROUP — the second KSP flavour standardised by GQL and
+// SQL/PGQ (§1, "Graph database"): paths are grouped by equal distance and the
+// k shortest GROUPS are returned, each group complete. Built on top of the
+// PeeK pipeline by growing K until the k-th group is provably closed.
+#pragma once
+
+#include "core/peek.hpp"
+
+namespace peek::core {
+
+struct PathGroup {
+  weight_t dist = kInfDist;
+  std::vector<sssp::Path> paths;  // every simple path of exactly this length
+};
+
+struct KGroupResult {
+  std::vector<PathGroup> groups;  // at most k, ascending by dist
+  /// True when every returned group is complete (the (k+1)-th distance was
+  /// observed, or the path space was exhausted).
+  bool complete = false;
+  int ksp_paths_computed = 0;
+};
+
+/// The k shortest path groups from s to t. `opts.k` is ignored (managed
+/// internally); other PeekOptions apply.
+KGroupResult shortest_k_groups(const graph::CsrGraph& g, vid_t s, vid_t t,
+                               int k_groups, const PeekOptions& opts = {});
+
+}  // namespace peek::core

@@ -1,0 +1,102 @@
+#include "core/upper_bound.hpp"
+
+#include <atomic>
+#include <memory>
+#include <unordered_set>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/sort.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace peek::core {
+
+PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
+                                const PruneOptions& opts) {
+  PruneResult r;
+  const vid_t n = g.num_vertices();
+  r.vertex_keep.assign(static_cast<size_t>(n), 0);
+
+  // Step 1: shortest distances from the source and to the target.
+  if (opts.parallel) {
+    sssp::DeltaSteppingOptions ds;
+    ds.delta = opts.delta;
+    r.from_source = sssp::delta_stepping(sssp::GraphView(g), s, ds);
+    r.to_target = sssp::reverse_delta_stepping(g, t, ds);
+  } else {
+    r.from_source = sssp::dijkstra(sssp::GraphView(g), s);
+    r.to_target = sssp::reverse_dijkstra(g, t);
+  }
+
+  if (r.to_target.dist[s] == kInfDist) {
+    // t unreachable: no path at all; prune everything.
+    r.upper_bound = kInfDist;
+    r.edge_keep = nullptr;
+    return r;
+  }
+
+  // Step 2: distance sums (data parallel, Algorithm 2 lines 3-4).
+  std::vector<weight_t> dist(static_cast<size_t>(n));
+  auto sum_body = [&](vid_t v) {
+    const weight_t a = r.from_source.dist[v];
+    const weight_t b = r.to_target.dist[v];
+    dist[v] = (a == kInfDist || b == kInfDist) ? kInfDist : a + b;
+  };
+  if (opts.parallel) par::parallel_for(vid_t{0}, n, sum_body);
+  else for (vid_t v = 0; v < n; ++v) sum_body(v);
+
+  // Step 3: identify b — walk vertices in increasing dist order, keep the
+  // K-th valid, distinct combined path (lines 5-9). kInfDist sorts last.
+  const std::vector<vid_t> order = par::sort_permutation(dist);
+  std::unordered_set<sssp::Path, sssp::PathHash> distinct;
+  weight_t b = kInfDist;
+  int valid = 0;
+  for (vid_t v : order) {
+    if (dist[v] == kInfDist) break;  // only unreachable remain
+    r.inspected_paths++;
+    if (!sssp::combined_path_is_simple(r.from_source, r.to_target, s, v, t))
+      continue;
+    sssp::Path p = sssp::combined_path(r.from_source, r.to_target, s, v, t);
+    if (p.empty() || !distinct.insert(std::move(p)).second) continue;
+    valid++;
+    if (valid == opts.k) {
+      b = dist[v];
+      break;
+    }
+  }
+  r.upper_bound = b;
+
+  // Step 4: prune (lines 10-13). Unreachable vertices (dist == inf) always
+  // go; with fewer than K estimated paths (b == inf) nothing else can.
+  std::atomic<vid_t> kept{0};
+  auto keep_body = [&](vid_t v) {
+    if (dist[v] != kInfDist && dist[v] <= b) {
+      r.vertex_keep[v] = 1;
+      kept.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  if (opts.parallel) par::parallel_for(vid_t{0}, n, keep_body);
+  else for (vid_t v = 0; v < n; ++v) keep_body(v);
+  r.kept_vertices = kept.load();
+
+  if (b == kInfDist) {
+    r.edge_keep = nullptr;  // keep all edges between kept vertices
+  } else if (opts.tight_edge_prune) {
+    auto src = std::make_shared<std::vector<weight_t>>(r.from_source.dist);
+    auto tgt = std::make_shared<std::vector<weight_t>>(r.to_target.dist);
+    // The K-th path's own edges can land an ulp above b because spSrc + w +
+    // spTgt sums in a different order than the path walk that produced b;
+    // a relative epsilon on the KEEP side is sound (it can only under-prune).
+    const weight_t slack = b * 1e-12 + 1e-12;
+    r.edge_keep = [src, tgt, b, slack](vid_t u, vid_t v, weight_t w) {
+      if (w > b) return false;
+      const weight_t a = (*src)[u], c = (*tgt)[v];
+      return a != kInfDist && c != kInfDist && a + w + c <= b + slack;
+    };
+  } else {
+    r.edge_keep = [b](vid_t, vid_t, weight_t w) { return w <= b; };
+  }
+  return r;
+}
+
+}  // namespace peek::core

@@ -1,0 +1,51 @@
+// K upper bound pruning (§4, Algorithm 2) — PeeK's central contribution.
+//
+// Two SSSPs give, for every vertex v, the tightest possible distance of an
+// s->t path through v: dist[v] = spSrc[v] + spTgt[v] (Lemma 4.1). Scanning
+// vertices in increasing dist order and keeping only loop-free, distinct
+// combined paths, the K-th such distance is a sound upper bound b on the
+// K-th shortest path (Lemma 4.2): every vertex with dist[v] > b — and every
+// edge heavier than b — can be deleted without changing the result
+// (Theorem 4.3).
+#pragma once
+
+#include "compact/edge_swap.hpp"
+#include "sssp/path.hpp"
+
+namespace peek::core {
+
+using graph::CsrGraph;
+
+struct PruneOptions {
+  int k = 8;
+  /// Data-parallel pruning (§6.1): Δ-stepping SSSPs, parallel sort, parallel
+  /// distance-sum.
+  bool parallel = false;
+  weight_t delta = 0;  // Δ-stepping bucket width (<=0 auto)
+  /// Extension beyond the paper's Algorithm 2 line 13 (`w(e) > b`): also
+  /// prune edge (u,v) when spSrc[u] + w + spTgt[v] > b, which is sound by
+  /// the same Lemma 4.1 argument and strictly stronger.
+  bool tight_edge_prune = false;
+};
+
+struct PruneResult {
+  /// Byte per vertex: survives the pruning?
+  std::vector<std::uint8_t> vertex_keep;
+  /// The K upper bound b (kInfDist if fewer than K estimated paths exist —
+  /// then only unreachable vertices are pruned).
+  weight_t upper_bound = kInfDist;
+  /// Position-independent edge filter capturing b (and, when tight pruning
+  /// is on, the two distance arrays); feed to any compaction strategy.
+  compact::EdgeKeep edge_keep;
+  /// spSrc / spTgt with parents — reusable downstream.
+  sssp::SsspResult from_source;
+  sssp::SsspResult to_target;
+  vid_t kept_vertices = 0;
+  /// Paths inspected while identifying b: K valid ones + λ invalid/duplicate.
+  int inspected_paths = 0;
+};
+
+PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
+                                const PruneOptions& opts = {});
+
+}  // namespace peek::core

@@ -1,0 +1,77 @@
+#include "dist/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace peek::dist {
+
+namespace detail {
+
+CommState::CommState(int sz)
+    : size(sz), box_mutex(static_cast<size_t>(sz)),
+      box_cv(static_cast<size_t>(sz)), boxes(static_cast<size_t>(sz)),
+      slots(static_cast<size_t>(sz)) {}
+
+}  // namespace detail
+
+void Comm::send_bytes(int dest, int tag, std::vector<std::byte> data) {
+  auto& st = *state_;
+  {
+    std::lock_guard<std::mutex> lock(st.box_mutex[static_cast<size_t>(dest)]);
+    st.boxes[static_cast<size_t>(dest)].emplace(
+        std::make_pair(rank_, tag),
+        detail::Message{rank_, tag, std::move(data)});
+  }
+  st.box_cv[static_cast<size_t>(dest)].notify_all();
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  auto& st = *state_;
+  std::unique_lock<std::mutex> lock(st.box_mutex[static_cast<size_t>(rank_)]);
+  auto& box = st.boxes[static_cast<size_t>(rank_)];
+  const auto key = std::make_pair(src, tag);
+  st.box_cv[static_cast<size_t>(rank_)].wait(
+      lock, [&box, &key] { return box.find(key) != box.end(); });
+  auto it = box.find(key);
+  std::vector<std::byte> payload = std::move(it->second.payload);
+  box.erase(it);
+  return payload;
+}
+
+void Comm::barrier() {
+  auto& st = *state_;
+  std::unique_lock<std::mutex> lock(st.barrier_mutex);
+  const bool my_sense = st.barrier_sense;
+  if (++st.barrier_count == st.size) {
+    st.barrier_count = 0;
+    st.barrier_sense = !st.barrier_sense;
+    st.barrier_cv.notify_all();
+  } else {
+    st.barrier_cv.wait(lock, [&st, my_sense] {
+      return st.barrier_sense != my_sense;
+    });
+  }
+}
+
+void run_ranks(int ranks, const std::function<void(Comm&)>& body) {
+  auto state = std::make_shared<detail::CommState>(ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(ranks));
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([state, r, &body, &err_mutex, &first_error] {
+      Comm comm(state, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace peek::dist

@@ -1,0 +1,215 @@
+#include "dist/dist_peek.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "ksp/optyen.hpp"
+#include "ksp/yen_engine.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace peek::dist {
+
+namespace {
+
+using ksp::Candidate;
+using ksp::CandidateSet;
+using sssp::GraphView;
+using sssp::SsspResult;
+
+/// Flat encoding of candidate paths for the allgather exchange:
+/// per candidate [dev_index, len, v0..v_{len-1}] in the id stream plus one
+/// distance in the weight stream.
+void encode_candidate(const Candidate& c, std::vector<vid_t>& ids,
+                      std::vector<weight_t>& dists) {
+  ids.push_back(static_cast<vid_t>(c.dev_index));
+  ids.push_back(static_cast<vid_t>(c.path.verts.size()));
+  ids.insert(ids.end(), c.path.verts.begin(), c.path.verts.end());
+  dists.push_back(c.path.dist);
+}
+
+std::vector<Candidate> decode_candidates(const std::vector<vid_t>& ids,
+                                         const std::vector<weight_t>& dists) {
+  std::vector<Candidate> out;
+  size_t i = 0, d = 0;
+  while (i < ids.size()) {
+    Candidate c;
+    c.dev_index = ids[i++];
+    const auto len = static_cast<size_t>(ids[i++]);
+    c.path.verts.assign(ids.begin() + static_cast<ptrdiff_t>(i),
+                        ids.begin() + static_cast<ptrdiff_t>(i + len));
+    i += len;
+    c.path.dist = dists[d++];
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+/// Identical on every rank: the serial Algorithm 2 steps 2-3 over the
+/// gathered global distance/parent arrays.
+weight_t find_upper_bound(const SsspResult& fwd, const SsspResult& rev,
+                          vid_t s, vid_t t, int k) {
+  const vid_t n = static_cast<vid_t>(fwd.dist.size());
+  std::vector<std::pair<weight_t, vid_t>> order;
+  order.reserve(static_cast<size_t>(n));
+  for (vid_t v = 0; v < n; ++v) {
+    if (fwd.dist[v] == kInfDist || rev.dist[v] == kInfDist) continue;
+    order.push_back({fwd.dist[v] + rev.dist[v], v});
+  }
+  std::sort(order.begin(), order.end());
+  std::unordered_set<sssp::Path, sssp::PathHash> distinct;
+  int valid = 0;
+  for (auto [d, v] : order) {
+    if (!sssp::combined_path_is_simple(fwd, rev, s, v, t)) continue;
+    sssp::Path p = sssp::combined_path(fwd, rev, s, v, t);
+    if (p.empty() || !distinct.insert(std::move(p)).second) continue;
+    if (++valid == k) return d;
+  }
+  return kInfDist;
+}
+
+}  // namespace
+
+DistPeekResult dist_peek_ksp(Comm& comm, const graph::CsrGraph& g, vid_t s,
+                             vid_t t, const DistPeekOptions& opts) {
+  DistPeekResult result;
+  const vid_t n = g.num_vertices();
+
+  // Stage 1: two distributed SSSPs over the 1-D slices.
+  const LocalGraph fwd_slice = make_local_graph(g, comm.rank(), comm.size());
+  const LocalGraph rev_slice =
+      make_local_reverse_graph(g, comm.rank(), comm.size());
+  DistSsspOptions so;
+  so.delta = opts.delta;
+  DistSsspResult fwd_local = dist_delta_stepping(comm, fwd_slice, s, so);
+  DistSsspResult rev_local = dist_delta_stepping(comm, rev_slice, t, so);
+  result.edges_relaxed = comm.allreduce_sum(fwd_local.edges_relaxed) +
+                         comm.allreduce_sum(rev_local.edges_relaxed);
+
+  SsspResult fwd, rev;
+  gather_global(comm, fwd_slice, fwd_local, fwd.dist, fwd.parent);
+  gather_global(comm, rev_slice, rev_local, rev.dist, rev.parent);
+  if (rev.dist[s] == kInfDist) return result;  // unreachable
+
+  // Stage 2: upper bound + keep mask — deterministic on the gathered arrays,
+  // so every rank computes the identical answer with no extra messages.
+  const weight_t b = find_upper_bound(fwd, rev, s, t, opts.k);
+  result.upper_bound = b;
+  std::vector<std::uint8_t> keep(static_cast<size_t>(n), 0);
+  for (vid_t v = 0; v < n; ++v) {
+    if (fwd.dist[v] == kInfDist || rev.dist[v] == kInfDist) continue;
+    const weight_t d = fwd.dist[v] + rev.dist[v];
+    if (b == kInfDist || d <= b) keep[v] = 1;
+  }
+
+  // Stage 3: distributed regeneration. Each rank contributes the surviving
+  // edges of its OWNED rows; the (tiny) pruned graph is then replicated.
+  std::vector<vid_t> old_to_new(static_cast<size_t>(n), kNoVertex);
+  std::vector<vid_t> new_to_old;
+  for (vid_t v = 0; v < n; ++v) {
+    if (keep[v]) {
+      old_to_new[v] = static_cast<vid_t>(new_to_old.size());
+      new_to_old.push_back(v);
+    }
+  }
+  result.kept_vertices = static_cast<vid_t>(new_to_old.size());
+  std::vector<vid_t> edge_ids;      // (new_u, new_v) pairs, flattened
+  std::vector<weight_t> edge_wgts;
+  for (vid_t lu = 0; lu < fwd_slice.owned(); ++lu) {
+    const vid_t gu = fwd_slice.to_global(lu);
+    if (!keep[gu]) continue;
+    for (eid_t e = fwd_slice.row[lu]; e < fwd_slice.row[lu + 1]; ++e) {
+      const vid_t gv = fwd_slice.col[static_cast<size_t>(e)];
+      const weight_t w = fwd_slice.wgt[static_cast<size_t>(e)];
+      if (!keep[gv]) continue;
+      if (b != kInfDist && w > b) continue;  // Algorithm 2 line 13
+      edge_ids.push_back(old_to_new[gu]);
+      edge_ids.push_back(old_to_new[gv]);
+      edge_wgts.push_back(w);
+    }
+  }
+  auto all_ids = comm.allgatherv(edge_ids);
+  auto all_wgts = comm.allgatherv(edge_wgts);
+  graph::Builder builder(result.kept_vertices);
+  for (int rk = 0; rk < comm.size(); ++rk) {
+    const auto& ids = all_ids[static_cast<size_t>(rk)];
+    const auto& ws = all_wgts[static_cast<size_t>(rk)];
+    for (size_t i = 0; i < ws.size(); ++i)
+      builder.add_edge(ids[2 * i], ids[2 * i + 1], ws[i]);
+  }
+  const graph::CsrGraph compacted = builder.build();
+  result.kept_edges = compacted.num_edges();
+  const vid_t cs = old_to_new[s], ct = old_to_new[t];
+  if (cs == kNoVertex || ct == kNoVertex) return result;
+
+  // Stage 4: replicated-state distributed KSP. All ranks hold identical
+  // accepted/candidate state; the deviation SSSPs of each accepted path are
+  // computed round-robin (outer level of the two-level strategy) and the
+  // candidates merged with a deterministic allgather.
+  const sssp::BiView view = sssp::BiView::of(compacted);
+  const SsspResult rtree = sssp::dijkstra(view.rev, ct);
+  sssp::Path first = sssp::path_from_reverse_parents(rtree, cs, ct);
+  if (first.empty()) return result;
+
+  std::vector<Candidate> accepted;
+  accepted.push_back({std::move(first), 0});
+  CandidateSet cands;
+  std::vector<std::uint8_t> mask(static_cast<size_t>(result.kept_vertices), 0);
+
+  while (static_cast<int>(accepted.size()) < opts.k) {
+    const Candidate cur = accepted.back();
+    const auto& p = cur.path.verts;
+    const int len = static_cast<int>(p.size());
+    const auto cum = ksp::detail::cumulative_distances(view.fwd, p);
+
+    std::vector<vid_t> my_ids;
+    std::vector<weight_t> my_dists;
+    for (int i = cur.dev_index; i < len - 1; ++i) {
+      if (i % comm.size() != comm.rank()) continue;  // round-robin ownership
+      const vid_t v = p[static_cast<size_t>(i)];
+      for (int j = 0; j < i; ++j) mask[p[static_cast<size_t>(j)]] = 1;
+      const auto banned = ksp::detail::banned_edges_at(view.fwd, accepted, p, i);
+      std::vector<vid_t> prefix(p.begin(), p.begin() + i + 1);
+      ksp::detail::DeviationContext ctx{prefix, v, cum[static_cast<size_t>(i)],
+                                        mask.data(), banned, i};
+      sssp::Path suffix = ksp::detail::optyen_tree_shortcut(view.fwd, rtree, ct, ctx);
+      if (suffix.empty()) {
+        sssp::DijkstraOptions dj;
+        dj.target = ct;
+        dj.bans = {mask.data(), &banned};
+        auto rr = sssp::dijkstra(view.fwd, v, dj);
+        suffix = sssp::path_from_parents(rr, v, ct);
+      }
+      for (int j = 0; j < i; ++j) mask[p[static_cast<size_t>(j)]] = 0;
+      if (suffix.empty()) continue;
+      Candidate cand;
+      cand.dev_index = i;
+      cand.path.verts.assign(p.begin(), p.begin() + i);
+      cand.path.verts.insert(cand.path.verts.end(), suffix.verts.begin(),
+                             suffix.verts.end());
+      cand.path.dist = cum[static_cast<size_t>(i)] + suffix.dist;
+      encode_candidate(cand, my_ids, my_dists);
+    }
+
+    auto all_cand_ids = comm.allgatherv(my_ids);
+    auto all_cand_dists = comm.allgatherv(my_dists);
+    for (int rk = 0; rk < comm.size(); ++rk) {
+      for (Candidate& c : decode_candidates(all_cand_ids[static_cast<size_t>(rk)],
+                                            all_cand_dists[static_cast<size_t>(rk)]))
+        cands.push(std::move(c.path), c.dev_index);
+    }
+    auto next = cands.pop_min();
+    if (!next) break;
+    accepted.push_back(std::move(*next));
+  }
+
+  // Translate back to original ids.
+  result.ksp.paths.reserve(accepted.size());
+  for (Candidate& c : accepted) {
+    for (auto& v : c.path.verts) v = new_to_old[v];
+    result.ksp.paths.push_back(std::move(c.path));
+  }
+  return result;
+}
+
+}  // namespace peek::dist

@@ -1,0 +1,34 @@
+// Distributed PeeK (§6.2): 1-D partition, two distributed Δ-stepping SSSPs,
+// replicated upper-bound identification on the gathered arrays, distributed
+// regeneration of the (tiny) pruned graph, and a replicated-state distributed
+// KSP where deviation SSSPs of each accepted path are assigned round-robin
+// to ranks (the outer level of the two-level strategy mapped onto nodes).
+#pragma once
+
+#include "core/peek.hpp"
+#include "dist/dist_sssp.hpp"
+
+namespace peek::dist {
+
+struct DistPeekOptions {
+  int k = 8;
+  weight_t delta = 0;
+  double alpha = 0.5;
+};
+
+struct DistPeekResult {
+  ksp::KspResult ksp;  // identical on every rank; original vertex ids
+  weight_t upper_bound = kInfDist;
+  vid_t kept_vertices = 0;
+  eid_t kept_edges = 0;
+  /// Total edges relaxed across ranks by the two distributed SSSPs — the
+  /// numerator of Figure 10's GTEPS metric.
+  std::int64_t edges_relaxed = 0;
+};
+
+/// Collective: every rank calls with the same graph reference (the shared
+/// read-only input standing in for each node's copy of the dataset).
+DistPeekResult dist_peek_ksp(Comm& comm, const graph::CsrGraph& g, vid_t s,
+                             vid_t t, const DistPeekOptions& opts = {});
+
+}  // namespace peek::dist

@@ -1,0 +1,36 @@
+// Distributed Δ-stepping (§6.2): each rank owns a 1-D row slice; bucket
+// epochs are agreed by allreduce; relaxations of remote targets travel as
+// (vertex, distance) request messages in an all-to-all exchange — the
+// distributed-memory SSSP the pruning stage runs twice.
+#pragma once
+
+#include "dist/comm.hpp"
+#include "dist/partition.hpp"
+
+namespace peek::dist {
+
+struct DistSsspOptions {
+  weight_t delta = 0;  // <= 0: auto (max local weight reduced over ranks / 8)
+};
+
+struct DistSsspResult {
+  /// Distances of OWNED vertices (index = local id).
+  std::vector<weight_t> dist;
+  /// Tree parent (global id) of owned vertices.
+  std::vector<vid_t> parent;
+  /// Edges relaxed by this rank (the GTEPS numerator of Figure 10).
+  std::int64_t edges_relaxed = 0;
+};
+
+/// Collective: every rank calls with its slice. `source` is a global id.
+DistSsspResult dist_delta_stepping(Comm& comm, const LocalGraph& lg,
+                                   vid_t source,
+                                   const DistSsspOptions& opts = {});
+
+/// Collective convenience: gathers the distributed result into full global
+/// dist/parent arrays on every rank.
+void gather_global(Comm& comm, const LocalGraph& lg, const DistSsspResult& r,
+                   std::vector<weight_t>& dist_out,
+                   std::vector<vid_t>& parent_out);
+
+}  // namespace peek::dist

@@ -1,0 +1,62 @@
+#include "dist/sample_sort.hpp"
+
+#include <algorithm>
+
+namespace peek::dist {
+
+std::vector<double> dist_sample_sort(Comm& comm, std::vector<double> local) {
+  const int p = comm.size();
+  std::sort(local.begin(), local.end());
+  if (p == 1) return local;
+
+  // Regular sampling: p evenly spaced elements from each rank.
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    if (local.empty()) break;
+    samples.push_back(local[local.size() * static_cast<size_t>(i) /
+                            static_cast<size_t>(p)]);
+  }
+  auto all_samples = comm.allgatherv(samples);
+  std::vector<double> pool;
+  for (auto& chunk : all_samples)
+    pool.insert(pool.end(), chunk.begin(), chunk.end());
+  std::sort(pool.begin(), pool.end());
+
+  // p-1 splitters at regular positions of the pooled sample.
+  std::vector<double> splitters;
+  splitters.reserve(static_cast<size_t>(p) - 1);
+  for (int i = 1; i < p; ++i) {
+    if (pool.empty()) break;
+    splitters.push_back(
+        pool[std::min(pool.size() - 1,
+                      pool.size() * static_cast<size_t>(i) /
+                          static_cast<size_t>(p))]);
+  }
+
+  // Partition the local data by splitter and exchange.
+  std::vector<std::vector<double>> outbox(static_cast<size_t>(p));
+  size_t lo = 0;
+  for (int r = 0; r < p; ++r) {
+    size_t hi = local.size();
+    if (r + 1 < p && static_cast<size_t>(r) < splitters.size()) {
+      hi = static_cast<size_t>(
+          std::upper_bound(local.begin() + static_cast<ptrdiff_t>(lo),
+                           local.end(), splitters[static_cast<size_t>(r)]) -
+          local.begin());
+    }
+    outbox[static_cast<size_t>(r)].assign(
+        local.begin() + static_cast<ptrdiff_t>(lo),
+        local.begin() + static_cast<ptrdiff_t>(hi));
+    lo = hi;
+  }
+  auto inbound = comm.all_to_all(outbox, /*tag=*/9001);
+
+  std::vector<double> merged;
+  for (auto& chunk : inbound)
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+}  // namespace peek::dist

@@ -1,0 +1,15 @@
+// Distributed sample sort (§6.2) — orders the distance-sum array across
+// ranks for the K-upper-bound identification step. Classic three-phase
+// scheme: local sort + regular sampling, splitter agreement, all-to-all
+// redistribution + local multiway merge.
+#pragma once
+
+#include "dist/comm.hpp"
+
+namespace peek::dist {
+
+/// Collective. On return every rank holds a sorted chunk, and the
+/// concatenation over ranks 0..p-1 is the globally sorted sequence.
+std::vector<double> dist_sample_sort(Comm& comm, std::vector<double> local);
+
+}  // namespace peek::dist

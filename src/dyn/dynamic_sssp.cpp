@@ -1,0 +1,40 @@
+#include "dyn/dynamic_sssp.hpp"
+
+#include <queue>
+
+namespace peek::dyn {
+
+sssp::SsspResult dynamic_dijkstra(const DynamicGraph& g, vid_t source,
+                                  vid_t target) {
+  const vid_t n = g.num_vertices();
+  sssp::SsspResult r;
+  r.dist.assign(static_cast<size_t>(n), kInfDist);
+  r.parent.assign(static_cast<size_t>(n), kNoVertex);
+  if (source < 0 || source >= n || !g.vertex_alive(source)) return r;
+
+  struct Entry {
+    weight_t d;
+    vid_t v;
+    bool operator>(const Entry& o) const { return d > o.d; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  r.dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > r.dist[u]) continue;
+    if (u == target) break;
+    g.for_each_neighbor(u, [&](vid_t v, weight_t w) {
+      const weight_t nd = d + w;
+      if (nd < r.dist[v]) {
+        r.dist[v] = nd;
+        r.parent[v] = u;
+        heap.push({nd, v});
+      }
+    });
+  }
+  return r;
+}
+
+}  // namespace peek::dyn

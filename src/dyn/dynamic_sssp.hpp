@@ -1,0 +1,15 @@
+// Dijkstra over the dynamic container — the downstream task of the Figure 12
+// end-to-end comparison (update + SSSP).
+#pragma once
+
+#include "dyn/dynamic_graph.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace peek::dyn {
+
+/// SSSP from `source` over the dynamic graph (distances + parents, same
+/// conventions as sssp::dijkstra).
+sssp::SsspResult dynamic_dijkstra(const DynamicGraph& g, vid_t source,
+                                  vid_t target = kNoVertex);
+
+}  // namespace peek::dyn

@@ -1,0 +1,64 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace peek::graph {
+
+void Builder::add_edge(vid_t u, vid_t v, weight_t w) {
+  if (u < 0 || u >= n_ || v < 0 || v >= n_)
+    throw std::out_of_range("Builder::add_edge: endpoint out of range");
+  if (!(w > 0))
+    throw std::invalid_argument("Builder::add_edge: weights must be positive");
+  edges_.push_back({u, v, w});
+}
+
+void Builder::add_undirected_edge(vid_t u, vid_t v, weight_t w) {
+  add_edge(u, v, w);
+  add_edge(v, u, w);
+}
+
+void Builder::add_edges(const std::vector<CooEdge>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const CooEdge& e : edges) add_edge(e.src, e.dst, e.weight);
+}
+
+CsrGraph Builder::build() const {
+  std::vector<CooEdge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end(), [](const CooEdge& a, const CooEdge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+  if (dedup_) {
+    std::vector<CooEdge> kept;
+    kept.reserve(sorted.size());
+    for (const CooEdge& e : sorted) {
+      if (e.src == e.dst) continue;  // self-loop: never on a simple path
+      if (!kept.empty() && kept.back().src == e.src && kept.back().dst == e.dst)
+        continue;  // parallel edge: the sort order keeps the lightest first
+      kept.push_back(e);
+    }
+    sorted.swap(kept);
+  }
+  const eid_t m = static_cast<eid_t>(sorted.size());
+  std::vector<eid_t> row(static_cast<size_t>(n_) + 1, 0);
+  for (const CooEdge& e : sorted) row[e.src + 1]++;
+  for (vid_t v = 0; v < n_; ++v) row[v + 1] += row[v];
+  std::vector<vid_t> col(static_cast<size_t>(m));
+  std::vector<weight_t> wgt(static_cast<size_t>(m));
+  for (eid_t i = 0; i < m; ++i) {
+    col[i] = sorted[i].dst;
+    wgt[i] = sorted[i].weight;
+  }
+  return CsrGraph(std::move(row), std::move(col), std::move(wgt));
+}
+
+CsrGraph from_edges(vid_t n, const std::vector<CooEdge>& edges, bool dedup) {
+  Builder b(n);
+  b.set_dedup(dedup);
+  b.add_edges(edges);
+  return b.build();
+}
+
+}  // namespace peek::graph

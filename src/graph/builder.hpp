@@ -1,0 +1,53 @@
+// COO → CSR builder with dedup / self-loop policies.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace peek::graph {
+
+/// A single weighted arc in COO form.
+struct CooEdge {
+  vid_t src;
+  vid_t dst;
+  weight_t weight;
+};
+
+/// Accumulates edges and converts to CSR. Not thread-safe; one builder per
+/// thread, then merge edge lists if building in parallel.
+class Builder {
+ public:
+  /// `n` is the number of vertices; all edge endpoints must be < n.
+  explicit Builder(vid_t n) : n_(n) {}
+
+  /// Adds a directed edge u -> v. Weights must be > 0 (paper's Definition 1).
+  void add_edge(vid_t u, vid_t v, weight_t w);
+
+  /// Adds both u -> v and v -> u.
+  void add_undirected_edge(vid_t u, vid_t v, weight_t w);
+
+  /// Bulk append.
+  void add_edges(const std::vector<CooEdge>& edges);
+
+  vid_t num_vertices() const { return n_; }
+  eid_t num_edges() const { return static_cast<eid_t>(edges_.size()); }
+
+  /// When true (default), parallel edges keep only the lightest copy and
+  /// self-loops are dropped — self-loops can never be part of a simple path.
+  void set_dedup(bool dedup) { dedup_ = dedup; }
+
+  /// Builds the CSR. The builder may be reused afterwards (edges retained).
+  CsrGraph build() const;
+
+ private:
+  vid_t n_;
+  bool dedup_ = true;
+  std::vector<CooEdge> edges_;
+};
+
+/// Convenience: build a CSR directly from an edge list.
+CsrGraph from_edges(vid_t n, const std::vector<CooEdge>& edges, bool dedup = true);
+
+}  // namespace peek::graph

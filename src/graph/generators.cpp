@@ -1,0 +1,194 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace peek::graph {
+
+weight_t sample_weight(const WeightOptions& w, std::mt19937_64& rng) {
+  switch (w.kind) {
+    case WeightKind::kUnit:
+      return 1.0;
+    case WeightKind::kUniform01: {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      double x = dist(rng);
+      // (0, 1]: exclude exactly zero (Definition 1 requires w > 0).
+      return x == 0.0 ? 1.0 : x;
+    }
+    case WeightKind::kPowerLaw: {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      double u = dist(rng);
+      // Inverse-CDF of a truncated Pareto mapped into (0, 1].
+      double x = std::pow(1.0 - u * (1.0 - 1e-3), 2.0);
+      return std::clamp(x, 1e-6, 1.0);
+    }
+  }
+  return 1.0;
+}
+
+namespace {
+
+/// One R-MAT edge: recursively descend the adjacency-matrix quadrants.
+CooEdge rmat_edge(int scale, double a, double b, double c,
+                  std::mt19937_64& rng, const WeightOptions& wopt,
+                  std::mt19937_64& wrng) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  vid_t u = 0, v = 0;
+  for (int bit = 0; bit < scale; ++bit) {
+    double r = dist(rng);
+    int quadrant;
+    if (r < a) quadrant = 0;
+    else if (r < a + b) quadrant = 1;
+    else if (r < a + b + c) quadrant = 2;
+    else quadrant = 3;
+    u = (u << 1) | (quadrant >> 1);
+    v = (v << 1) | (quadrant & 1);
+  }
+  return {u, v, sample_weight(wopt, wrng)};
+}
+
+}  // namespace
+
+CsrGraph rmat(int scale, int edge_factor, const WeightOptions& wopt,
+              std::uint64_t seed, double a, double b, double c) {
+  if (scale < 1 || scale > 30) throw std::invalid_argument("rmat: bad scale");
+  const vid_t n = vid_t{1} << scale;
+  const eid_t m = static_cast<eid_t>(n) * edge_factor;
+  std::mt19937_64 rng(seed);
+  std::mt19937_64 wrng(wopt.seed);
+  std::vector<CooEdge> edges;
+  edges.reserve(static_cast<size_t>(m));
+  for (eid_t i = 0; i < m; ++i)
+    edges.push_back(rmat_edge(scale, a, b, c, rng, wopt, wrng));
+  return from_edges(n, edges);
+}
+
+CsrGraph erdos_renyi(vid_t n, eid_t m, const WeightOptions& wopt,
+                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::mt19937_64 wrng(wopt.seed);
+  std::uniform_int_distribution<vid_t> pick(0, n - 1);
+  std::vector<CooEdge> edges;
+  edges.reserve(static_cast<size_t>(m));
+  for (eid_t i = 0; i < m; ++i)
+    edges.push_back({pick(rng), pick(rng), sample_weight(wopt, wrng)});
+  return from_edges(n, edges);
+}
+
+CsrGraph small_world(vid_t n, int k, double beta, const WeightOptions& wopt,
+                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::mt19937_64 wrng(wopt.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<vid_t> pick(0, n - 1);
+  std::vector<CooEdge> edges;
+  edges.reserve(static_cast<size_t>(n) * k);
+  for (vid_t u = 0; u < n; ++u) {
+    for (int j = 1; j <= k; ++j) {
+      vid_t v = static_cast<vid_t>((u + j) % n);
+      if (coin(rng) < beta) v = pick(rng);
+      edges.push_back({u, v, sample_weight(wopt, wrng)});
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph preferential_attachment(vid_t n, int k, const WeightOptions& wopt,
+                                 std::uint64_t seed) {
+  if (n <= k) throw std::invalid_argument("preferential_attachment: n <= k");
+  std::mt19937_64 rng(seed);
+  std::mt19937_64 wrng(wopt.seed);
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // is sampling proportionally to degree.
+  std::vector<vid_t> targets;
+  targets.reserve(static_cast<size_t>(n) * k * 2);
+  std::vector<CooEdge> edges;
+  edges.reserve(static_cast<size_t>(n) * k * 2);
+  // Seed clique over the first k+1 vertices.
+  for (vid_t u = 0; u <= k; ++u) {
+    for (vid_t v = 0; v <= k; ++v) {
+      if (u == v) continue;
+      edges.push_back({u, v, sample_weight(wopt, wrng)});
+      targets.push_back(v);
+    }
+  }
+  for (vid_t u = static_cast<vid_t>(k + 1); u < n; ++u) {
+    for (int j = 0; j < k; ++j) {
+      std::uniform_int_distribution<size_t> pick(0, targets.size() - 1);
+      vid_t v = targets[pick(rng)];
+      edges.push_back({u, v, sample_weight(wopt, wrng)});
+      edges.push_back({v, u, sample_weight(wopt, wrng)});
+      targets.push_back(v);
+      targets.push_back(u);
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph grid(vid_t rows, vid_t cols, const WeightOptions& wopt,
+              std::uint64_t seed) {
+  (void)seed;
+  std::mt19937_64 wrng(wopt.seed);
+  const vid_t n = rows * cols;
+  std::vector<CooEdge> edges;
+  edges.reserve(static_cast<size_t>(n) * 4);
+  auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.push_back({id(r, c), id(r, c + 1), sample_weight(wopt, wrng)});
+        edges.push_back({id(r, c + 1), id(r, c), sample_weight(wopt, wrng)});
+      }
+      if (r + 1 < rows) {
+        edges.push_back({id(r, c), id(r + 1, c), sample_weight(wopt, wrng)});
+        edges.push_back({id(r + 1, c), id(r, c), sample_weight(wopt, wrng)});
+      }
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph path(vid_t n, const WeightOptions& wopt, std::uint64_t seed) {
+  (void)seed;
+  std::mt19937_64 wrng(wopt.seed);
+  std::vector<CooEdge> edges;
+  edges.reserve(static_cast<size_t>(n));
+  for (vid_t u = 0; u + 1 < n; ++u)
+    edges.push_back({u, static_cast<vid_t>(u + 1), sample_weight(wopt, wrng)});
+  return from_edges(n, edges);
+}
+
+CsrGraph layered_dag(int layers, vid_t width, int fanout,
+                     const WeightOptions& wopt, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::mt19937_64 wrng(wopt.seed);
+  std::uniform_int_distribution<vid_t> pick(0, width - 1);
+  const vid_t n = static_cast<vid_t>(layers) * width;
+  std::vector<CooEdge> edges;
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (vid_t i = 0; i < width; ++i) {
+      const vid_t u = static_cast<vid_t>(l) * width + i;
+      for (int f = 0; f < fanout; ++f) {
+        const vid_t v = static_cast<vid_t>(l + 1) * width + pick(rng);
+        edges.push_back({u, v, sample_weight(wopt, wrng)});
+      }
+    }
+  }
+  return from_edges(n, edges);
+}
+
+CsrGraph complete(vid_t n, const WeightOptions& wopt, std::uint64_t seed) {
+  (void)seed;
+  std::mt19937_64 wrng(wopt.seed);
+  std::vector<CooEdge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1));
+  for (vid_t u = 0; u < n; ++u)
+    for (vid_t v = 0; v < n; ++v)
+      if (u != v) edges.push_back({u, v, sample_weight(wopt, wrng)});
+  return from_edges(n, edges);
+}
+
+}  // namespace peek::graph

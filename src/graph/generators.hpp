@@ -1,0 +1,66 @@
+// Synthetic graph generators used as stand-ins for the paper's benchmark
+// graphs (Table 1). All generators are deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "graph/csr.hpp"
+
+namespace peek::graph {
+
+/// How edge weights are assigned (paper §7.1: random (0,1] or unit).
+enum class WeightKind {
+  kUnit,          // every edge weight 1 (the *U graphs)
+  kUniform01,     // uniform random in (0, 1]
+  kPowerLaw,      // heavy-tailed in (0, 1], emphasises weight skew
+};
+
+struct WeightOptions {
+  WeightKind kind = WeightKind::kUniform01;
+  std::uint64_t seed = 7;
+};
+
+/// R-MAT generator (Chakrabarti et al. 2004) — skewed, Twitter/web-like degree
+/// distribution; the paper's R21/GT/GW stand-in. `scale` gives n = 2^scale,
+/// `edge_factor` gives m ≈ n * edge_factor.
+CsrGraph rmat(int scale, int edge_factor, const WeightOptions& w = {},
+              std::uint64_t seed = 1, double a = 0.57, double b = 0.19,
+              double c = 0.19);
+
+/// Erdős–Rényi G(n, m): m directed edges chosen uniformly.
+CsrGraph erdos_renyi(vid_t n, eid_t m, const WeightOptions& w = {},
+                     std::uint64_t seed = 2);
+
+/// Watts–Strogatz-style small-world: ring of `n` vertices each linked to the
+/// next `k` neighbours (directed), each edge rewired with probability `beta`.
+/// Wikipedia-like (high clustering, short diameter).
+CsrGraph small_world(vid_t n, int k, double beta, const WeightOptions& w = {},
+                     std::uint64_t seed = 3);
+
+/// Barabási–Albert-style preferential attachment with out-degree `k` per new
+/// vertex, edges directed both ways with independent weights. LiveJournal-like.
+CsrGraph preferential_attachment(vid_t n, int k, const WeightOptions& w = {},
+                                 std::uint64_t seed = 4);
+
+/// 2-D grid (rows x cols), 4-neighbour directed edges both ways. Long diameter;
+/// stresses Δ-stepping bucketing and upper-bound tightness.
+CsrGraph grid(vid_t rows, vid_t cols, const WeightOptions& w = {},
+              std::uint64_t seed = 5);
+
+/// Simple directed path 0 -> 1 -> ... -> n-1.
+CsrGraph path(vid_t n, const WeightOptions& w = {}, std::uint64_t seed = 6);
+
+/// Layered DAG: `layers` layers of `width` vertices, every vertex linked to
+/// `fanout` random vertices of the next layer. Guarantees many distinct s-t
+/// paths — ideal for KSP correctness tests.
+CsrGraph layered_dag(int layers, vid_t width, int fanout,
+                     const WeightOptions& w = {}, std::uint64_t seed = 8);
+
+/// Complete digraph on n vertices (n*(n-1) edges).
+CsrGraph complete(vid_t n, const WeightOptions& w = {}, std::uint64_t seed = 9);
+
+/// Uniformly random weight in (0,1] / unit / power-law, per WeightOptions.
+weight_t sample_weight(const WeightOptions& w, std::mt19937_64& rng);
+
+}  // namespace peek::graph

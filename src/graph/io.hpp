@@ -1,0 +1,35 @@
+// Graph serialization: whitespace edge-list text ("u v w" per line, '#'/'%'
+// comments), and a fast binary format for caching generated benchmark graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace peek::graph {
+
+/// Parses "u v [w]" lines; missing weights default to 1. Vertex count is
+/// 1 + max id unless `n_hint` is larger.
+CsrGraph read_edge_list(std::istream& in, vid_t n_hint = 0);
+CsrGraph read_edge_list_file(const std::string& path, vid_t n_hint = 0);
+
+/// Writes one "u v w" line per edge.
+void write_edge_list(std::ostream& out, const CsrGraph& g);
+void write_edge_list_file(const std::string& path, const CsrGraph& g);
+
+/// DIMACS shortest-path challenge format (.gr): "p sp n m" header, "a u v w"
+/// arc lines (1-based vertex ids), "c" comments. The standard interchange
+/// format for SSSP/KSP benchmarks.
+CsrGraph read_dimacs(std::istream& in);
+CsrGraph read_dimacs_file(const std::string& path);
+void write_dimacs(std::ostream& out, const CsrGraph& g);
+void write_dimacs_file(const std::string& path, const CsrGraph& g);
+
+/// Binary round-trip (magic + sizes + raw arrays, little-endian host layout).
+void write_binary(std::ostream& out, const CsrGraph& g);
+CsrGraph read_binary(std::istream& in);
+void write_binary_file(const std::string& path, const CsrGraph& g);
+CsrGraph read_binary_file(const std::string& path);
+
+}  // namespace peek::graph

@@ -1,0 +1,74 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace peek::graph {
+
+std::vector<vid_t> SccResult::sizes() const {
+  std::vector<vid_t> out(static_cast<size_t>(num_components), 0);
+  for (vid_t c : component) out[static_cast<size_t>(c)]++;
+  return out;
+}
+
+vid_t SccResult::largest() const {
+  auto s = sizes();
+  return static_cast<vid_t>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+SccResult strongly_connected_components(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  SccResult result;
+  result.component.assign(static_cast<size_t>(n), kNoVertex);
+
+  // Iterative Tarjan: explicit DFS frames (vertex, next-edge cursor).
+  std::vector<vid_t> index(static_cast<size_t>(n), kNoVertex);
+  std::vector<vid_t> lowlink(static_cast<size_t>(n), 0);
+  std::vector<std::uint8_t> on_stack(static_cast<size_t>(n), 0);
+  std::vector<vid_t> stack;           // Tarjan's vertex stack
+  std::vector<std::pair<vid_t, eid_t>> frames;
+  vid_t next_index = 0;
+
+  for (vid_t root = 0; root < n; ++root) {
+    if (index[root] != kNoVertex) continue;
+    frames.push_back({root, g.edge_begin(root)});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!frames.empty()) {
+      auto& [v, cursor] = frames.back();
+      if (cursor < g.edge_end(v)) {
+        const vid_t w = g.edge_target(cursor++);
+        if (index[w] == kNoVertex) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          frames.push_back({w, g.edge_begin(w)});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        // v finished: pop its component if it is a root.
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            const vid_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            result.component[w] = result.num_components;
+            if (w == v) break;
+          }
+          result.num_components++;
+        }
+        const vid_t child = v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          auto& [parent, unused] = frames.back();
+          (void)unused;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[child]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace peek::graph

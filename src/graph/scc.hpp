@@ -1,0 +1,27 @@
+// Strongly connected components (iterative Tarjan). Used by the bench
+// harness to sample source/target pairs that are guaranteed mutually
+// reachable, and generally useful for preprocessing KSP queries (an s-t pair
+// in one SCC always has K paths for any K up to the path count).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace peek::graph {
+
+struct SccResult {
+  /// Component id per vertex (0-based, reverse topological order:
+  /// a component's id is >= the ids of components it can reach).
+  std::vector<vid_t> component;
+  vid_t num_components = 0;
+
+  /// Size of each component.
+  std::vector<vid_t> sizes() const;
+  /// Id of a largest component.
+  vid_t largest() const;
+};
+
+SccResult strongly_connected_components(const CsrGraph& g);
+
+}  // namespace peek::graph

@@ -1,0 +1,63 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace peek::graph {
+
+GraphStats compute_stats(const CsrGraph& g) {
+  GraphStats s;
+  s.n = g.num_vertices();
+  s.m = g.num_edges();
+  s.avg_out_degree = s.n ? static_cast<double>(s.m) / s.n : 0.0;
+  std::vector<bool> has_in(static_cast<size_t>(s.n), false);
+  for (eid_t e = 0; e < s.m; ++e) has_in[g.col()[e]] = true;
+  for (vid_t v = 0; v < s.n; ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, g.degree(v));
+    if (g.degree(v) == 0 && !has_in[v]) s.isolated_vertices++;
+  }
+  if (s.m > 0) {
+    auto [mn, mx] = std::minmax_element(g.weights().begin(), g.weights().end());
+    s.min_weight = *mn;
+    s.max_weight = *mx;
+  }
+  return s;
+}
+
+std::string to_string(const GraphStats& s) {
+  std::ostringstream os;
+  os << "n=" << s.n << " m=" << s.m << " davg=" << s.avg_out_degree
+     << " dmax=" << s.max_out_degree << " isolated=" << s.isolated_vertices
+     << " w=[" << s.min_weight << "," << s.max_weight << "]";
+  return os.str();
+}
+
+namespace {
+std::vector<bool> bfs(const CsrGraph& g, vid_t start) {
+  std::vector<bool> seen(static_cast<size_t>(g.num_vertices()), false);
+  std::deque<vid_t> queue{start};
+  seen[start] = true;
+  while (!queue.empty()) {
+    const vid_t u = queue.front();
+    queue.pop_front();
+    for (vid_t v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+}  // namespace
+
+std::vector<bool> reachable_from(const CsrGraph& g, vid_t src) {
+  return bfs(g, src);
+}
+
+std::vector<bool> reaching_to(const CsrGraph& g, vid_t dst) {
+  return bfs(g.reverse(), dst);
+}
+
+}  // namespace peek::graph

@@ -1,0 +1,33 @@
+// Summary statistics over a CSR graph (degree distribution, weight range,
+// reachability) — used by the bench harness to report workload properties.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace peek::graph {
+
+struct GraphStats {
+  vid_t n = 0;
+  eid_t m = 0;
+  eid_t max_out_degree = 0;
+  double avg_out_degree = 0;
+  vid_t isolated_vertices = 0;  // zero in- and out-degree
+  weight_t min_weight = 0;
+  weight_t max_weight = 0;
+};
+
+GraphStats compute_stats(const CsrGraph& g);
+
+/// Human-readable one-liner ("n=65536 m=1048576 davg=16.0 ...").
+std::string to_string(const GraphStats& s);
+
+/// Vertices reachable from `src` following out-edges (BFS, ignores weights).
+std::vector<bool> reachable_from(const CsrGraph& g, vid_t src);
+
+/// Vertices that can reach `dst` (BFS on the reverse graph).
+std::vector<bool> reaching_to(const CsrGraph& g, vid_t dst);
+
+}  // namespace peek::graph

@@ -1,0 +1,27 @@
+// Core scalar types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace peek {
+
+/// Vertex identifier. Graphs up to ~2 billion vertices.
+using vid_t = std::int32_t;
+
+/// Edge identifier / edge-array index. Graphs beyond 2^31 edges are supported.
+using eid_t = std::int64_t;
+
+/// Edge weight / path distance. The paper requires strictly positive weights.
+using weight_t = double;
+
+/// Sentinel distance for "unreachable".
+inline constexpr weight_t kInfDist = std::numeric_limits<weight_t>::infinity();
+
+/// Sentinel parent for roots / unreached vertices in shortest-path trees.
+inline constexpr vid_t kNoVertex = -1;
+
+/// Sentinel edge index.
+inline constexpr eid_t kNoEdge = -1;
+
+}  // namespace peek

@@ -1,0 +1,74 @@
+#include "ksp/bruteforce.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace peek::ksp {
+
+namespace {
+
+struct DfsState {
+  const sssp::GraphView& g;
+  vid_t t;
+  size_t max_paths;
+  std::vector<vid_t> stack;
+  std::vector<std::uint8_t> on_stack;
+  weight_t dist = 0;
+  std::vector<sssp::Path> out;
+
+  void dfs(vid_t u) {
+    if (u == t) {
+      out.push_back({stack, dist});
+      if (out.size() > max_paths)
+        throw std::runtime_error("bruteforce_ksp: path explosion");
+      return;
+    }
+    for (eid_t e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      if (!g.edge_alive(e)) continue;
+      const vid_t v = g.edge_target(e);
+      if (!g.vertex_alive(v) || on_stack[v]) continue;
+      stack.push_back(v);
+      on_stack[v] = 1;
+      dist += g.edge_weight(e);
+      dfs(v);
+      dist -= g.edge_weight(e);
+      on_stack[v] = 0;
+      stack.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<sssp::Path> enumerate_all_simple_paths(const sssp::GraphView& g,
+                                                   vid_t s, vid_t t,
+                                                   size_t max_paths) {
+  DfsState st{g, t, max_paths, {}, {}, 0, {}};
+  if (s < 0 || s >= g.num_vertices() || t < 0 || t >= g.num_vertices())
+    return {};
+  if (!g.vertex_alive(s) || !g.vertex_alive(t)) return {};
+  st.on_stack.assign(static_cast<size_t>(g.num_vertices()), 0);
+  st.stack.push_back(s);
+  st.on_stack[s] = 1;
+  st.dfs(s);
+  std::sort(st.out.begin(), st.out.end(), sssp::PathLess{});
+  return st.out;
+}
+
+KspResult bruteforce_ksp(const sssp::GraphView& g, vid_t s, vid_t t,
+                         const BruteforceOptions& opts) {
+  KspResult r;
+  auto all = enumerate_all_simple_paths(g, s, t, opts.max_paths);
+  const size_t k = std::min<size_t>(static_cast<size_t>(std::max(opts.k, 0)),
+                                    all.size());
+  r.paths.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(k));
+  return r;
+}
+
+KspResult bruteforce_ksp(const graph::CsrGraph& g, vid_t s, vid_t t, int k) {
+  BruteforceOptions o;
+  o.k = k;
+  return bruteforce_ksp(sssp::GraphView(g), s, t, o);
+}
+
+}  // namespace peek::ksp

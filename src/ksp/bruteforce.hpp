@@ -1,0 +1,28 @@
+// Exhaustive KSP oracle for correctness testing: enumerates ALL simple s->t
+// paths by DFS (exponential — small graphs only) and returns the K best under
+// the library's deterministic (distance, lexicographic) order.
+#pragma once
+
+#include "ksp/path_set.hpp"
+#include "sssp/view.hpp"
+
+namespace peek::ksp {
+
+struct BruteforceOptions {
+  int k = 8;
+  /// Safety valve: abort (throw std::runtime_error) beyond this many
+  /// enumerated paths so a mis-sized test fails loudly instead of hanging.
+  size_t max_paths = 2'000'000;
+};
+
+/// All simple paths s->t, sorted by (dist, lexicographic).
+std::vector<sssp::Path> enumerate_all_simple_paths(const sssp::GraphView& g,
+                                                   vid_t s, vid_t t,
+                                                   size_t max_paths = 2'000'000);
+
+/// The K shortest simple paths by exhaustive enumeration.
+KspResult bruteforce_ksp(const sssp::GraphView& g, vid_t s, vid_t t,
+                         const BruteforceOptions& opts = {});
+KspResult bruteforce_ksp(const graph::CsrGraph& g, vid_t s, vid_t t, int k);
+
+}  // namespace peek::ksp

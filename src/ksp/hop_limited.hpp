@@ -1,0 +1,25 @@
+// Hop-limited KSP: the K cheapest simple s->t paths using at most H edges
+// each. Yen's deviation framework is oblivious to HOW the shortest suffix is
+// found, so plugging the hop-budgeted DP (sssp/hop_limited) into the shared
+// engine — with the remaining budget H minus the prefix length — yields the
+// constrained variant directly.
+#pragma once
+
+#include "ksp/path_set.hpp"
+#include "sssp/view.hpp"
+
+namespace peek::ksp {
+
+using sssp::BiView;
+
+struct HopLimitedKspOptions {
+  KspOptions base;
+  int max_hops = 8;
+};
+
+KspResult hop_limited_ksp(const BiView& g, vid_t s, vid_t t,
+                          const HopLimitedKspOptions& opts);
+KspResult hop_limited_ksp(const graph::CsrGraph& g, vid_t s, vid_t t, int k,
+                          int max_hops);
+
+}  // namespace peek::ksp

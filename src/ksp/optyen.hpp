@@ -1,0 +1,32 @@
+// OptYen (Ajwani et al. 2018) — the state-of-the-art parallel baseline: Yen's
+// deviation loop plus ONE static reverse shortest-path tree from the target.
+// When the tree already answers a deviation (the tree path from the best
+// next-hop avoids the prefix), no SSSP is run; otherwise it falls back to a
+// restricted SSSP on the original graph. PeeK's final KSP stage (§3) is this
+// algorithm run on the compacted graph.
+#pragma once
+
+#include "ksp/path_set.hpp"
+#include "sssp/view.hpp"
+
+namespace peek::ksp {
+
+using sssp::BiView;
+
+KspResult optyen_ksp(const BiView& g, vid_t s, vid_t t, const KspOptions& opts);
+KspResult optyen_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                     const KspOptions& opts);
+
+namespace detail {
+struct DeviationContext;  // ksp/yen_engine.hpp
+
+/// OptYen's static-tree shortcut, shared with the distributed KSP stage:
+/// returns the optimal restricted suffix when the reverse-tree path from the
+/// cheapest allowed next-hop is feasible, else an empty path (caller falls
+/// back to a restricted SSSP).
+sssp::Path optyen_tree_shortcut(const sssp::GraphView& fwd,
+                                const sssp::SsspResult& rtree, vid_t t,
+                                const DeviationContext& ctx);
+}  // namespace detail
+
+}  // namespace peek::ksp

@@ -1,0 +1,23 @@
+#include "ksp/path_set.hpp"
+
+#include <algorithm>
+
+namespace peek::ksp {
+
+bool CandidateSet::push(Path path, int dev_index) {
+  if (path.empty()) return false;
+  if (!seen_.insert(path).second) return false;
+  heap_.push_back({std::move(path), dev_index});
+  std::push_heap(heap_.begin(), heap_.end(), Greater{});
+  return true;
+}
+
+std::optional<Candidate> CandidateSet::pop_min() {
+  if (heap_.empty()) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), Greater{});
+  Candidate c = std::move(heap_.back());
+  heap_.pop_back();
+  return c;
+}
+
+}  // namespace peek::ksp

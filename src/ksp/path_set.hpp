@@ -1,0 +1,72 @@
+// Candidate-path bookkeeping shared by the Yen-family algorithms: a min-heap
+// of candidate paths with duplicate suppression (Algorithm 1 line 9 — a path
+// may be generated from several deviations but must enter the pool once).
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "sssp/path.hpp"
+
+namespace peek::ksp {
+
+using sssp::Path;
+using sssp::PathHash;
+using sssp::PathLess;
+
+/// A candidate K-th-shortest path plus the Lawler deviation index: deviations
+/// from this path need only start at `dev_index` (everything earlier was
+/// already explored when the parent path was processed).
+struct Candidate {
+  Path path;
+  int dev_index = 0;
+};
+
+class CandidateSet {
+ public:
+  /// Inserts unless an identical vertex sequence was ever inserted before.
+  /// Returns true if inserted.
+  bool push(Path path, int dev_index);
+
+  /// Extracts the shortest candidate (distance, then lexicographic — fully
+  /// deterministic). Empty when exhausted.
+  std::optional<Candidate> pop_min();
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  size_t total_generated() const { return seen_.size(); }
+
+ private:
+  struct Greater {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      return PathLess{}(b.path, a.path);
+    }
+  };
+  std::vector<Candidate> heap_;  // std::*_heap with Greater (min-heap)
+  std::unordered_set<Path, PathHash> seen_;
+};
+
+/// Statistics every KSP run reports — used by benches and the ablation study.
+struct KspStats {
+  int sssp_calls = 0;         // full restricted-SSSP computations
+  int tree_shortcuts = 0;     // candidates served by a reverse-tree lookup
+  int candidates_generated = 0;
+  size_t trees_stored = 0;    // SB/SB*: reverse trees kept alive (memory)
+};
+
+struct KspResult {
+  std::vector<Path> paths;  // at most K, sorted by (dist, lexicographic)
+  KspStats stats;
+};
+
+struct KspOptions {
+  int k = 8;
+  /// Two-level parallel strategy (§6.1): concurrent deviation SSSPs +
+  /// parallel Δ-stepping. Serial algorithms ignore it.
+  bool parallel = false;
+  /// Δ-stepping bucket width when parallel (<=0 auto).
+  weight_t delta = 0;
+};
+
+}  // namespace peek::ksp

@@ -1,0 +1,241 @@
+#include "ksp/pnc.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ksp/yen_engine.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace peek::ksp {
+
+namespace {
+
+using detail::banned_edges_at;
+using detail::cumulative_distances;
+using sssp::GraphView;
+using sssp::SsspResult;
+
+/// Pool entry: either a FINAL candidate (simple path, exact distance) or a
+/// TENTATIVE one (prefix + lower-bound distance; the suffix SSSP is
+/// postponed until the entry is actually extracted).
+struct Entry {
+  bool tentative = false;
+  weight_t dist = kInfDist;     // exact (final) or lower bound (tentative)
+  sssp::Path path;              // final: full path; tentative: unused
+  std::vector<vid_t> prefix;    // tentative: P[0..i]
+  weight_t prefix_dist = 0;     // tentative
+  int dev_index = 0;
+
+  /// Min-heap by (dist, tentative-last, lexicographic path) — on equal
+  /// distance prefer the FINAL entry so ties resolve without a repair.
+  bool operator>(const Entry& o) const {
+    if (dist != o.dist) return dist > o.dist;
+    if (tentative != o.tentative) return tentative;
+    return o.path.verts < path.verts;
+  }
+};
+
+/// Walks the reverse-tree path from `w` and returns it as a suffix starting
+/// at `v`; empty (plus `*simple = false`) if it re-enters the prefix.
+sssp::Path tree_suffix(const SsspResult& rtree, const GraphView& fwd, vid_t v,
+                       eid_t via_edge, vid_t t, const std::uint8_t* banned,
+                       bool* simple) {
+  const vid_t w0 = fwd.edge_target(via_edge);
+  *simple = true;
+  for (vid_t u = w0; u != kNoVertex; u = rtree.parent[u]) {
+    if (u == v || banned[u]) {
+      *simple = false;
+      return {};
+    }
+    if (u == t) break;
+  }
+  sssp::Path suffix;
+  suffix.verts.push_back(v);
+  for (vid_t u = w0; u != kNoVertex; u = rtree.parent[u]) {
+    suffix.verts.push_back(u);
+    if (u == t) break;
+  }
+  if (suffix.verts.back() != t) {
+    *simple = false;
+    return {};
+  }
+  suffix.dist = fwd.edge_weight(via_edge) + rtree.dist[w0];
+  return suffix;
+}
+
+}  // namespace
+
+KspResult pnc_ksp(const BiView& g, vid_t s, vid_t t, const PncOptions& opts) {
+  KspResult result;
+  const vid_t n = g.fwd.num_vertices();
+  const int k = opts.base.k;
+  if (s < 0 || s >= n || t < 0 || t >= n || k <= 0) return result;
+
+  SsspResult rtree = sssp::dijkstra(g.rev, t);
+  result.stats.sssp_calls++;
+  if (rtree.dist[s] == kInfDist) return result;
+
+  sssp::Path first = sssp::path_from_reverse_parents(rtree, s, t);
+  if (first.empty()) return result;
+
+  std::vector<Candidate> accepted;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pool;
+  std::unordered_set<sssp::Path, sssp::PathHash> seen;
+  std::vector<std::uint8_t> mask(static_cast<size_t>(n), 0);
+  accepted.push_back({first, 0});
+  seen.insert(first);
+
+  // Generates pool entries for the deviations of the newest accepted path.
+  auto expand = [&](const Candidate& cur) {
+    const auto& p = cur.path.verts;
+    const int len = static_cast<int>(p.size());
+    const auto cum = cumulative_distances(g.fwd, p);
+    for (int i = cur.dev_index; i < len - 1; ++i) {
+      const vid_t v = p[static_cast<size_t>(i)];
+      for (int j = 0; j < i; ++j) mask[p[static_cast<size_t>(j)]] = 1;
+      const auto banned = banned_edges_at(g.fwd, accepted, p, i);
+      // Lower bound: cheapest allowed out-edge + reverse-tree distance.
+      eid_t best_e = kNoEdge;
+      weight_t best = kInfDist;
+      for (eid_t e = g.fwd.edge_begin(v); e < g.fwd.edge_end(v); ++e) {
+        if (!g.fwd.edge_alive(e) || banned.count(e)) continue;
+        const vid_t w = g.fwd.edge_target(e);
+        if (!g.fwd.vertex_alive(w) || mask[w] || w == v) continue;
+        if (rtree.dist[w] == kInfDist) continue;
+        const weight_t bound = g.fwd.edge_weight(e) + rtree.dist[w];
+        if (bound < best) {
+          best = bound;
+          best_e = e;
+        }
+      }
+      if (best_e != kNoEdge) {
+        bool simple = false;
+        sssp::Path suffix =
+            tree_suffix(rtree, g.fwd, v, best_e, t, mask.data(), &simple);
+        Entry entry;
+        entry.dev_index = i;
+        if (simple) {
+          // Exact already: push as final.
+          entry.tentative = false;
+          entry.path.verts.assign(p.begin(), p.begin() + i);
+          entry.path.verts.insert(entry.path.verts.end(),
+                                  suffix.verts.begin(), suffix.verts.end());
+          entry.path.dist = cum[static_cast<size_t>(i)] + suffix.dist;
+          entry.dist = entry.path.dist;
+          if (seen.insert(entry.path).second) {
+            pool.push(std::move(entry));
+            result.stats.tree_shortcuts++;
+          }
+        } else {
+          // PNC: postpone the SSSP; schedule at the lower bound.
+          entry.tentative = true;
+          entry.dist = cum[static_cast<size_t>(i)] + best;
+          entry.prefix.assign(p.begin(), p.begin() + i + 1);
+          entry.prefix_dist = cum[static_cast<size_t>(i)];
+          pool.push(std::move(entry));
+          if (opts.starred) {
+            // PNC* refinement: ALSO push the best runner-up edge whose tree
+            // path IS simple, as a final candidate. If the later repair of
+            // the tentative lands on the same path, `seen` dedups it; if the
+            // repair finds something shorter, ordering still holds because
+            // the tentative's lower bound precedes both. Often the repair
+            // pops after this exact path was already accepted, turning a
+            // full SSSP into a no-op.
+            eid_t alt_e = kNoEdge;
+            weight_t alt = kInfDist;
+            for (eid_t e = g.fwd.edge_begin(v); e < g.fwd.edge_end(v); ++e) {
+              if (e == best_e || !g.fwd.edge_alive(e) || banned.count(e))
+                continue;
+              const vid_t w = g.fwd.edge_target(e);
+              if (!g.fwd.vertex_alive(w) || mask[w] || w == v) continue;
+              if (rtree.dist[w] == kInfDist) continue;
+              const weight_t bound = g.fwd.edge_weight(e) + rtree.dist[w];
+              if (bound >= alt) continue;
+              bool alt_simple = false;
+              tree_suffix(rtree, g.fwd, v, e, t, mask.data(), &alt_simple);
+              if (alt_simple) {
+                alt = bound;
+                alt_e = e;
+              }
+            }
+            if (alt_e != kNoEdge) {
+              bool ok = false;
+              sssp::Path alt_suffix =
+                  tree_suffix(rtree, g.fwd, v, alt_e, t, mask.data(), &ok);
+              Entry extra;
+              extra.tentative = false;
+              extra.dev_index = i;
+              extra.path.verts.assign(p.begin(), p.begin() + i);
+              extra.path.verts.insert(extra.path.verts.end(),
+                                      alt_suffix.verts.begin(),
+                                      alt_suffix.verts.end());
+              extra.path.dist = cum[static_cast<size_t>(i)] + alt_suffix.dist;
+              extra.dist = extra.path.dist;
+              if (seen.insert(extra.path).second) pool.push(std::move(extra));
+            }
+          }
+        }
+        result.stats.candidates_generated++;
+      }
+      for (int j = 0; j < i; ++j) mask[p[static_cast<size_t>(j)]] = 0;
+    }
+  };
+
+  expand(accepted.back());
+  while (static_cast<int>(accepted.size()) < k && !pool.empty()) {
+    Entry top = pool.top();
+    pool.pop();
+    if (top.tentative) {
+      // Repair now, against the CURRENT accepted set (bans may have grown —
+      // that only folds in deviations the newer accepted paths own anyway).
+      const int i = top.dev_index;
+      const vid_t v = top.prefix.back();
+      for (int j = 0; j < i; ++j)
+        mask[top.prefix[static_cast<size_t>(j)]] = 1;
+      const auto banned = banned_edges_at(g.fwd, accepted, top.prefix, i);
+      sssp::DijkstraOptions dj;
+      dj.target = t;
+      dj.bans = {mask.data(), &banned};
+      result.stats.sssp_calls++;
+      auto r = sssp::dijkstra(g.fwd, v, dj);
+      sssp::Path suffix = sssp::path_from_parents(r, v, t);
+      for (int j = 0; j < i; ++j)
+        mask[top.prefix[static_cast<size_t>(j)]] = 0;
+      if (suffix.empty()) continue;
+      Entry fixed;
+      fixed.tentative = false;
+      fixed.dev_index = i;
+      fixed.path.verts.assign(top.prefix.begin(), top.prefix.end() - 1);
+      fixed.path.verts.insert(fixed.path.verts.end(), suffix.verts.begin(),
+                              suffix.verts.end());
+      fixed.path.dist = top.prefix_dist + suffix.dist;
+      fixed.dist = fixed.path.dist;
+      if (seen.insert(fixed.path).second) pool.push(std::move(fixed));
+      continue;
+    }
+    // Final candidate: the pool minimum, so it is the next shortest path.
+    accepted.push_back({std::move(top.path), top.dev_index});
+    expand(accepted.back());
+  }
+
+  result.paths.reserve(accepted.size());
+  for (Candidate& c : accepted) result.paths.push_back(std::move(c.path));
+  return result;
+}
+
+KspResult pnc_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                  const KspOptions& opts) {
+  PncOptions po;
+  po.base = opts;
+  return pnc_ksp(BiView::of(g), s, t, po);
+}
+
+KspResult pnc_star_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                       const KspOptions& opts) {
+  PncOptions po;
+  po.base = opts;
+  po.starred = true;
+  return pnc_ksp(BiView::of(g), s, t, po);
+}
+
+}  // namespace peek::ksp

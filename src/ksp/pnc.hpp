@@ -1,0 +1,38 @@
+// Postponed Node Classification — PNC and PNC* (Al Zoobi, Coudert & Nisse
+// 2021), discussed in the paper's related work (§8).
+//
+// NC pays an expensive restricted SSSP for every deviation whose cheapest
+// next-hop is yellow, yet most of those candidates never become one of the K
+// shortest paths. PNC postpones the work: it inserts the TENTATIVE candidate
+// (prefix + best lower-bound suffix via the reverse tree, possibly
+// non-simple) into the candidate pool at its lower-bound distance, and only
+// when such a candidate is actually extracted does it "repair" it with the
+// restricted SSSP. Extracted simple candidates are final immediately.
+// PNC* additionally restricts the repair SSSP to the non-red subgraph
+// (identical here, since our repairs already ban exactly the red vertices —
+// we expose it as a flag that also reuses NC's color pruning to skip
+// hopeless deviations).
+#pragma once
+
+#include "ksp/path_set.hpp"
+#include "sssp/view.hpp"
+
+namespace peek::ksp {
+
+using sssp::BiView;
+
+struct PncOptions {
+  KspOptions base;
+  /// PNC*: skip deviations whose lower bound cannot beat the current K-th
+  /// candidate (the paper's "subgraph of yellow vertices" refinement).
+  bool starred = false;
+};
+
+KspResult pnc_ksp(const BiView& g, vid_t s, vid_t t, const PncOptions& opts);
+
+KspResult pnc_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                  const KspOptions& opts);
+KspResult pnc_star_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                       const KspOptions& opts);
+
+}  // namespace peek::ksp

@@ -1,0 +1,41 @@
+// Sidetrack-based KSP (Kurz & Mutzel 2016) and its time/space-trade-off
+// successor SB* (Al Zoobi, Coudert & Nisse 2020/21).
+//
+// Instead of OptYen's single static reverse tree, SB keeps a reverse
+// shortest-path tree PER DEVIATION PREFIX (computed on the graph minus the
+// prefix — the "red" vertices), so nearly every deviation is answered by a
+// tree lookup and the expensive restricted SSSPs almost disappear. The price
+// is memory: the pool of resident trees is the algorithm's signature cost,
+// reported in KspStats::trees_stored. SB* additionally builds each new tree
+// by REPAIRING its parent-prefix tree (resumable Dijkstra) instead of
+// starting from scratch.
+//
+// The resident-tree pool is capped (PSB-style, §8): evicted trees are
+// recomputed on demand, so memory stays bounded at `max_resident_trees`
+// trees without affecting correctness.
+#pragma once
+
+#include "ksp/path_set.hpp"
+#include "sssp/view.hpp"
+
+namespace peek::ksp {
+
+using sssp::BiView;
+
+struct SidetrackOptions {
+  KspOptions base;
+  /// Upper bound on simultaneously stored reverse trees.
+  size_t max_resident_trees = 256;
+  /// true = SB* (repair-seeded trees), false = SB (fresh tree per prefix).
+  bool resume_trees = false;
+};
+
+KspResult sb_ksp(const BiView& g, vid_t s, vid_t t, const SidetrackOptions& opts);
+
+/// Convenience wrappers matching the paper's algorithm names.
+KspResult sb_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                 const KspOptions& opts);
+KspResult sb_star_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                      const KspOptions& opts);
+
+}  // namespace peek::ksp

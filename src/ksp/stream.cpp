@@ -1,0 +1,80 @@
+#include "ksp/stream.hpp"
+
+#include "ksp/optyen.hpp"
+#include "ksp/yen_engine.hpp"
+
+namespace peek::ksp {
+
+KspStream::KspStream(const sssp::BiView& g, vid_t s, vid_t t)
+    : g_(g), s_(s), t_(t) {
+  const vid_t n = g_.fwd.num_vertices();
+  mask_.assign(static_cast<size_t>(n), 0);
+  if (s_ < 0 || s_ >= n || t_ < 0 || t_ >= n) exhausted_ = true;
+}
+
+KspStream::KspStream(const graph::CsrGraph& g, vid_t s, vid_t t)
+    : KspStream(sssp::BiView::of(g), s, t) {}
+
+void KspStream::expand_deviations(const Candidate& cur) {
+  const auto& p = cur.path.verts;
+  const int len = static_cast<int>(p.size());
+  const auto cum = detail::cumulative_distances(g_.fwd, p);
+  for (int i = cur.dev_index; i < len - 1; ++i) {
+    const vid_t v = p[static_cast<size_t>(i)];
+    for (int j = 0; j < i; ++j) mask_[p[static_cast<size_t>(j)]] = 1;
+    const auto banned = detail::banned_edges_at(g_.fwd, accepted_, p, i);
+    std::vector<vid_t> prefix(p.begin(), p.begin() + i + 1);
+    detail::DeviationContext ctx{prefix, v, cum[static_cast<size_t>(i)],
+                                 mask_.data(), banned, i};
+    sssp::Path suffix = detail::optyen_tree_shortcut(g_.fwd, rtree_, t_, ctx);
+    if (!suffix.empty()) {
+      stats_.tree_shortcuts++;
+    } else {
+      stats_.sssp_calls++;
+      sssp::DijkstraOptions dj;
+      dj.target = t_;
+      dj.bans = {mask_.data(), &banned};
+      auto r = sssp::dijkstra(g_.fwd, v, dj);
+      suffix = sssp::path_from_parents(r, v, t_);
+    }
+    for (int j = 0; j < i; ++j) mask_[p[static_cast<size_t>(j)]] = 0;
+    if (suffix.empty()) continue;
+    Candidate cand;
+    cand.dev_index = i;
+    cand.path.verts = std::move(prefix);
+    cand.path.verts.insert(cand.path.verts.end(), suffix.verts.begin() + 1,
+                           suffix.verts.end());
+    cand.path.dist = cum[static_cast<size_t>(i)] + suffix.dist;
+    if (cands_.push(std::move(cand.path), cand.dev_index))
+      stats_.candidates_generated++;
+  }
+}
+
+std::optional<sssp::Path> KspStream::next() {
+  if (exhausted_) return std::nullopt;
+  if (!primed_) {
+    primed_ = true;
+    rtree_ = sssp::dijkstra(g_.rev, t_);
+    stats_.sssp_calls++;
+    sssp::Path first = sssp::path_from_reverse_parents(rtree_, s_, t_);
+    if (first.empty()) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    accepted_.push_back({first, 0});
+    produced_.push_back(first);
+    return first;
+  }
+  // Deviations of the most recent path are expanded lazily, exactly once.
+  expand_deviations(accepted_.back());
+  auto cand = cands_.pop_min();
+  if (!cand) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  accepted_.push_back(*cand);
+  produced_.push_back(cand->path);
+  return cand->path;
+}
+
+}  // namespace peek::ksp

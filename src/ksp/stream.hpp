@@ -1,0 +1,52 @@
+// Lazy KSP enumeration: paths are produced one at a time, shortest first,
+// with no K fixed up front. This is the natural interface for consumers that
+// scan candidates until one satisfies an external predicate — e.g. the
+// routing-and-spectrum-assignment loop of §1 ("iteratively checks the
+// availability of the paths in increasing order") — and stops paying for
+// deviations the moment it stops asking.
+//
+// Internally an incremental OptYen: a static reverse shortest-path tree
+// answers deviations when its path avoids the prefix; otherwise a restricted
+// Dijkstra runs. Calling next() K times costs the same as optyen_ksp with
+// that K (plus nothing for paths never requested).
+#pragma once
+
+#include <optional>
+
+#include "ksp/path_set.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/view.hpp"
+
+namespace peek::ksp {
+
+class KspStream {
+ public:
+  /// The BiView must outlive the stream. Prefer the CsrGraph overload unless
+  /// streaming over a compacted view.
+  KspStream(const sssp::BiView& g, vid_t s, vid_t t);
+  KspStream(const graph::CsrGraph& g, vid_t s, vid_t t);
+
+  /// The next shortest simple path, or nullopt when the path space is
+  /// exhausted. The i-th successful call returns the i-th shortest path.
+  std::optional<sssp::Path> next();
+
+  /// Paths produced so far.
+  const std::vector<sssp::Path>& produced() const { return produced_; }
+  const KspStats& stats() const { return stats_; }
+
+ private:
+  void expand_deviations(const Candidate& cur);
+
+  sssp::BiView g_;
+  vid_t s_, t_;
+  sssp::SsspResult rtree_;
+  std::vector<Candidate> accepted_;
+  CandidateSet cands_;
+  std::vector<std::uint8_t> mask_;
+  std::vector<sssp::Path> produced_;
+  KspStats stats_;
+  bool primed_ = false;
+  bool exhausted_ = false;
+};
+
+}  // namespace peek::ksp

@@ -1,0 +1,22 @@
+// Yen's algorithm (Yen 1971) with Lawler's deviation-index optimization —
+// the foundational KSP baseline (Algorithm 1). One restricted SSSP per
+// deviation vertex.
+#pragma once
+
+#include "ksp/path_set.hpp"
+#include "sssp/view.hpp"
+
+namespace peek::ksp {
+
+using sssp::BiView;
+
+/// K shortest simple paths s -> t. Uses only the forward view.
+/// opts.parallel enables the two-level strategy: concurrent deviations
+/// (outer) over Δ-stepping SSSPs (inner).
+KspResult yen_ksp(const BiView& g, vid_t s, vid_t t, const KspOptions& opts);
+
+/// Convenience overload over a plain graph.
+KspResult yen_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
+                  const KspOptions& opts);
+
+}  // namespace peek::ksp

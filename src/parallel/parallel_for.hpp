@@ -1,0 +1,92 @@
+// Thin OpenMP wrappers so call sites stay readable and the library can be
+// built without OpenMP (the wrappers degrade to serial loops).
+#pragma once
+
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace peek::par {
+
+/// Number of threads the next parallel region will use.
+inline int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// RAII guard that pins the OpenMP thread count inside a scope — used by the
+/// scalability benches to sweep 1..32 threads.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int threads) {
+#ifdef _OPENMP
+    saved_ = omp_get_max_threads();
+    omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
+  }
+  ~ThreadScope() {
+#ifdef _OPENMP
+    omp_set_num_threads(saved_);
+#endif
+  }
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_ = 1;
+};
+
+/// parallel for over [begin, end) with static schedule.
+template <typename Index, typename Body>
+void parallel_for(Index begin, Index end, Body&& body) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (Index i = begin; i < end; ++i) body(i);
+#else
+  for (Index i = begin; i < end; ++i) body(i);
+#endif
+}
+
+/// parallel for with dynamic scheduling — for skewed per-iteration work
+/// (vertex loops on power-law graphs).
+template <typename Index, typename Body>
+void parallel_for_dynamic(Index begin, Index end, Body&& body,
+                          int chunk = 64) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, chunk)
+  for (Index i = begin; i < end; ++i) body(i);
+#else
+  (void)chunk;
+  for (Index i = begin; i < end; ++i) body(i);
+#endif
+}
+
+/// Parallel sum-reduction over [begin, end) of body(i).
+template <typename Index, typename Body>
+std::int64_t parallel_count(Index begin, Index end, Body&& body) {
+  std::int64_t total = 0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (Index i = begin; i < end; ++i) total += body(i) ? 1 : 0;
+#else
+  for (Index i = begin; i < end; ++i) total += body(i) ? 1 : 0;
+#endif
+  return total;
+}
+
+}  // namespace peek::par

@@ -1,0 +1,42 @@
+#include "parallel/partitioner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace peek::par {
+
+std::vector<VertexRange> partition_by_edges(const graph::CsrGraph& g, int parts) {
+  if (parts <= 0) throw std::invalid_argument("partition_by_edges: parts <= 0");
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+  std::vector<VertexRange> ranges;
+  ranges.reserve(static_cast<size_t>(parts));
+  auto offsets = g.row_offsets();
+  vid_t prev = 0;
+  for (int p = 1; p <= parts; ++p) {
+    // Find the first vertex whose offset reaches p/parts of the edges.
+    const eid_t target = m * p / parts;
+    auto it = std::lower_bound(offsets.begin() + prev, offsets.end(), target);
+    vid_t cut = static_cast<vid_t>(it - offsets.begin());
+    cut = std::min(cut, n);
+    if (p == parts) cut = n;
+    ranges.push_back({prev, cut});
+    prev = cut;
+  }
+  return ranges;
+}
+
+std::vector<VertexRange> partition_by_vertices(vid_t n, int parts) {
+  if (parts <= 0) throw std::invalid_argument("partition_by_vertices: parts <= 0");
+  std::vector<VertexRange> ranges;
+  ranges.reserve(static_cast<size_t>(parts));
+  const vid_t chunk = (n + parts - 1) / parts;
+  for (int p = 0; p < parts; ++p) {
+    const vid_t lo = std::min<vid_t>(static_cast<vid_t>(p) * chunk, n);
+    const vid_t hi = std::min<vid_t>(lo + chunk, n);
+    ranges.push_back({lo, hi});
+  }
+  return ranges;
+}
+
+}  // namespace peek::par

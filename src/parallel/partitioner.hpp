@@ -1,0 +1,24 @@
+// Edge-balanced vertex partitioning (§6.2): split [0, n) into `parts` ranges
+// so each range holds approximately the same number of edges, preventing the
+// skewed-degree imbalance a naive equal-vertex split would cause.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace peek::par {
+
+struct VertexRange {
+  vid_t begin;
+  vid_t end;  // exclusive
+};
+
+/// Splits the vertices of `g` into `parts` contiguous ranges of roughly equal
+/// out-edge count (binary search over the CSR row offsets).
+std::vector<VertexRange> partition_by_edges(const graph::CsrGraph& g, int parts);
+
+/// Equal-vertex-count split (reference/baseline).
+std::vector<VertexRange> partition_by_vertices(vid_t n, int parts);
+
+}  // namespace peek::par

@@ -1,0 +1,73 @@
+#include "parallel/prefix_sum.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parallel/parallel_for.hpp"
+
+namespace peek::par {
+
+namespace {
+
+/// Shared body: inclusive if `inclusive`, else exclusive.
+std::int64_t scan(std::span<const std::int64_t> in, std::span<std::int64_t> out,
+                  bool inclusive) {
+  assert(in.size() == out.size());
+  const std::int64_t n = static_cast<std::int64_t>(in.size());
+  if (n == 0) return 0;
+  const int threads = std::min<std::int64_t>(max_threads(), n);
+  const std::int64_t chunk = (n + threads - 1) / threads;
+  std::vector<std::int64_t> partial(static_cast<size_t>(threads) + 1, 0);
+
+  // Pass 1: per-chunk totals.
+  parallel_for(0, threads, [&](int t) {
+    const std::int64_t lo = t * chunk, hi = std::min<std::int64_t>(lo + chunk, n);
+    std::int64_t sum = 0;
+    for (std::int64_t i = lo; i < hi; ++i) sum += in[static_cast<size_t>(i)];
+    partial[static_cast<size_t>(t) + 1] = sum;
+  });
+  for (int t = 0; t < threads; ++t) partial[t + 1] += partial[t];
+
+  // Pass 2: local scan with chunk offset.
+  parallel_for(0, threads, [&](int t) {
+    const std::int64_t lo = t * chunk, hi = std::min<std::int64_t>(lo + chunk, n);
+    std::int64_t run = partial[static_cast<size_t>(t)];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::int64_t x = in[static_cast<size_t>(i)];
+      if (inclusive) {
+        run += x;
+        out[static_cast<size_t>(i)] = run;
+      } else {
+        out[static_cast<size_t>(i)] = run;
+        run += x;
+      }
+    }
+  });
+  return partial.back();
+}
+
+}  // namespace
+
+std::int64_t exclusive_prefix_sum(std::span<const std::int64_t> in,
+                                  std::span<std::int64_t> out) {
+  return scan(in, out, /*inclusive=*/false);
+}
+
+std::int64_t inclusive_prefix_sum(std::span<const std::int64_t> in,
+                                  std::span<std::int64_t> out) {
+  return scan(in, out, /*inclusive=*/true);
+}
+
+std::vector<std::int64_t> exclusive_prefix_sum(const std::vector<std::int64_t>& in) {
+  std::vector<std::int64_t> out(in.size());
+  exclusive_prefix_sum(std::span<const std::int64_t>(in), std::span<std::int64_t>(out));
+  return out;
+}
+
+std::vector<std::int64_t> inclusive_prefix_sum(const std::vector<std::int64_t>& in) {
+  std::vector<std::int64_t> out(in.size());
+  inclusive_prefix_sum(std::span<const std::int64_t>(in), std::span<std::int64_t>(out));
+  return out;
+}
+
+}  // namespace peek::par

@@ -1,0 +1,25 @@
+// Parallel prefix sums (Blelloch-style two-pass) — used by the regeneration
+// compaction to place each surviving vertex's edges in the new CSR (§6.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace peek::par {
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i). Returns the grand total.
+/// `out` may alias `in`. Two-pass parallel algorithm (per-chunk partials,
+/// then chunk-offset sweep).
+std::int64_t exclusive_prefix_sum(std::span<const std::int64_t> in,
+                                  std::span<std::int64_t> out);
+
+/// Inclusive prefix sum: out[i] = sum of in[0..i]. Returns the grand total.
+std::int64_t inclusive_prefix_sum(std::span<const std::int64_t> in,
+                                  std::span<std::int64_t> out);
+
+/// Convenience allocating overloads.
+std::vector<std::int64_t> exclusive_prefix_sum(const std::vector<std::int64_t>& in);
+std::vector<std::int64_t> inclusive_prefix_sum(const std::vector<std::int64_t>& in);
+
+}  // namespace peek::par

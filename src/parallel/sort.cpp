@@ -1,0 +1,18 @@
+#include "parallel/sort.hpp"
+
+#include <numeric>
+
+namespace peek::par {
+
+std::vector<std::int32_t> sort_permutation(const std::vector<double>& keys) {
+  std::vector<std::int32_t> perm(keys.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  parallel_sort(perm.begin(), perm.end(), [&keys](std::int32_t a, std::int32_t b) {
+    if (keys[static_cast<size_t>(a)] != keys[static_cast<size_t>(b)])
+      return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
+    return a < b;  // deterministic tie-break
+  });
+  return perm;
+}
+
+}  // namespace peek::par

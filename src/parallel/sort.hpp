@@ -1,0 +1,63 @@
+// Parallel merge sort (OpenMP tasks). Stand-in for the Boost block-indirect
+// sort the paper uses to order the distance-sum array (§6.2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace peek::par {
+
+namespace detail {
+
+template <typename It, typename Cmp>
+void merge_sort_rec(It first, It last, typename std::iterator_traits<It>::value_type* buf,
+                    Cmp cmp, int depth) {
+  const auto n = last - first;
+  if (n < 4096 || depth <= 0) {
+    std::sort(first, last, cmp);
+    return;
+  }
+  const auto mid = n / 2;
+#ifdef _OPENMP
+#pragma omp task shared(cmp)
+  merge_sort_rec(first, first + mid, buf, cmp, depth - 1);
+#pragma omp task shared(cmp)
+  merge_sort_rec(first + mid, last, buf + mid, cmp, depth - 1);
+#pragma omp taskwait
+#else
+  merge_sort_rec(first, first + mid, buf, cmp, depth - 1);
+  merge_sort_rec(first + mid, last, buf + mid, cmp, depth - 1);
+#endif
+  std::merge(first, first + mid, first + mid, last, buf, cmp);
+  std::copy(buf, buf + n, first);
+}
+
+}  // namespace detail
+
+/// Sorts [first, last) with `cmp` using task-parallel merge sort. Falls back
+/// to std::sort for small inputs. Not stable.
+template <typename It, typename Cmp = std::less<>>
+void parallel_sort(It first, It last, Cmp cmp = {}) {
+  const auto n = last - first;
+  if (n < 2) return;
+  std::vector<typename std::iterator_traits<It>::value_type> buf(
+      static_cast<size_t>(n));
+#ifdef _OPENMP
+#pragma omp parallel
+#pragma omp single nowait
+  detail::merge_sort_rec(first, last, buf.data(), cmp, /*depth=*/8);
+#else
+  detail::merge_sort_rec(first, last, buf.data(), cmp, 8);
+#endif
+}
+
+/// Returns a permutation `p` of [0, n) such that keys[p[0]] <= keys[p[1]] <= …
+/// Used to order vertices by distance sum without moving the distance array.
+std::vector<std::int32_t> sort_permutation(const std::vector<double>& keys);
+
+}  // namespace peek::par

@@ -1,0 +1,91 @@
+#include "sssp/alt.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <random>
+
+namespace peek::sssp {
+
+AltOracle::AltOracle(const graph::CsrGraph& g, const AltOptions& opts) : g_(&g) {
+  const vid_t n = g.num_vertices();
+  const int L = std::max(1, std::min<int>(opts.landmarks, n));
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_int_distribution<vid_t> pick(0, n - 1);
+
+  // Farthest-point selection: each next landmark maximises the minimum
+  // distance (in either direction) to the chosen set; unreachable vertices
+  // are skipped so landmarks land in the big component.
+  std::vector<weight_t> closeness(static_cast<size_t>(n), kInfDist);
+  vid_t next = pick(rng);
+  for (int l = 0; l < L; ++l) {
+    landmarks_.push_back(next);
+    from_.push_back(dijkstra(GraphView(g), next).dist);
+    to_.push_back(dijkstra(GraphView(g.reverse()), next).dist);
+    // Update closeness and choose the farthest reachable vertex.
+    weight_t best = -1;
+    vid_t far = next;
+    for (vid_t v = 0; v < n; ++v) {
+      const weight_t d = std::min(from_.back()[v], to_.back()[v]);
+      closeness[v] = std::min(closeness[v], d);
+      if (closeness[v] != kInfDist && closeness[v] > best) {
+        best = closeness[v];
+        far = v;
+      }
+    }
+    next = far;
+  }
+}
+
+weight_t AltOracle::heuristic(vid_t v, vid_t t) const {
+  // Triangle inequalities, directed form:
+  //   d(v,t) >= d(l,t) - d(l,v)   (landmark before)
+  //   d(v,t) >= d(v,l) - d(t,l)   (landmark after)
+  weight_t h = 0;
+  for (size_t l = 0; l < landmarks_.size(); ++l) {
+    const weight_t lv = from_[l][v], lt = from_[l][t];
+    if (lv != kInfDist && lt != kInfDist) h = std::max(h, lt - lv);
+    const weight_t vl = to_[l][v], tl = to_[l][t];
+    if (vl != kInfDist && tl != kInfDist) h = std::max(h, vl - tl);
+  }
+  return h;
+}
+
+AltOracle::QueryResult AltOracle::query(vid_t s, vid_t t) const {
+  QueryResult result;
+  const graph::CsrGraph& g = *g_;
+  const vid_t n = g.num_vertices();
+  if (s < 0 || s >= n || t < 0 || t >= n) return result;
+
+  struct Entry {
+    weight_t f;  // g + h
+    vid_t v;
+    bool operator>(const Entry& o) const { return f > o.f; }
+  };
+  std::vector<weight_t> dist(static_cast<size_t>(n), kInfDist);
+  std::vector<vid_t> parent(static_cast<size_t>(n), kNoVertex);
+  std::vector<std::uint8_t> settled(static_cast<size_t>(n), 0);
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[s] = 0;
+  heap.push({heuristic(s, t), s});
+  while (!heap.empty()) {
+    const auto [f, u] = heap.top();
+    heap.pop();
+    if (settled[u]) continue;
+    settled[u] = 1;
+    result.settled++;
+    if (u == t) break;
+    for (eid_t e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      const vid_t w = g.edge_target(e);
+      const weight_t nd = dist[u] + g.edge_weight(e);
+      if (nd < dist[w]) {
+        dist[w] = nd;
+        parent[w] = u;
+        heap.push({nd + heuristic(w, t), w});
+      }
+    }
+  }
+  result.path = path_from_parents({std::move(dist), std::move(parent)}, s, t);
+  return result;
+}
+
+}  // namespace peek::sssp

@@ -1,0 +1,31 @@
+#include "sssp/bellman_ford.hpp"
+
+namespace peek::sssp {
+
+SsspResult bellman_ford(const CsrGraph& g, vid_t source) {
+  const vid_t n = g.num_vertices();
+  SsspResult r;
+  r.dist.assign(static_cast<size_t>(n), kInfDist);
+  r.parent.assign(static_cast<size_t>(n), kNoVertex);
+  if (source < 0 || source >= n) return r;
+  r.dist[source] = 0;
+  for (vid_t round = 0; round < n; ++round) {
+    bool changed = false;
+    for (vid_t u = 0; u < n; ++u) {
+      if (r.dist[u] == kInfDist) continue;
+      for (eid_t e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+        const vid_t v = g.edge_target(e);
+        const weight_t nd = r.dist[u] + g.edge_weight(e);
+        if (nd < r.dist[v]) {
+          r.dist[v] = nd;
+          r.parent[v] = u;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return r;
+}
+
+}  // namespace peek::sssp

@@ -1,0 +1,11 @@
+// Bellman–Ford — O(nm) validation oracle for the faster SSSP implementations.
+#pragma once
+
+#include "sssp/dijkstra.hpp"
+
+namespace peek::sssp {
+
+/// Classic round-based relaxation (early exit when a round changes nothing).
+SsspResult bellman_ford(const CsrGraph& g, vid_t source);
+
+}  // namespace peek::sssp

@@ -1,0 +1,31 @@
+// Δ-stepping (Meyer & Sanders 2003): the parallel SSSP used throughout PeeK
+// (§6.2). Vertices are grouped into distance buckets of width Δ; each bucket
+// is relaxed in parallel (light edges iteratively, heavy edges once), giving
+// data parallelism instead of Dijkstra's one-vertex-at-a-time order.
+#pragma once
+
+#include "sssp/dijkstra.hpp"
+
+namespace peek::sssp {
+
+struct DeltaSteppingOptions {
+  /// Bucket width. <= 0 selects automatically (max edge weight / 8, bounded
+  /// below, which approximates the average-weight heuristic of the paper's
+  /// implementations).
+  weight_t delta = 0;
+  vid_t target = kNoVertex;  // optional early exit once the bucket front
+                             // exceeds dist[target]
+  Bans bans;
+  bool parallel = true;  // false = exact same algorithm, serial loops
+};
+
+/// SSSP from `source` over `view`. Distances match Dijkstra bit-for-bit on
+/// the same view; parents form a valid shortest-path tree.
+SsspResult delta_stepping(const GraphView& view, vid_t source,
+                          const DeltaSteppingOptions& opts = {});
+
+/// Δ-stepping on the reverse graph (distances TO `target`).
+SsspResult reverse_delta_stepping(const CsrGraph& g, vid_t target,
+                                  const DeltaSteppingOptions& opts = {});
+
+}  // namespace peek::sssp

@@ -1,0 +1,63 @@
+#include "sssp/dijkstra.hpp"
+
+#include <queue>
+
+namespace peek::sssp {
+
+namespace {
+
+struct HeapEntry {
+  weight_t dist;
+  vid_t v;
+  bool operator>(const HeapEntry& o) const { return dist > o.dist; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+SsspResult dijkstra(const GraphView& view, vid_t source,
+                    const DijkstraOptions& opts) {
+  const vid_t n = view.num_vertices();
+  SsspResult r;
+  r.dist.assign(static_cast<size_t>(n), kInfDist);
+  r.parent.assign(static_cast<size_t>(n), kNoVertex);
+  if (source < 0 || source >= n) return r;
+  if (!view.vertex_alive(source) || opts.bans.vertex_banned(source)) return r;
+
+  MinHeap heap;
+  r.dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > r.dist[u]) continue;  // stale lazy-deleted entry
+    if (u == opts.target) break;
+    for (eid_t e = view.edge_begin(u); e < view.edge_end(u); ++e) {
+      if (!view.edge_alive(e) || opts.bans.edge_banned(e)) continue;
+      const vid_t v = view.edge_target(e);
+      if (!view.vertex_alive(v) || opts.bans.vertex_banned(v)) continue;
+      const weight_t nd = d + view.edge_weight(e);
+      if (nd < r.dist[v]) {
+        r.dist[v] = nd;
+        r.parent[v] = u;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return r;
+}
+
+SsspResult reverse_dijkstra(const CsrGraph& g, vid_t target) {
+  GraphView rev(g.reverse());
+  return dijkstra(rev, target);
+}
+
+weight_t shortest_distance(const CsrGraph& g, vid_t s, vid_t t) {
+  DijkstraOptions opts;
+  opts.target = t;
+  return dijkstra(GraphView(g), s, opts).dist[t];
+}
+
+}  // namespace peek::sssp

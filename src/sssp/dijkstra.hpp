@@ -1,0 +1,49 @@
+// Dijkstra's algorithm with a lazy-deletion binary heap, early exit, and
+// vertex/edge ban masks. This is the serial SSSP workhorse of the Yen-family
+// algorithms: bans let them "remove" prefix vertices and deviation edges
+// without mutating the graph (Algorithm 1, lines 6 and 10).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "sssp/view.hpp"
+
+namespace peek::sssp {
+
+/// Distances + shortest-path-tree parents from one source.
+struct SsspResult {
+  std::vector<weight_t> dist;   // kInfDist when unreachable
+  std::vector<vid_t> parent;    // kNoVertex for source / unreachable
+};
+
+/// Temporary exclusions applied on top of a GraphView.
+struct Bans {
+  /// Byte per vertex; nonzero = banned. May be null.
+  const std::uint8_t* vertices = nullptr;
+  /// Banned forward-CSR edge indices. May be null.
+  const std::unordered_set<eid_t>* edges = nullptr;
+
+  bool vertex_banned(vid_t v) const { return vertices && vertices[v]; }
+  bool edge_banned(eid_t e) const { return edges && edges->count(e) > 0; }
+};
+
+struct DijkstraOptions {
+  /// Stop as soon as this vertex is settled (kNoVertex = settle everything).
+  vid_t target = kNoVertex;
+  Bans bans;
+};
+
+/// Full SSSP from `source` over `view`.
+SsspResult dijkstra(const GraphView& view, vid_t source,
+                    const DijkstraOptions& opts = {});
+
+/// SSSP on the reverse graph: result.dist[v] is the shortest distance from v
+/// TO `target` in the original orientation; parent[v] is v's successor on
+/// that path (the reverse shortest-path tree of §4.1 / OptYen).
+SsspResult reverse_dijkstra(const CsrGraph& g, vid_t target);
+
+/// Shortest s->t distance only (early-exit convenience).
+weight_t shortest_distance(const CsrGraph& g, vid_t s, vid_t t);
+
+}  // namespace peek::sssp

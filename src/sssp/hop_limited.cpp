@@ -1,0 +1,86 @@
+#include "sssp/hop_limited.hpp"
+
+namespace peek::sssp {
+
+HopLimitedResult hop_limited_sssp(const GraphView& view, vid_t source,
+                                  int max_hops, vid_t target,
+                                  const Bans& bans) {
+  const vid_t n = view.num_vertices();
+  HopLimitedResult r;
+  r.dist.assign(static_cast<size_t>(n), kInfDist);
+  if (source < 0 || source >= n || max_hops < 0) return r;
+  if (!view.vertex_alive(source) || bans.vertex_banned(source)) return r;
+
+  const bool track_parents = target != kNoVertex;
+  // parents[h][v] = predecessor of v on the cheapest <= h-hop path.
+  std::vector<std::vector<vid_t>> parents;
+  if (track_parents)
+    parents.assign(static_cast<size_t>(max_hops) + 1,
+                   std::vector<vid_t>(static_cast<size_t>(n), kNoVertex));
+
+  std::vector<weight_t> prev(static_cast<size_t>(n), kInfDist);
+  prev[source] = 0;
+  r.dist = prev;
+  // `hop_of[v]` = layer whose parent chain realises r.dist[v].
+  std::vector<int> hop_of(static_cast<size_t>(n), 0);
+
+  std::vector<weight_t> cur(static_cast<size_t>(n));
+  for (int h = 1; h <= max_hops; ++h) {
+    cur = prev;
+    bool changed = false;
+    for (vid_t u = 0; u < n; ++u) {
+      if (prev[u] == kInfDist) continue;
+      if (!view.vertex_alive(u) || bans.vertex_banned(u)) continue;
+      for (eid_t e = view.edge_begin(u); e < view.edge_end(u); ++e) {
+        if (!view.edge_alive(e) || bans.edge_banned(e)) continue;
+        const vid_t v = view.edge_target(e);
+        if (!view.vertex_alive(v) || bans.vertex_banned(v)) continue;
+        const weight_t nd = prev[u] + view.edge_weight(e);
+        if (nd < cur[v]) {
+          cur[v] = nd;
+          if (track_parents) parents[static_cast<size_t>(h)][v] = u;
+          changed = true;
+        }
+      }
+    }
+    if (track_parents) {
+      for (vid_t v = 0; v < n; ++v) {
+        if (cur[v] < r.dist[v]) {
+          r.dist[v] = cur[v];
+          hop_of[v] = h;
+        }
+      }
+    } else {
+      for (vid_t v = 0; v < n; ++v) r.dist[v] = std::min(r.dist[v], cur[v]);
+    }
+    prev.swap(cur);
+    if (!changed) break;
+  }
+
+  if (track_parents && target >= 0 && target < n &&
+      r.dist[target] != kInfDist) {
+    // Backtrack through the hop layers: at layer h the predecessor of v is
+    // parents[h][v] (or v persisted from an earlier layer).
+    std::vector<vid_t> rev_path;
+    vid_t v = target;
+    int h = hop_of[target];
+    rev_path.push_back(v);
+    while (v != source) {
+      // Find the layer that actually set this vertex (walk down while the
+      // recorded parent is missing — the value was inherited).
+      while (h > 0 && parents[static_cast<size_t>(h)][v] == kNoVertex) h--;
+      if (h == 0) break;  // only the source lives at layer 0
+      v = parents[static_cast<size_t>(h)][v];
+      h--;
+      rev_path.push_back(v);
+      if (rev_path.size() > static_cast<size_t>(max_hops) + 2) break;  // guard
+    }
+    if (rev_path.back() == source) {
+      r.path.verts.assign(rev_path.rbegin(), rev_path.rend());
+      r.path.dist = r.dist[target];
+    }
+  }
+  return r;
+}
+
+}  // namespace peek::sssp

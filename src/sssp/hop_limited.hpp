@@ -1,0 +1,25 @@
+// Hop-limited shortest path: the cheapest s->t path using at most H edges.
+// Needed wherever per-hop costs exist besides the weights — optical routing
+// (regeneration limits), satellite networks (latency budgets), toll routing.
+// Dijkstra does not apply (a cheaper path may use more hops); the classic
+// Bellman–Ford DP over hop counts does, in O(H·m).
+#pragma once
+
+#include "sssp/path.hpp"
+
+namespace peek::sssp {
+
+struct HopLimitedResult {
+  /// dist[v] = cheapest distance using <= max_hops edges.
+  std::vector<weight_t> dist;
+  /// Cheapest feasible path to the requested target (empty if none).
+  Path path;
+};
+
+/// DP over hop layers from `source`. When `target` is valid, `path` is
+/// reconstructed (costs O(H·n) extra parent storage only in that case).
+HopLimitedResult hop_limited_sssp(const GraphView& view, vid_t source,
+                                  int max_hops, vid_t target = kNoVertex,
+                                  const Bans& bans = {});
+
+}  // namespace peek::sssp

@@ -1,0 +1,104 @@
+#include "sssp/resumable_dijkstra.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace peek::sssp {
+
+ResumableDijkstra::ResumableDijkstra(const GraphView& view, vid_t source,
+                                     Bans bans)
+    : view_(view), source_(source), bans_(bans) {
+  const vid_t n = view_.num_vertices();
+  dist_.assign(static_cast<size_t>(n), kInfDist);
+  parent_.assign(static_cast<size_t>(n), kNoVertex);
+  settled_.assign(static_cast<size_t>(n), 0);
+  if (source_ < 0 || source_ >= n) return;
+  if (!view_.vertex_alive(source_) || bans_.vertex_banned(source_)) return;
+  dist_[source_] = 0;
+  heap_.push_back({0, source_});
+}
+
+ResumableDijkstra::ResumableDijkstra(const GraphView& view, vid_t source,
+                                     const SsspResult& base, Bans bans)
+    : view_(view), source_(source), bans_(bans) {
+  const vid_t n = view_.num_vertices();
+  dist_.assign(static_cast<size_t>(n), kInfDist);
+  parent_.assign(static_cast<size_t>(n), kNoVertex);
+  settled_.assign(static_cast<size_t>(n), 0);
+  if (source_ < 0 || source_ >= n) return;
+  if (!view_.vertex_alive(source_) || bans_.vertex_banned(source_)) return;
+
+  // Walk the base tree top-down; a vertex survives if it and its tree edge
+  // survive the new bans and its parent survived.
+  std::vector<std::vector<vid_t>> children(static_cast<size_t>(n));
+  for (vid_t v = 0; v < n; ++v) {
+    if (v == source_ || base.parent[v] == kNoVertex) continue;
+    children[base.parent[v]].push_back(v);
+  }
+  dist_[source_] = 0;
+  settled_[source_] = 1;
+  std::deque<vid_t> queue{source_};
+  while (!queue.empty()) {
+    const vid_t u = queue.front();
+    queue.pop_front();
+    for (vid_t v : children[u]) {
+      if (!view_.vertex_alive(v) || bans_.vertex_banned(v)) continue;
+      // The base tree was computed on this same view, so its edges exist and
+      // are in range; the (linear) find_edge lookup is only needed when
+      // edge-level bans could invalidate one.
+      if (bans_.edges != nullptr) {
+        const eid_t e = view_.find_edge(u, v);
+        if (e == kNoEdge || bans_.edge_banned(e)) continue;
+      }
+      dist_[v] = base.dist[v];
+      parent_[v] = u;
+      settled_[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  // Re-open the frontier: relax every surviving vertex's out-edges into the
+  // invalidated region.
+  for (vid_t u = 0; u < n; ++u) {
+    if (settled_[u]) relax_out_edges(u);
+  }
+}
+
+void ResumableDijkstra::relax_out_edges(vid_t u) {
+  const weight_t du = dist_[u];
+  for (eid_t e = view_.edge_begin(u); e < view_.edge_end(u); ++e) {
+    if (!view_.edge_alive(e) || bans_.edge_banned(e)) continue;
+    const vid_t v = view_.edge_target(e);
+    if (!view_.vertex_alive(v) || bans_.vertex_banned(v)) continue;
+    if (settled_[v]) continue;
+    const weight_t nd = du + view_.edge_weight(e);
+    if (nd < dist_[v]) {
+      dist_[v] = nd;
+      parent_[v] = u;
+      heap_.push_back({nd, v});
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    }
+  }
+}
+
+void ResumableDijkstra::step() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Entry top = heap_.back();
+    heap_.pop_back();
+    if (settled_[top.v] || top.d > dist_[top.v]) continue;  // stale
+    settled_[top.v] = 1;
+    relax_out_edges(top.v);
+    return;
+  }
+}
+
+weight_t ResumableDijkstra::ensure_settled(vid_t v) {
+  while (!settled_[v] && !heap_.empty()) step();
+  return dist_[v];
+}
+
+void ResumableDijkstra::run_to_completion() {
+  while (!heap_.empty()) step();
+}
+
+}  // namespace peek::sssp

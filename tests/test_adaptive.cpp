@@ -1,0 +1,103 @@
+#include "compact/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sssp/dijkstra.hpp"
+#include "test_util.hpp"
+
+namespace peek::compact {
+namespace {
+
+TEST(ChooseStrategy, ThresholdRule) {
+  // m_r < alpha * m -> regeneration (§5.4).
+  EXPECT_EQ(choose_strategy(10, 1000, 0.5), Strategy::kRegeneration);
+  EXPECT_EQ(choose_strategy(600, 1000, 0.5), Strategy::kEdgeSwap);
+  EXPECT_EQ(choose_strategy(500, 1000, 0.5), Strategy::kEdgeSwap);  // not <
+  EXPECT_EQ(choose_strategy(599, 1000, 0.6), Strategy::kRegeneration);
+}
+
+TEST(ChooseStrategy, AlphaExtremes) {
+  EXPECT_EQ(choose_strategy(1, 1000, 0.0), Strategy::kEdgeSwap);
+  EXPECT_EQ(choose_strategy(999, 1000, 1.0), Strategy::kRegeneration);
+}
+
+TEST(ToString, Names) {
+  EXPECT_STREQ(to_string(Strategy::kEdgeSwap), "edge-swap");
+  EXPECT_STREQ(to_string(Strategy::kRegeneration), "regeneration");
+  EXPECT_STREQ(to_string(Strategy::kStatusArray), "status-array");
+}
+
+TEST(CountRemainingEdges, MatchesManualCount) {
+  auto g = test::random_graph(60, 480, 91);
+  std::vector<std::uint8_t> keep(60, 1);
+  for (vid_t v = 0; v < 60; v += 4) keep[v] = 0;
+  auto pred = [](vid_t, vid_t, weight_t w) { return w <= 0.5; };
+  eid_t manual = 0;
+  for (vid_t u = 0; u < 60; ++u) {
+    if (!keep[u]) continue;
+    for (eid_t e = g.edge_begin(u); e < g.edge_end(u); ++e)
+      if (keep[g.edge_target(e)] && g.edge_weight(e) <= 0.5) manual++;
+  }
+  EXPECT_EQ(count_remaining_edges(sssp::GraphView(g), keep.data(), pred),
+            manual);
+  EXPECT_EQ(count_remaining_edges(sssp::GraphView(g), keep.data(), pred,
+                                  /*parallel=*/false),
+            manual);
+}
+
+TEST(AdaptiveCompact, SmallRemainderRegenerates) {
+  auto g = test::random_graph(200, 2000, 93);
+  MutableCsr mc(g);
+  std::vector<std::uint8_t> keep(200, 0);
+  for (vid_t v = 0; v < 10; ++v) keep[v] = 1;  // keep 5% of vertices
+  auto result = adaptive_compact(mc, g.num_edges(), keep.data());
+  EXPECT_EQ(result.strategy, Strategy::kRegeneration);
+  EXPECT_EQ(result.regenerated.graph.num_vertices(), 10);
+  EXPECT_EQ(result.regenerated.graph.num_edges(), result.remaining_edges);
+}
+
+TEST(AdaptiveCompact, LargeRemainderEdgeSwaps) {
+  auto g = test::random_graph(200, 2000, 95);
+  MutableCsr mc(g);
+  std::vector<std::uint8_t> keep(200, 1);
+  keep[0] = 0;  // delete almost nothing
+  auto result = adaptive_compact(mc, g.num_edges(), keep.data());
+  EXPECT_EQ(result.strategy, Strategy::kEdgeSwap);
+  // The swapped view exposes the surviving graph.
+  EXPECT_FALSE(result.swapped.fwd.vertex_alive(0));
+  EXPECT_EQ(result.swapped.fwd.count_alive_edges(), result.remaining_edges);
+}
+
+TEST(AdaptiveCompact, BothStrategiesYieldSameSssp) {
+  auto g = test::random_graph(150, 1500, 97);
+  std::vector<std::uint8_t> keep(150, 1);
+  for (vid_t v = 100; v < 150; ++v) keep[v] = 0;
+  keep[0] = keep[1] = 1;
+
+  MutableCsr swap_g(g);
+  AdaptiveOptions force_swap;
+  force_swap.alpha = 0.0;  // never regenerate
+  auto swapped = adaptive_compact(swap_g, g.num_edges(), keep.data(), nullptr,
+                                  force_swap);
+  ASSERT_EQ(swapped.strategy, Strategy::kEdgeSwap);
+
+  MutableCsr regen_g(g);
+  AdaptiveOptions force_regen;
+  force_regen.alpha = 1.0;  // always regenerate
+  auto regen = adaptive_compact(regen_g, g.num_edges(), keep.data(), nullptr,
+                                force_regen);
+  ASSERT_EQ(regen.strategy, Strategy::kRegeneration);
+
+  auto a = sssp::dijkstra(swapped.swapped.fwd, 0);
+  auto b = sssp::dijkstra(sssp::GraphView(regen.regenerated.graph),
+                          regen.regenerated.map.to_new(0));
+  for (vid_t v = 0; v < 150; ++v) {
+    if (!keep[v]) continue;
+    const vid_t nv = regen.regenerated.map.to_new(v);
+    if (a.dist[v] == kInfDist) EXPECT_EQ(b.dist[nv], kInfDist) << v;
+    else EXPECT_NEAR(a.dist[v], b.dist[nv], 1e-9) << v;
+  }
+}
+
+}  // namespace
+}  // namespace peek::compact

@@ -1,0 +1,57 @@
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace peek::core {
+namespace {
+
+TEST(Batch, MatchesIndividualQueries) {
+  auto g = test::random_graph(120, 960, 911);
+  std::vector<BatchQuery> queries{{0, 60}, {1, 61}, {2, 62}, {3, 63}};
+  BatchOptions bo;
+  bo.per_query.k = 6;
+  auto batch = peek_ksp_batch(g, queries, bo);
+  ASSERT_EQ(batch.results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    PeekOptions po;
+    po.k = 6;
+    auto solo = peek_ksp(g, queries[i].s, queries[i].t, po);
+    test::expect_same_distances(solo.ksp.paths, batch.results[i].ksp.paths);
+  }
+}
+
+TEST(Batch, ParallelQueriesMatchSerial) {
+  auto g = test::random_graph(150, 1200, 913);
+  std::vector<BatchQuery> queries;
+  for (vid_t i = 0; i < 8; ++i) queries.push_back({i, static_cast<vid_t>(75 + i)});
+  BatchOptions serial;
+  serial.per_query.k = 5;
+  BatchOptions parallel = serial;
+  parallel.parallel_queries = true;
+  auto a = peek_ksp_batch(g, queries, serial);
+  auto b = peek_ksp_batch(g, queries, parallel);
+  for (size_t i = 0; i < queries.size(); ++i)
+    test::expect_same_distances(a.results[i].ksp.paths,
+                                b.results[i].ksp.paths);
+}
+
+TEST(Batch, EmptyQueryList) {
+  auto g = test::random_graph(20, 60, 915);
+  auto r = peek_ksp_batch(g, {});
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_GE(r.wall_seconds, 0.0);
+}
+
+TEST(Batch, MixedReachability) {
+  // 0 -> 1, 2 isolated: one solvable query, one empty.
+  auto g = graph::from_edges(3, {{0, 1, 1.0}});
+  std::vector<BatchQuery> queries{{0, 1}, {0, 2}};
+  auto r = peek_ksp_batch(g, queries);
+  EXPECT_EQ(r.results[0].ksp.paths.size(), 1u);
+  EXPECT_TRUE(r.results[1].ksp.paths.empty());
+}
+
+}  // namespace
+}  // namespace peek::core

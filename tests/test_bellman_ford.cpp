@@ -1,0 +1,46 @@
+#include "sssp/bellman_ford.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_util.hpp"
+
+namespace peek::sssp {
+namespace {
+
+TEST(BellmanFord, Line) {
+  auto g = graph::from_edges(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  auto r = bellman_ford(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 3.0);
+}
+
+TEST(BellmanFord, InvalidSource) {
+  auto g = graph::from_edges(2, {{0, 1, 1.0}});
+  EXPECT_EQ(bellman_ford(g, 9).dist[0], kInfDist);
+}
+
+class BfVsDijkstra
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(BfVsDijkstra, DistancesAgree) {
+  const auto [n, seed] = GetParam();
+  auto g = test::random_graph(n, static_cast<eid_t>(n) * 6, seed);
+  auto bf = bellman_ford(g, 0);
+  auto dj = dijkstra(GraphView(g), 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (bf.dist[v] == kInfDist) {
+      EXPECT_EQ(dj.dist[v], kInfDist);
+    } else {
+      EXPECT_NEAR(bf.dist[v], dj.dist[v], 1e-9) << "vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, BfVsDijkstra,
+    ::testing::Combine(::testing::Values(30, 100, 300),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+}  // namespace
+}  // namespace peek::sssp

@@ -1,0 +1,83 @@
+#include "ksp/bruteforce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace peek::ksp {
+namespace {
+
+TEST(Bruteforce, Diamond) {
+  // 0 -> {1, 2} -> 3: exactly two simple paths.
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {0, 2, 2.0}, {1, 3, 1.0},
+                                 {2, 3, 1.0}});
+  auto all = enumerate_all_simple_paths(sssp::GraphView(g), 0, 3);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0].dist, 2.0);
+  EXPECT_DOUBLE_EQ(all[1].dist, 3.0);
+}
+
+TEST(Bruteforce, KLimitsOutput) {
+  auto g = graph::complete(5, {graph::WeightKind::kUniform01, 1});
+  auto r = bruteforce_ksp(g, 0, 4, 3);
+  EXPECT_EQ(r.paths.size(), 3u);
+  test::check_ksp_invariants(g, 0, 4, r.paths);
+}
+
+TEST(Bruteforce, FewerPathsThanK) {
+  auto g = graph::path(4, {graph::WeightKind::kUnit, 1});
+  auto r = bruteforce_ksp(g, 0, 3, 10);
+  EXPECT_EQ(r.paths.size(), 1u);
+}
+
+TEST(Bruteforce, NoPath) {
+  auto g = graph::from_edges(3, {{1, 0, 1.0}});
+  EXPECT_TRUE(bruteforce_ksp(g, 0, 2, 5).paths.empty());
+}
+
+TEST(Bruteforce, CyclesAreExcluded) {
+  // 0 <-> 1 -> 2: the only simple paths to 2 are 0-1-2.
+  auto g = graph::from_edges(3, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}});
+  auto all = enumerate_all_simple_paths(sssp::GraphView(g), 0, 2);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].verts, (std::vector<vid_t>{0, 1, 2}));
+}
+
+TEST(Bruteforce, ExplosionGuardThrows) {
+  auto g = graph::complete(10, {graph::WeightKind::kUnit, 1});
+  BruteforceOptions opts;
+  opts.k = 5;
+  opts.max_paths = 100;  // far fewer than the ~100k simple paths
+  EXPECT_THROW(bruteforce_ksp(sssp::GraphView(g), 0, 9, opts),
+               std::runtime_error);
+}
+
+TEST(Bruteforce, PaperExampleTopThree) {
+  auto ex = test::paper_example_graph();
+  auto r = bruteforce_ksp(ex.g, ex.s, ex.t, 3);
+  ASSERT_EQ(r.paths.size(), 3u);
+  // Figure 2(d): s f j t (11), s g l t (12), s g l q t (14).
+  EXPECT_DOUBLE_EQ(r.paths[0].dist, 11.0);
+  EXPECT_DOUBLE_EQ(r.paths[1].dist, 12.0);
+  EXPECT_DOUBLE_EQ(r.paths[2].dist, 14.0);
+  EXPECT_EQ(r.paths[0].verts,
+            (std::vector<vid_t>{ex.s, ex.id.at("f"), ex.id.at("j"), ex.t}));
+  EXPECT_EQ(r.paths[1].verts,
+            (std::vector<vid_t>{ex.s, ex.id.at("g"), ex.id.at("l"), ex.t}));
+  EXPECT_EQ(r.paths[2].verts,
+            (std::vector<vid_t>{ex.s, ex.id.at("g"), ex.id.at("l"),
+                                ex.id.at("q"), ex.t}));
+}
+
+TEST(Bruteforce, RespectsViewMasks) {
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {0, 2, 2.0}, {1, 3, 1.0},
+                                 {2, 3, 1.0}});
+  std::vector<std::uint8_t> valive{1, 0, 1, 1};
+  sssp::GraphView view(g, valive.data(), nullptr);
+  auto all = enumerate_all_simple_paths(view, 0, 3);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_DOUBLE_EQ(all[0].dist, 3.0);  // forced through 2
+}
+
+}  // namespace
+}  // namespace peek::ksp

@@ -1,0 +1,89 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peek::graph {
+namespace {
+
+TEST(Builder, BuildsSortedCsr) {
+  Builder b(4);
+  b.add_edge(2, 0, 1.0);
+  b.add_edge(0, 3, 2.0);
+  b.add_edge(0, 1, 3.0);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.num_edges(), 3);
+  // Row 0 sorted by destination.
+  EXPECT_EQ(g.edge_target(g.edge_begin(0)), 1);
+  EXPECT_EQ(g.edge_target(g.edge_begin(0) + 1), 3);
+}
+
+TEST(Builder, DropsSelfLoops) {
+  Builder b(3);
+  b.add_edge(1, 1, 1.0);
+  b.add_edge(0, 1, 1.0);
+  EXPECT_EQ(b.build().num_edges(), 1);
+}
+
+TEST(Builder, KeepsSelfLoopsWhenDedupOff) {
+  Builder b(3);
+  b.set_dedup(false);
+  b.add_edge(1, 1, 1.0);
+  EXPECT_EQ(b.build().num_edges(), 1);
+}
+
+TEST(Builder, ParallelEdgesKeepLightest) {
+  Builder b(2);
+  b.add_edge(0, 1, 5.0);
+  b.add_edge(0, 1, 2.0);
+  b.add_edge(0, 1, 9.0);
+  CsrGraph g = b.build();
+  ASSERT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 2.0);
+}
+
+TEST(Builder, UndirectedAddsBothArcs) {
+  Builder b(2);
+  b.add_undirected_edge(0, 1, 1.5);
+  CsrGraph g = b.build();
+  EXPECT_NE(g.find_edge(0, 1), kNoEdge);
+  EXPECT_NE(g.find_edge(1, 0), kNoEdge);
+}
+
+TEST(Builder, RejectsOutOfRange) {
+  Builder b(2);
+  EXPECT_THROW(b.add_edge(0, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add_edge(-1, 0, 1.0), std::out_of_range);
+}
+
+TEST(Builder, RejectsNonPositiveWeights) {
+  // Definition 1 requires w > 0.
+  Builder b(2);
+  EXPECT_THROW(b.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Builder, ReusableAfterBuild) {
+  Builder b(3);
+  b.add_edge(0, 1, 1.0);
+  CsrGraph g1 = b.build();
+  b.add_edge(1, 2, 1.0);
+  CsrGraph g2 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1);
+  EXPECT_EQ(g2.num_edges(), 2);
+}
+
+TEST(FromEdges, Convenience) {
+  CsrGraph g = from_edges(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(Builder, EmptyBuild) {
+  Builder b(5);
+  CsrGraph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace peek::graph

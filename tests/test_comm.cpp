@@ -1,0 +1,141 @@
+#include "dist/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace peek::dist {
+namespace {
+
+TEST(Comm, RankAndSize) {
+  std::atomic<int> seen{0};
+  run_ranks(4, [&](Comm& c) {
+    EXPECT_EQ(c.size(), 4);
+    EXPECT_GE(c.rank(), 0);
+    EXPECT_LT(c.rank(), 4);
+    seen.fetch_add(1);
+  });
+  EXPECT_EQ(seen.load(), 4);
+}
+
+TEST(Comm, PointToPoint) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send<int>(1, 7, {1, 2, 3});
+      auto back = c.recv<int>(1, 8);
+      EXPECT_EQ(back, (std::vector<int>{6}));
+    } else {
+      auto v = c.recv<int>(0, 7);
+      EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+      c.send<int>(0, 8, {std::accumulate(v.begin(), v.end(), 0)});
+    }
+  });
+}
+
+TEST(Comm, TagsMatchIndependently) {
+  // Messages with different tags must not cross-match even when the low-tag
+  // one is sent last.
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send<int>(1, 20, {20});
+      c.send<int>(1, 10, {10});
+    } else {
+      EXPECT_EQ(c.recv<int>(0, 10)[0], 10);
+      EXPECT_EQ(c.recv<int>(0, 20)[0], 20);
+    }
+  });
+}
+
+TEST(Comm, SelfSend) {
+  run_ranks(1, [](Comm& c) {
+    c.send<double>(0, 1, {3.5});
+    EXPECT_DOUBLE_EQ(c.recv<double>(0, 1)[0], 3.5);
+  });
+}
+
+TEST(Comm, EmptyPayload) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) c.send<int>(1, 1, {});
+    else EXPECT_TRUE(c.recv<int>(0, 1).empty());
+  });
+}
+
+TEST(Comm, BarrierIsReusable) {
+  std::atomic<int> phase_sum{0};
+  run_ranks(3, [&](Comm& c) {
+    for (int round = 0; round < 5; ++round) {
+      phase_sum.fetch_add(1);
+      c.barrier();
+      // After each barrier everyone observed all increments of the round.
+      EXPECT_EQ(phase_sum.load() % 3, 0);
+      c.barrier();
+    }
+  });
+}
+
+TEST(Comm, Allgather) {
+  run_ranks(4, [](Comm& c) {
+    auto all = c.allgather(c.rank() * 10);
+    EXPECT_EQ(all, (std::vector<int>{0, 10, 20, 30}));
+  });
+}
+
+TEST(Comm, Allgatherv) {
+  run_ranks(3, [](Comm& c) {
+    std::vector<int> mine(static_cast<size_t>(c.rank()), c.rank());
+    auto all = c.allgatherv(mine);
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_TRUE(all[0].empty());
+    EXPECT_EQ(all[1], (std::vector<int>{1}));
+    EXPECT_EQ(all[2], (std::vector<int>{2, 2}));
+  });
+}
+
+TEST(Comm, Reductions) {
+  run_ranks(4, [](Comm& c) {
+    EXPECT_EQ(c.allreduce_sum(c.rank() + 1), 10);
+    EXPECT_EQ(c.allreduce_min(10 - c.rank()), 7);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(0.5), 2.0);
+  });
+}
+
+TEST(Comm, Broadcast) {
+  run_ranks(3, [](Comm& c) {
+    std::vector<int> mine =
+        c.rank() == 1 ? std::vector<int>{4, 5, 6} : std::vector<int>{};
+    auto got = c.broadcast(mine, 1);
+    EXPECT_EQ(got, (std::vector<int>{4, 5, 6}));
+  });
+}
+
+TEST(Comm, AllToAll) {
+  run_ranks(3, [](Comm& c) {
+    // Rank r sends {r*10 + dest} to each dest.
+    std::vector<std::vector<int>> out(3);
+    for (int d = 0; d < 3; ++d) out[d] = {c.rank() * 10 + d};
+    auto in = c.all_to_all(out, 42);
+    for (int src = 0; src < 3; ++src)
+      EXPECT_EQ(in[src], (std::vector<int>{src * 10 + c.rank()}));
+  });
+}
+
+TEST(Comm, ExceptionPropagates) {
+  EXPECT_THROW(run_ranks(2, [](Comm& c) {
+                 if (c.rank() == 1) throw std::runtime_error("boom");
+                 // rank 0 exits normally without waiting
+               }),
+               std::runtime_error);
+}
+
+TEST(Comm, StressManyRanksCollectives) {
+  run_ranks(16, [](Comm& c) {
+    for (int i = 0; i < 10; ++i) {
+      const int total = c.allreduce_sum(1);
+      EXPECT_EQ(total, 16);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace peek::dist

@@ -1,0 +1,111 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace peek::graph {
+namespace {
+
+CsrGraph triangle() {
+  // 0 -> 1 (1.0), 1 -> 2 (2.0), 2 -> 0 (3.0)
+  return CsrGraph({0, 1, 2, 3}, {1, 2, 0}, {1.0, 2.0, 3.0});
+}
+
+TEST(CsrGraph, BasicAccessors) {
+  CsrGraph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.edge_target(g.edge_begin(1)), 2);
+  EXPECT_DOUBLE_EQ(g.edge_weight(g.edge_begin(2)), 3.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 6.0);
+}
+
+TEST(CsrGraph, NeighborSpans) {
+  CsrGraph g = triangle();
+  auto nbrs = g.neighbors(1);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], 2);
+  auto ws = g.neighbor_weights(1);
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_DOUBLE_EQ(ws[0], 2.0);
+}
+
+TEST(CsrGraph, FindEdge) {
+  CsrGraph g = triangle();
+  EXPECT_NE(g.find_edge(0, 1), kNoEdge);
+  EXPECT_EQ(g.find_edge(0, 2), kNoEdge);
+  EXPECT_EQ(g.find_edge(1, 0), kNoEdge);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  CsrGraph g({0}, {}, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(CsrGraph, IsolatedVertices) {
+  CsrGraph g({0, 0, 0, 0}, {}, {});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(CsrGraph, RejectsBadOffsets) {
+  EXPECT_THROW(CsrGraph({0, 2, 1}, {0, 0}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph({1, 2}, {0}, {1}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph({}, {}, {}), std::invalid_argument);
+}
+
+TEST(CsrGraph, RejectsColumnOutOfRange) {
+  EXPECT_THROW(CsrGraph({0, 1}, {5}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph({0, 1}, {-1}, {1.0}), std::invalid_argument);
+}
+
+TEST(CsrGraph, RejectsSizeMismatch) {
+  EXPECT_THROW(CsrGraph({0, 1}, {0}, {}), std::invalid_argument);
+}
+
+TEST(Transpose, ReversesEveryEdge) {
+  CsrGraph g = triangle();
+  CsrGraph r = transpose(g);
+  EXPECT_EQ(r.num_vertices(), 3);
+  EXPECT_EQ(r.num_edges(), 3);
+  // 0 -> 1 becomes 1 -> 0 etc., weights preserved.
+  const eid_t e = r.find_edge(1, 0);
+  ASSERT_NE(e, kNoEdge);
+  EXPECT_DOUBLE_EQ(r.edge_weight(e), 1.0);
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  auto g = test::random_graph(64, 256, 42);
+  CsrGraph tt = transpose(transpose(g));
+  EXPECT_TRUE(g == tt);
+}
+
+TEST(Transpose, CachedReverseMatchesFreeFunction) {
+  auto g = test::random_graph(32, 100, 7);
+  const CsrGraph& cached = g.reverse();
+  CsrGraph direct = transpose(g);
+  EXPECT_TRUE(cached == direct);
+  // Second call returns the same object (cache hit).
+  EXPECT_EQ(&g.reverse(), &cached);
+}
+
+TEST(Transpose, PreservesParallelStructureCounts) {
+  auto g = test::random_graph(50, 400, 9);
+  CsrGraph r = transpose(g);
+  // In-degree of v in g == out-degree of v in r.
+  std::vector<int> indeg(50, 0);
+  for (eid_t e = 0; e < g.num_edges(); ++e) indeg[g.col()[e]]++;
+  for (vid_t v = 0; v < 50; ++v) EXPECT_EQ(r.degree(v), indeg[v]);
+}
+
+TEST(CsrGraph, EqualityDetectsWeightChange) {
+  CsrGraph a = triangle();
+  CsrGraph b({0, 1, 2, 3}, {1, 2, 0}, {1.0, 2.0, 3.5});
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace peek::graph

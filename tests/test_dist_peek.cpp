@@ -1,0 +1,85 @@
+#include "dist/dist_peek.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ksp/bruteforce.hpp"
+#include "test_util.hpp"
+
+namespace peek::dist {
+namespace {
+
+void expect_matches_serial_peek(const graph::CsrGraph& g, vid_t s, vid_t t,
+                                int k, int ranks) {
+  core::PeekOptions po;
+  po.k = k;
+  auto serial = core::peek_ksp(g, s, t, po);
+  std::vector<std::vector<sssp::Path>> per_rank(static_cast<size_t>(ranks));
+  run_ranks(ranks, [&](Comm& c) {
+    DistPeekOptions opts;
+    opts.k = k;
+    auto r = dist_peek_ksp(c, g, s, t, opts);
+    per_rank[static_cast<size_t>(c.rank())] = r.ksp.paths;
+  });
+  for (int r = 0; r < ranks; ++r) {
+    SCOPED_TRACE(r);
+    test::expect_same_distances(serial.ksp.paths,
+                                per_rank[static_cast<size_t>(r)]);
+  }
+  if (!per_rank[0].empty()) test::check_ksp_invariants(g, s, t, per_rank[0]);
+}
+
+TEST(DistPeek, PaperExample) {
+  auto ex = test::paper_example_graph();
+  run_ranks(3, [&](Comm& c) {
+    DistPeekOptions opts;
+    opts.k = 3;
+    auto r = dist_peek_ksp(c, ex.g, ex.s, ex.t, opts);
+    ASSERT_EQ(r.ksp.paths.size(), 3u);
+    EXPECT_DOUBLE_EQ(r.ksp.paths[0].dist, 11.0);
+    EXPECT_DOUBLE_EQ(r.ksp.paths[2].dist, 14.0);
+    EXPECT_DOUBLE_EQ(r.upper_bound, 14.0);
+    EXPECT_EQ(r.kept_vertices, 7);
+  });
+}
+
+TEST(DistPeek, MatchesSerialAcrossRankCounts) {
+  auto g = test::random_graph(120, 960, 801);
+  for (int ranks : {1, 2, 4}) expect_matches_serial_peek(g, 0, 60, 8, ranks);
+}
+
+TEST(DistPeek, UnitWeights) {
+  auto g = test::random_graph(100, 1000, 803, /*unit_weights=*/true);
+  expect_matches_serial_peek(g, 0, 50, 6, 3);
+}
+
+TEST(DistPeek, UnreachablePair) {
+  auto g = graph::from_edges(6, {{1, 0, 1.0}, {2, 3, 1.0}});
+  run_ranks(2, [&](Comm& c) {
+    auto r = dist_peek_ksp(c, g, 0, 5, {});
+    EXPECT_TRUE(r.ksp.paths.empty());
+  });
+}
+
+TEST(DistPeek, ReportsRelaxedEdges) {
+  auto g = test::random_graph(100, 800, 805);
+  run_ranks(2, [&](Comm& c) {
+    DistPeekOptions opts;
+    opts.k = 4;
+    auto r = dist_peek_ksp(c, g, 0, 50, opts);
+    EXPECT_GT(r.edges_relaxed, 0);
+  });
+}
+
+TEST(DistPeek, MatchesOracleOnSmallGraph) {
+  auto g = test::random_graph(28, 80, 807);
+  auto oracle = ksp::bruteforce_ksp(g, 0, 14, 6);
+  run_ranks(2, [&](Comm& c) {
+    DistPeekOptions opts;
+    opts.k = 6;
+    auto r = dist_peek_ksp(c, g, 0, 14, opts);
+    test::expect_same_distances(oracle.paths, r.ksp.paths);
+  });
+}
+
+}  // namespace
+}  // namespace peek::dist

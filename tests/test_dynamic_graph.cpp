@@ -1,0 +1,134 @@
+#include "dyn/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace peek::dyn {
+namespace {
+
+std::vector<std::pair<vid_t, weight_t>> neighbors_of(const DynamicGraph& g,
+                                                     vid_t v) {
+  std::vector<std::pair<vid_t, weight_t>> out;
+  g.for_each_neighbor(v, [&](vid_t w, weight_t wt) { out.push_back({w, wt}); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DynamicGraph, InsertAndIterate) {
+  DynamicGraph g(3);
+  g.insert_edge(0, 1, 1.5);
+  g.insert_edge(0, 2, 2.5);
+  EXPECT_EQ(g.num_edges(), 2);
+  auto n = neighbors_of(g, 0);
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n[0].first, 1);
+  EXPECT_DOUBLE_EQ(n[1].second, 2.5);
+}
+
+TEST(DynamicGraph, InlineOverflowBoundary) {
+  // Push past the inline level into the sorted overflow.
+  DynamicGraph g(40);
+  for (vid_t v = 1; v < 30; ++v) g.insert_edge(0, v, 1.0);
+  EXPECT_EQ(g.out_degree(0), 29);
+  EXPECT_EQ(neighbors_of(g, 0).size(), 29u);
+}
+
+TEST(DynamicGraph, DeleteFromInline) {
+  DynamicGraph g(5);
+  g.insert_edge(0, 1, 1.0);
+  g.insert_edge(0, 2, 2.0);
+  EXPECT_TRUE(g.delete_edge(0, 1));
+  EXPECT_FALSE(g.delete_edge(0, 1));  // already gone
+  EXPECT_EQ(g.num_edges(), 1);
+  auto n = neighbors_of(g, 0);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0].first, 2);
+}
+
+TEST(DynamicGraph, DeleteFromOverflow) {
+  DynamicGraph g(40);
+  for (vid_t v = 1; v < 20; ++v) g.insert_edge(0, v, static_cast<weight_t>(v));
+  // Vertex 15 certainly lives in the overflow level.
+  EXPECT_TRUE(g.delete_edge(0, 15));
+  EXPECT_EQ(g.out_degree(0), 18);
+  auto n = neighbors_of(g, 0);
+  for (const auto& [w, wt] : n) EXPECT_NE(w, 15);
+}
+
+TEST(DynamicGraph, DeleteBackfillsInlineFromOverflow) {
+  DynamicGraph g(40);
+  for (vid_t v = 1; v <= 12; ++v) g.insert_edge(0, v, 1.0);
+  // Delete an inline edge; an overflow edge should take its slot, keeping
+  // the total intact.
+  EXPECT_TRUE(g.delete_edge(0, 1));
+  EXPECT_EQ(g.out_degree(0), 11);
+  EXPECT_EQ(neighbors_of(g, 0).size(), 11u);
+}
+
+TEST(DynamicGraph, DeleteVertexHidesInEdges) {
+  DynamicGraph g(3);
+  g.insert_edge(0, 1, 1.0);
+  g.insert_edge(1, 2, 1.0);
+  g.delete_vertex(1);
+  EXPECT_FALSE(g.vertex_alive(1));
+  EXPECT_EQ(g.out_degree(1), 0);
+  // 0's edge to 1 is skipped at traversal time.
+  EXPECT_TRUE(neighbors_of(g, 0).empty());
+}
+
+TEST(DynamicGraph, BulkLoadFromCsrRoundTrips) {
+  auto csr = test::random_graph(60, 500, 501);
+  DynamicGraph g(csr);
+  EXPECT_EQ(g.num_edges(), csr.num_edges());
+  auto back = g.to_csr();
+  EXPECT_EQ(back.num_vertices(), csr.num_vertices());
+  EXPECT_EQ(back.num_edges(), csr.num_edges());
+  for (vid_t v = 0; v < 60; ++v) EXPECT_EQ(back.degree(v), csr.degree(v));
+}
+
+TEST(DynamicGraph, MassDeletionMatchesFilteredCsr) {
+  auto csr = test::random_graph(50, 400, 503);
+  DynamicGraph g(csr);
+  for (vid_t v = 25; v < 50; ++v) g.delete_vertex(v);
+  auto back = g.to_csr();
+  eid_t expected = 0;
+  for (vid_t u = 0; u < 25; ++u) {
+    for (eid_t e = csr.edge_begin(u); e < csr.edge_end(u); ++e)
+      if (csr.edge_target(e) < 25) expected++;
+  }
+  EXPECT_EQ(back.num_edges(), expected);
+}
+
+TEST(DynamicGraph, PromotesHubsToTreeLevel) {
+  DynamicGraph g(300);
+  // Push far past the tree threshold.
+  for (vid_t v = 1; v <= 250; ++v) g.insert_edge(0, v, 1.0);
+  EXPECT_EQ(g.level_of(0), DynamicGraph::Level::kTree);
+  EXPECT_EQ(g.out_degree(0), 250);
+  EXPECT_EQ(neighbors_of(g, 0).size(), 250u);
+  // Deletion still works at the tree level.
+  EXPECT_TRUE(g.delete_edge(0, 200));
+  EXPECT_FALSE(g.delete_edge(0, 200));
+  EXPECT_EQ(g.out_degree(0), 249);
+}
+
+TEST(DynamicGraph, LowDegreeStaysInline) {
+  DynamicGraph g(10);
+  for (vid_t v = 1; v <= 5; ++v) g.insert_edge(0, v, 1.0);
+  EXPECT_EQ(g.level_of(0), DynamicGraph::Level::kInline);
+  for (vid_t v = 6; v <= 9; ++v) g.insert_edge(0, v, 1.0);
+  EXPECT_EQ(g.level_of(0), DynamicGraph::Level::kOverflow);
+}
+
+TEST(DynamicGraph, TreeLevelRoundTripsThroughCsr) {
+  DynamicGraph g(300);
+  for (vid_t v = 1; v <= 250; ++v) g.insert_edge(0, v, double(v));
+  auto csr = g.to_csr();
+  EXPECT_EQ(csr.degree(0), 250);
+  EXPECT_DOUBLE_EQ(csr.edge_weight(csr.find_edge(0, 42)), 42.0);
+}
+
+}  // namespace
+}  // namespace peek::dyn
+

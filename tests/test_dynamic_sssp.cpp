@@ -1,0 +1,63 @@
+#include "dyn/dynamic_sssp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace peek::dyn {
+namespace {
+
+TEST(DynamicSssp, MatchesStaticDijkstra) {
+  auto csr = test::random_graph(150, 1200, 511);
+  DynamicGraph g(csr);
+  auto dynamic = dynamic_dijkstra(g, 0);
+  auto baseline = sssp::dijkstra(sssp::GraphView(csr), 0);
+  for (vid_t v = 0; v < 150; ++v) {
+    if (baseline.dist[v] == kInfDist) {
+      EXPECT_EQ(dynamic.dist[v], kInfDist);
+    } else {
+      EXPECT_NEAR(dynamic.dist[v], baseline.dist[v], 1e-9) << v;
+    }
+  }
+}
+
+TEST(DynamicSssp, SeesDeletions) {
+  // 0 -> 1 -> 3 (2) vs 0 -> 2 -> 3 (4); delete the fast middle vertex.
+  auto csr = graph::from_edges(
+      4, {{0, 1, 1.0}, {1, 3, 1.0}, {0, 2, 2.0}, {2, 3, 2.0}});
+  DynamicGraph g(csr);
+  g.delete_vertex(1);
+  auto r = dynamic_dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 4.0);
+  EXPECT_EQ(r.dist[1], kInfDist);
+}
+
+TEST(DynamicSssp, SeesEdgeDeletions) {
+  auto csr = graph::from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}});
+  DynamicGraph g(csr);
+  g.delete_edge(1, 2);
+  auto r = dynamic_dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 5.0);
+}
+
+TEST(DynamicSssp, EarlyExit) {
+  auto csr = test::random_graph(100, 800, 513);
+  DynamicGraph g(csr);
+  auto full = dynamic_dijkstra(g, 0);
+  auto early = dynamic_dijkstra(g, 0, 50);
+  if (full.dist[50] != kInfDist) {
+    EXPECT_NEAR(early.dist[50], full.dist[50], 1e-9);
+  }
+}
+
+TEST(DynamicSssp, InvalidSource) {
+  DynamicGraph g(3);
+  EXPECT_EQ(dynamic_dijkstra(g, -1).dist[0], kInfDist);
+  auto csr = graph::from_edges(3, {{0, 1, 1.0}});
+  DynamicGraph g2(csr);
+  g2.delete_vertex(0);
+  EXPECT_EQ(dynamic_dijkstra(g2, 0).dist[1], kInfDist);
+}
+
+}  // namespace
+}  // namespace peek::dyn

@@ -1,0 +1,146 @@
+// Boundary conditions across the public API surface: trivial graphs,
+// s == t, K larger than the path space, single-vertex graphs, and other
+// corners a downstream user will eventually hit.
+#include <gtest/gtest.h>
+
+#include "core/peek.hpp"
+#include "core/shortest_k_group.hpp"
+#include "dist/dist_peek.hpp"
+#include "ksp/hop_limited.hpp"
+#include "ksp/optyen.hpp"
+#include "ksp/pnc.hpp"
+#include "ksp/sidetrack.hpp"
+#include "test_util.hpp"
+
+namespace peek {
+namespace {
+
+TEST(EdgeCases, SingleVertexGraph) {
+  graph::CsrGraph g({0, 0}, {}, {});
+  core::PeekOptions po;
+  po.k = 3;
+  auto r = core::peek_ksp(g, 0, 0, po);
+  // s == t: the trivial empty path is the unique simple path.
+  ASSERT_EQ(r.ksp.paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.ksp.paths[0].dist, 0.0);
+}
+
+TEST(EdgeCases, SourceEqualsTargetEveryAlgorithm) {
+  auto g = test::random_graph(30, 120, 1011);
+  ksp::KspOptions ko;
+  ko.k = 2;
+  for (auto run : {+[](const graph::CsrGraph& gg, ksp::KspOptions o) {
+                     return ksp::optyen_ksp(gg, 5, 5, o);
+                   },
+                   +[](const graph::CsrGraph& gg, ksp::KspOptions o) {
+                     return ksp::sb_ksp(gg, 5, 5, o);
+                   },
+                   +[](const graph::CsrGraph& gg, ksp::KspOptions o) {
+                     return ksp::pnc_ksp(gg, 5, 5, o);
+                   }}) {
+    auto r = run(g, ko);
+    ASSERT_GE(r.paths.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.paths[0].dist, 0.0);
+    EXPECT_EQ(r.paths[0].verts, (std::vector<vid_t>{5}));
+  }
+}
+
+TEST(EdgeCases, TwoVertexGraph) {
+  auto g = graph::from_edges(2, {{0, 1, 2.5}});
+  core::PeekOptions po;
+  po.k = 5;
+  auto r = core::peek_ksp(g, 0, 1, po);
+  ASSERT_EQ(r.ksp.paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.ksp.paths[0].dist, 2.5);
+  EXPECT_DOUBLE_EQ(r.upper_bound, kInfDist);  // fewer than K estimates
+}
+
+TEST(EdgeCases, KEqualsPathCountExactly) {
+  // Diamond: exactly 2 paths; K = 2 must not trigger extra work or misses.
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {0, 2, 2.0}, {1, 3, 1.0},
+                                 {2, 3, 1.0}});
+  core::PeekOptions po;
+  po.k = 2;
+  auto r = core::peek_ksp(g, 0, 3, po);
+  ASSERT_EQ(r.ksp.paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.upper_bound, 3.0);  // both estimates exist
+}
+
+TEST(EdgeCases, SelfLoopsNeverAppear) {
+  // Builder drops self-loops, but a hand-built CSR may carry them; no
+  // algorithm may put one on a simple path.
+  graph::CsrGraph g({0, 2, 3, 3}, {0, 1, 2}, {0.1, 1.0, 1.0});
+  ksp::KspOptions ko;
+  ko.k = 4;
+  auto r = ksp::optyen_ksp(g, 0, 2, ko);
+  for (const auto& p : r.paths) EXPECT_TRUE(sssp::is_simple(p));
+}
+
+TEST(EdgeCases, ParallelKZero) {
+  auto g = test::random_graph(20, 60, 1013);
+  core::PeekOptions po;
+  po.k = 0;
+  po.parallel = true;
+  EXPECT_TRUE(core::peek_ksp(g, 0, 10, po).ksp.paths.empty());
+}
+
+TEST(EdgeCases, HugeKTerminates) {
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {0, 2, 2.0}, {1, 3, 1.0},
+                                 {2, 3, 1.0}});
+  core::PeekOptions po;
+  po.k = 1 << 20;
+  auto r = core::peek_ksp(g, 0, 3, po);
+  EXPECT_EQ(r.ksp.paths.size(), 2u);
+}
+
+TEST(EdgeCases, DistPeekSingleRankTrivialGraph) {
+  auto g = graph::from_edges(2, {{0, 1, 1.0}});
+  dist::run_ranks(1, [&](dist::Comm& c) {
+    auto r = dist_peek_ksp(c, g, 0, 1, {});
+    ASSERT_EQ(r.ksp.paths.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.ksp.paths[0].dist, 1.0);
+  });
+}
+
+TEST(EdgeCases, DistPeekMoreRanksThanVertices) {
+  auto g = graph::from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  dist::run_ranks(6, [&](dist::Comm& c) {
+    dist::DistPeekOptions opts;
+    opts.k = 2;
+    auto r = dist_peek_ksp(c, g, 0, 2, opts);
+    ASSERT_EQ(r.ksp.paths.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.ksp.paths[0].dist, 2.0);
+  });
+}
+
+TEST(EdgeCases, GroupsOnSingletonPathSpace) {
+  auto g = graph::from_edges(2, {{0, 1, 1.0}});
+  auto r = core::shortest_k_groups(g, 0, 1, 5);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(EdgeCases, HopLimitedWithBudgetOne) {
+  auto g = graph::from_edges(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 9.0}});
+  auto r = ksp::hop_limited_ksp(g, 0, 2, 3, 1);
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.paths[0].dist, 9.0);
+}
+
+TEST(EdgeCases, DisconnectedSelfContainedComponents) {
+  // Query inside one component must be oblivious to the other.
+  graph::Builder b(8);
+  for (vid_t v = 0; v < 3; ++v) b.add_edge(v, v + 1, 1.0);
+  for (vid_t v = 4; v < 7; ++v) b.add_edge(v, v + 1, 1.0);
+  auto g = b.build();
+  core::PeekOptions po;
+  po.k = 2;
+  auto r = core::peek_ksp(g, 4, 7, po);
+  ASSERT_EQ(r.ksp.paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.ksp.paths[0].dist, 3.0);
+  // The other component is entirely pruned.
+  EXPECT_LE(r.kept_vertices, 4);
+}
+
+}  // namespace
+}  // namespace peek

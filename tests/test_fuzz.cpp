@@ -1,0 +1,148 @@
+// Model-based randomized tests: each component is driven with random
+// operation sequences and checked against a trivially correct reference
+// model after every step (or at checkpoints).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+#include "dyn/dynamic_graph.hpp"
+#include "dyn/dynamic_sssp.hpp"
+#include "ksp/path_set.hpp"
+#include "test_util.hpp"
+
+namespace peek {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DynamicGraph vs a map<pair, multiset<weight>> reference model.
+
+class DynamicGraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicGraphFuzz, MatchesReferenceModel) {
+  constexpr vid_t kN = 40;
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<vid_t> pick(0, kN - 1);
+  std::uniform_int_distribution<int> op(0, 99);
+  std::uniform_real_distribution<double> wgt(0.1, 2.0);
+
+  dyn::DynamicGraph g(kN);
+  std::map<std::pair<vid_t, vid_t>, int> model;  // edge -> multiplicity
+  std::set<vid_t> dead;
+
+  for (int step = 0; step < 3000; ++step) {
+    const int o = op(rng);
+    const vid_t u = pick(rng), v = pick(rng);
+    if (o < 55) {  // insert
+      if (dead.count(u) || dead.count(v)) continue;
+      g.insert_edge(u, v, wgt(rng));
+      model[{u, v}]++;
+    } else if (o < 90) {  // delete edge
+      const bool did = g.delete_edge(u, v);
+      auto it = model.find({u, v});
+      const bool expected = it != model.end() && it->second > 0 && !dead.count(u);
+      EXPECT_EQ(did, expected) << "step " << step;
+      if (did && it != model.end() && --it->second == 0) model.erase(it);
+    } else if (o < 95 && dead.size() < kN / 2) {  // delete vertex
+      g.delete_vertex(u);
+      if (!dead.count(u)) {
+        for (auto it = model.begin(); it != model.end();) {
+          if (it->first.first == u) it = model.erase(it);
+          else ++it;
+        }
+        dead.insert(u);
+      }
+    } else {  // checkpoint: degrees match the model
+      eid_t expected_deg = 0;
+      for (const auto& [e, count] : model)
+        if (e.first == u) expected_deg += count;
+      if (dead.count(u)) expected_deg = 0;
+      EXPECT_EQ(g.out_degree(u), expected_deg) << "step " << step;
+    }
+  }
+  // Final full comparison of live edges (dead targets are hidden).
+  for (vid_t u = 0; u < kN; ++u) {
+    std::map<vid_t, int> seen;
+    g.for_each_neighbor(u, [&](vid_t w, weight_t) { seen[w]++; });
+    std::map<vid_t, int> expected;
+    for (const auto& [e, count] : model) {
+      if (e.first == u && !dead.count(e.second)) expected[e.second] += count;
+    }
+    EXPECT_EQ(seen, expected) << "vertex " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicGraphFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// After random mutations, SSSP over the container equals SSSP over its
+// re-packed CSR.
+
+class DynamicSsspFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicSsspFuzz, SsspMatchesRepackedCsr) {
+  auto base = test::random_graph(60, 400, GetParam());
+  dyn::DynamicGraph g(base);
+  std::mt19937_64 rng(GetParam() * 31);
+  std::uniform_int_distribution<vid_t> pick(0, 59);
+  for (int i = 0; i < 150; ++i) {
+    const vid_t u = pick(rng), v = pick(rng);
+    if (i % 7 == 0) g.delete_vertex(pick(rng));
+    else g.delete_edge(u, v);
+  }
+  auto repacked = g.to_csr();
+  auto a = dyn::dynamic_dijkstra(g, 0);
+  auto b = sssp::dijkstra(sssp::GraphView(repacked), 0);
+  for (vid_t v = 0; v < 60; ++v) {
+    if (g.vertex_alive(0) && b.dist[v] != kInfDist) {
+      EXPECT_NEAR(a.dist[v], b.dist[v], 1e-9) << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicSsspFuzz,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+// ---------------------------------------------------------------------------
+// CandidateSet vs a sorted reference multiset.
+
+TEST(CandidateSetFuzz, PopsGlobalMinimumAlways) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> d(0, 10);
+  std::uniform_int_distribution<vid_t> pick(0, 30);
+  ksp::CandidateSet cs;
+  std::multimap<double, std::vector<vid_t>> model;
+  std::set<std::vector<vid_t>> ever;
+  for (int step = 0; step < 2000; ++step) {
+    if (step % 3 != 2) {
+      sssp::Path p;
+      p.verts = {0, pick(rng), pick(rng), 31};
+      p.dist = d(rng);
+      const bool fresh = ever.insert(p.verts).second;
+      auto verts = p.verts;
+      const double dist = p.dist;
+      EXPECT_EQ(cs.push(std::move(p), 0), fresh);
+      if (fresh) model.insert({dist, verts});
+    } else if (!model.empty()) {
+      auto got = cs.pop_min();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_NEAR(got->path.dist, model.begin()->first, 1e-12);
+      // Remove the matching model entry (same verts).
+      auto [lo, hi] = model.equal_range(got->path.dist);
+      bool erased = false;
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == got->path.verts) {
+          model.erase(it);
+          erased = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(erased);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace peek

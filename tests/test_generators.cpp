@@ -1,0 +1,112 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+
+namespace peek::graph {
+namespace {
+
+TEST(Generators, RmatSizes) {
+  auto g = rmat(10, 8);
+  EXPECT_EQ(g.num_vertices(), 1024);
+  // Dedup may remove some of the n * edge_factor generated edges.
+  EXPECT_GT(g.num_edges(), 1024 * 4);
+  EXPECT_LE(g.num_edges(), 1024 * 8);
+}
+
+TEST(Generators, RmatDeterministic) {
+  EXPECT_TRUE(rmat(8, 8, {}, 5) == rmat(8, 8, {}, 5));
+  EXPECT_FALSE(rmat(8, 8, {}, 5) == rmat(8, 8, {}, 6));
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // R-MAT's defining property: a heavy-tailed degree distribution.
+  auto g = rmat(12, 16);
+  auto s = compute_stats(g);
+  EXPECT_GT(s.max_out_degree, 8 * static_cast<eid_t>(s.avg_out_degree));
+}
+
+TEST(Generators, ErdosRenyiSizes) {
+  auto g = erdos_renyi(500, 3000);
+  EXPECT_EQ(g.num_vertices(), 500);
+  EXPECT_LE(g.num_edges(), 3000);
+  EXPECT_GT(g.num_edges(), 2500);  // few duplicates at this density
+}
+
+TEST(Generators, SmallWorldDegree) {
+  auto g = small_world(400, 6, 0.1);
+  EXPECT_EQ(g.num_vertices(), 400);
+  // Each vertex emits exactly 6 edges before dedup.
+  EXPECT_LE(g.num_edges(), 2400);
+  EXPECT_GT(g.num_edges(), 2200);
+}
+
+TEST(Generators, PreferentialAttachmentHubs) {
+  auto g = preferential_attachment(1000, 3);
+  auto s = compute_stats(g);
+  EXPECT_GT(s.max_out_degree, 20);  // hubs emerge
+  EXPECT_EQ(s.isolated_vertices, 0);
+}
+
+TEST(Generators, GridStructure) {
+  auto g = grid(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  // Interior vertex (1,1) = id 6 has 4 out-neighbours.
+  EXPECT_EQ(g.degree(6), 4);
+  // Corner has 2.
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Generators, PathStructure) {
+  auto g = path(5, {WeightKind::kUnit, 1});
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(4), 0);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(Generators, LayeredDagIsAcyclicByLayers) {
+  auto g = layered_dag(5, 10, 3);
+  EXPECT_EQ(g.num_vertices(), 50);
+  // Every edge goes to the next layer: target layer == source layer + 1.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (vid_t v : g.neighbors(u)) {
+      EXPECT_EQ(v / 10, u / 10 + 1);
+    }
+  }
+}
+
+TEST(Generators, CompleteGraph) {
+  auto g = complete(6);
+  EXPECT_EQ(g.num_edges(), 30);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5);
+}
+
+TEST(Generators, UnitWeights) {
+  auto g = erdos_renyi(100, 500, {WeightKind::kUnit, 1});
+  for (weight_t w : g.weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(Generators, Uniform01WeightsInRange) {
+  auto g = erdos_renyi(100, 500, {WeightKind::kUniform01, 3});
+  for (weight_t w : g.weights()) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(Generators, PowerLawWeightsInRange) {
+  auto g = erdos_renyi(100, 500, {WeightKind::kPowerLaw, 3});
+  for (weight_t w : g.weights()) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(Generators, RmatRejectsBadScale) {
+  EXPECT_THROW(rmat(0, 8), std::invalid_argument);
+  EXPECT_THROW(rmat(31, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace peek::graph

@@ -1,0 +1,118 @@
+#include "ksp/hop_limited.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ksp/bruteforce.hpp"
+#include "sssp/hop_limited.hpp"
+#include "test_util.hpp"
+
+namespace peek {
+namespace {
+
+using sssp::GraphView;
+using sssp::hop_limited_sssp;
+
+TEST(HopLimitedSssp, PrefersCheapWithinBudget) {
+  // 0 -> 1 -> 2 -> 3 costs 3 (3 hops); direct 0 -> 3 costs 10 (1 hop).
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0},
+                                 {0, 3, 10.0}});
+  auto unlimited = hop_limited_sssp(GraphView(g), 0, 5, 3);
+  EXPECT_DOUBLE_EQ(unlimited.dist[3], 3.0);
+  EXPECT_EQ(unlimited.path.verts, (std::vector<vid_t>{0, 1, 2, 3}));
+  auto limited = hop_limited_sssp(GraphView(g), 0, 2, 3);
+  EXPECT_DOUBLE_EQ(limited.dist[3], 10.0);  // forced onto the direct edge
+  EXPECT_EQ(limited.path.verts, (std::vector<vid_t>{0, 3}));
+  auto zero = hop_limited_sssp(GraphView(g), 0, 0, 3);
+  EXPECT_EQ(zero.dist[3], kInfDist);
+  EXPECT_DOUBLE_EQ(zero.dist[0], 0.0);
+}
+
+TEST(HopLimitedSssp, LargeBudgetMatchesDijkstra) {
+  auto g = test::random_graph(100, 700, 971);
+  auto ref = sssp::dijkstra(GraphView(g), 0);
+  auto dp = hop_limited_sssp(GraphView(g), 0, 99, kNoVertex);
+  for (vid_t v = 0; v < 100; ++v) {
+    if (ref.dist[v] == kInfDist) EXPECT_EQ(dp.dist[v], kInfDist);
+    else EXPECT_NEAR(dp.dist[v], ref.dist[v], 1e-9) << v;
+  }
+}
+
+TEST(HopLimitedSssp, PathsRespectBudgetAndPrice) {
+  auto g = test::random_graph(80, 560, 973);
+  for (int budget : {1, 2, 3, 5, 8}) {
+    for (vid_t t : {10, 40, 79}) {
+      auto r = hop_limited_sssp(GraphView(g), 0, budget, t);
+      if (r.path.empty()) continue;
+      EXPECT_LE(r.path.hops(), static_cast<size_t>(budget));
+      EXPECT_NEAR(sssp::path_distance(g, r.path.verts), r.dist[t], 1e-9);
+    }
+  }
+}
+
+TEST(HopLimitedSssp, RespectsBans) {
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {1, 3, 1.0}, {0, 2, 2.0},
+                                 {2, 3, 2.0}});
+  std::vector<std::uint8_t> banned(4, 0);
+  banned[1] = 1;
+  auto r = hop_limited_sssp(GraphView(g), 0, 3, 3,
+                            sssp::Bans{banned.data(), nullptr});
+  EXPECT_DOUBLE_EQ(r.dist[3], 4.0);
+}
+
+TEST(HopLimitedSssp, BudgetMatchesFilteredBruteforce) {
+  for (std::uint64_t seed : {981u, 982u, 983u}) {
+    auto g = test::random_graph(24, 72, seed);
+    auto all = ksp::enumerate_all_simple_paths(GraphView(g), 0, 12);
+    for (int budget : {2, 3, 4}) {
+      weight_t best = kInfDist;
+      for (const auto& p : all)
+        if (p.hops() <= static_cast<size_t>(budget))
+          best = std::min(best, p.dist);
+      auto r = hop_limited_sssp(GraphView(g), 0, budget, 12);
+      if (best == kInfDist) {
+        EXPECT_TRUE(r.path.empty());
+      } else {
+        EXPECT_NEAR(r.dist[12], best, 1e-9) << "seed " << seed << " H " << budget;
+      }
+    }
+  }
+}
+
+TEST(HopLimitedKsp, MatchesFilteredOracle) {
+  for (std::uint64_t seed : {991u, 992u, 993u}) {
+    auto g = test::random_graph(24, 72, seed);
+    auto all = ksp::enumerate_all_simple_paths(GraphView(g), 0, 12);
+    for (int budget : {3, 4, 6}) {
+      std::vector<sssp::Path> feasible;
+      for (const auto& p : all)
+        if (p.hops() <= static_cast<size_t>(budget)) feasible.push_back(p);
+      const int k = 6;
+      auto r = ksp::hop_limited_ksp(g, 0, 12, k, budget);
+      ASSERT_EQ(r.paths.size(),
+                std::min<size_t>(feasible.size(), static_cast<size_t>(k)))
+          << "seed " << seed << " H " << budget;
+      for (size_t i = 0; i < r.paths.size(); ++i) {
+        EXPECT_NEAR(r.paths[i].dist, feasible[i].dist, 1e-9);
+        EXPECT_LE(r.paths[i].hops(), static_cast<size_t>(budget));
+      }
+      test::check_ksp_invariants(g, 0, 12, r.paths);
+    }
+  }
+}
+
+TEST(HopLimitedKsp, UnlimitedBudgetMatchesPlainKsp) {
+  auto g = test::random_graph(32, 96, 995);
+  auto plain = ksp::bruteforce_ksp(g, 0, 16, 8);
+  auto hop = ksp::hop_limited_ksp(g, 0, 16, 8, 31);
+  test::expect_same_distances(plain.paths, hop.paths);
+}
+
+TEST(HopLimitedKsp, InvalidInputs) {
+  auto g = graph::from_edges(2, {{0, 1, 1.0}});
+  EXPECT_TRUE(ksp::hop_limited_ksp(g, 0, 1, 0, 5).paths.empty());
+  EXPECT_TRUE(ksp::hop_limited_ksp(g, 0, 1, 3, 0).paths.empty());
+  EXPECT_EQ(ksp::hop_limited_ksp(g, 0, 1, 3, 1).paths.size(), 1u);
+}
+
+}  // namespace
+}  // namespace peek

@@ -1,0 +1,129 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace peek::graph {
+namespace {
+
+TEST(EdgeListIo, ParsesWeighted) {
+  std::istringstream in("0 1 2.5\n1 2 0.5\n# comment\n% comment\n2 0 1\n");
+  CsrGraph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(g.find_edge(0, 1)), 2.5);
+}
+
+TEST(EdgeListIo, DefaultWeightOne) {
+  std::istringstream in("0 1\n");
+  CsrGraph g = read_edge_list(in);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 1.0);
+}
+
+TEST(EdgeListIo, NHintExpandsVertexCount) {
+  std::istringstream in("0 1\n");
+  CsrGraph g = read_edge_list(in, 10);
+  EXPECT_EQ(g.num_vertices(), 10);
+}
+
+TEST(EdgeListIo, RejectsGarbage) {
+  std::istringstream in("zero one\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  auto g = test::random_graph(40, 200, 11);
+  std::stringstream buf;
+  write_edge_list(buf, g);
+  CsrGraph back = read_edge_list(buf, g.num_vertices());
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  // Weight text round-trip loses a little precision; compare structure.
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(back.degree(v), g.degree(v));
+}
+
+TEST(BinaryIo, ExactRoundTrip) {
+  auto g = test::random_graph(64, 512, 17);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, g);
+  CsrGraph back = read_binary(buf);
+  EXPECT_TRUE(g == back);  // bit-exact, including weights
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf.write("NOTAPEEK", 8);
+  std::int64_t dummy[2] = {0, 0};
+  buf.write(reinterpret_cast<const char*>(dummy), sizeof dummy);
+  EXPECT_THROW(read_binary(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncated) {
+  auto g = test::random_graph(16, 64, 3);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buf, g);
+  std::string data = buf.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  EXPECT_THROW(read_binary(cut), std::runtime_error);
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path.txt"),
+               std::runtime_error);
+  EXPECT_THROW(read_binary_file("/nonexistent/path.bin"), std::runtime_error);
+}
+
+TEST(FileIo, BinaryFileRoundTrip) {
+  auto g = test::random_graph(32, 128, 5);
+  const std::string path = testing::TempDir() + "peek_io_test.bin";
+  write_binary_file(path, g);
+  CsrGraph back = read_binary_file(path);
+  EXPECT_TRUE(g == back);
+  std::remove(path.c_str());
+}
+
+TEST(DimacsIo, ParsesStandardFormat) {
+  std::istringstream in(
+      "c comment line\np sp 3 2\na 1 2 1.5\na 2 3 2.5\n");
+  CsrGraph g = read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  // 1-based ids in the file, 0-based in memory.
+  EXPECT_DOUBLE_EQ(g.edge_weight(g.find_edge(0, 1)), 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(g.find_edge(1, 2)), 2.5);
+}
+
+TEST(DimacsIo, RejectsMissingHeader) {
+  std::istringstream in("a 1 2 1.0\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(DimacsIo, RejectsUnknownTag) {
+  std::istringstream in("p sp 2 1\nx 1 2 1.0\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(DimacsIo, RejectsWrongProblemKind) {
+  std::istringstream in("p max 2 1\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(DimacsIo, RoundTrip) {
+  auto g = test::random_graph(30, 150, 19);
+  std::stringstream buf;
+  write_dimacs(buf, g);
+  CsrGraph back = read_dimacs(buf);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(back.degree(v), g.degree(v));
+}
+
+}  // namespace
+}  // namespace peek::graph
+

@@ -1,0 +1,113 @@
+// The cross-algorithm property suite (DESIGN.md §6): on many random graphs,
+// all six KSP implementations must return the same distance multiset as the
+// brute-force oracle, and every returned path must satisfy the structural
+// invariants of Definition 1.
+#include <gtest/gtest.h>
+
+#include "core/peek.hpp"
+#include "ksp/bruteforce.hpp"
+#include "ksp/node_classification.hpp"
+#include "ksp/optyen.hpp"
+#include "ksp/pnc.hpp"
+#include "ksp/sidetrack.hpp"
+#include "ksp/yen.hpp"
+#include "test_util.hpp"
+
+namespace peek::ksp {
+namespace {
+
+struct AgreementParam {
+  const char* kind;  // generator family
+  std::uint64_t seed;
+  int k;
+  bool unit;
+};
+
+void PrintTo(const AgreementParam& p, std::ostream* os) {
+  *os << p.kind << "/seed" << p.seed << "/k" << p.k << (p.unit ? "/unit" : "");
+}
+
+graph::CsrGraph make_graph(const AgreementParam& p) {
+  graph::WeightOptions w;
+  w.kind = p.unit ? graph::WeightKind::kUnit : graph::WeightKind::kUniform01;
+  w.seed = p.seed + 1000;
+  if (std::string(p.kind) == "er") return graph::erdos_renyi(32, 96, w, p.seed);
+  if (std::string(p.kind) == "dag") return graph::layered_dag(4, 4, 3, w, p.seed);
+  if (std::string(p.kind) == "grid") return graph::grid(4, 5, w, p.seed);
+  if (std::string(p.kind) == "sw") return graph::small_world(28, 3, 0.2, w, p.seed);
+  return graph::complete(9, w, p.seed);
+}
+
+class KspAgreement : public ::testing::TestWithParam<AgreementParam> {};
+
+TEST_P(KspAgreement, AllAlgorithmsMatchOracle) {
+  const auto p = GetParam();
+  auto g = make_graph(p);
+  const vid_t s = 0;
+  const vid_t t = g.num_vertices() - 1;
+  KspOptions opts;
+  opts.k = p.k;
+
+  auto oracle = bruteforce_ksp(g, s, t, p.k);
+  SCOPED_TRACE(::testing::PrintToString(p));
+
+  auto check = [&](const char* name, const KspResult& r) {
+    SCOPED_TRACE(name);
+    test::check_ksp_invariants(g, s, t, r.paths);
+    test::expect_same_distances(oracle.paths, r.paths);
+  };
+  check("yen", yen_ksp(g, s, t, opts));
+  check("optyen", optyen_ksp(g, s, t, opts));
+  check("nc", nc_ksp(g, s, t, opts));
+  check("sb", sb_ksp(g, s, t, opts));
+  check("sb*", sb_star_ksp(g, s, t, opts));
+  check("pnc", pnc_ksp(g, s, t, opts));
+  check("pnc*", pnc_star_ksp(g, s, t, opts));
+
+  core::PeekOptions po;
+  po.k = p.k;
+  check("peek", core::peek_ksp(g, s, t, po).ksp);
+
+  // PeeK in every compaction mode must also agree (Theorem 4.3 + compaction
+  // equivalence in one assertion).
+  for (auto mode : {core::PeekOptions::Compaction::kEdgeSwap,
+                    core::PeekOptions::Compaction::kRegeneration,
+                    core::PeekOptions::Compaction::kStatusArray}) {
+    po.compaction = mode;
+    check("peek-mode", core::peek_ksp(g, s, t, po).ksp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KspAgreement,
+    ::testing::Values(
+        AgreementParam{"er", 1, 4, false}, AgreementParam{"er", 2, 8, false},
+        AgreementParam{"er", 3, 16, false}, AgreementParam{"er", 4, 8, true},
+        AgreementParam{"er", 5, 12, false}, AgreementParam{"er", 6, 8, false},
+        AgreementParam{"dag", 7, 8, false}, AgreementParam{"dag", 8, 16, false},
+        AgreementParam{"dag", 9, 8, true}, AgreementParam{"grid", 10, 8, false},
+        AgreementParam{"grid", 11, 12, true},
+        AgreementParam{"sw", 12, 8, false}, AgreementParam{"sw", 13, 16, false},
+        AgreementParam{"complete", 14, 20, false},
+        AgreementParam{"complete", 15, 8, true}));
+
+// PeeK must equal plain OptYen on bigger graphs too (no oracle there).
+class PeekVsOptYen : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PeekVsOptYen, SameDistancesOnMediumGraphs) {
+  auto g = test::random_graph(400, 3200, GetParam());
+  KspOptions ko;
+  ko.k = 10;
+  auto base = optyen_ksp(g, 0, 200, ko);
+  core::PeekOptions po;
+  po.k = 10;
+  auto mine = core::peek_ksp(g, 0, 200, po);
+  test::expect_same_distances(base.paths, mine.ksp.paths);
+  test::check_ksp_invariants(g, 0, 200, mine.ksp.paths);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeekVsOptYen,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u));
+
+}  // namespace
+}  // namespace peek::ksp

@@ -1,0 +1,70 @@
+#include "ksp/optyen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ksp/bruteforce.hpp"
+#include "ksp/yen.hpp"
+#include "test_util.hpp"
+
+namespace peek::ksp {
+namespace {
+
+KspOptions k_opts(int k) {
+  KspOptions o;
+  o.k = k;
+  return o;
+}
+
+TEST(OptYen, PaperExampleTopThree) {
+  auto ex = test::paper_example_graph();
+  auto r = optyen_ksp(ex.g, ex.s, ex.t, k_opts(3));
+  ASSERT_EQ(r.paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.paths[0].dist, 11.0);
+  EXPECT_DOUBLE_EQ(r.paths[1].dist, 12.0);
+  EXPECT_DOUBLE_EQ(r.paths[2].dist, 14.0);
+  test::check_ksp_invariants(ex.g, ex.s, ex.t, r.paths);
+}
+
+TEST(OptYen, TreeShortcutsReduceSsspCalls) {
+  // The whole point of the static reverse tree: strictly fewer SSSPs than
+  // Yen on the same instance (and some shortcuts taken).
+  auto g = test::random_graph(120, 960, 111);
+  auto yen = yen_ksp(g, 0, 60, k_opts(12));
+  auto opt = optyen_ksp(g, 0, 60, k_opts(12));
+  if (yen.paths.empty()) GTEST_SKIP() << "unreachable pair";
+  test::expect_same_distances(yen.paths, opt.paths);
+  EXPECT_LT(opt.stats.sssp_calls, yen.stats.sssp_calls);
+  EXPECT_GT(opt.stats.tree_shortcuts, 0);
+}
+
+TEST(OptYen, MatchesOracleOnDenseDag) {
+  auto g = graph::layered_dag(4, 4, 3, {graph::WeightKind::kUniform01, 7}, 13);
+  auto r = optyen_ksp(g, 0, 13, k_opts(12));
+  auto oracle = bruteforce_ksp(g, 0, 13, 12);
+  test::expect_same_distances(r.paths, oracle.paths);
+}
+
+TEST(OptYen, UnreachableAndInvalid) {
+  auto g = graph::from_edges(3, {{1, 0, 1.0}});
+  EXPECT_TRUE(optyen_ksp(g, 0, 2, k_opts(4)).paths.empty());
+  EXPECT_TRUE(optyen_ksp(g, 0, 0, k_opts(0)).paths.empty());
+}
+
+TEST(OptYen, ParallelMatchesSerial) {
+  auto g = test::random_graph(80, 640, 113);
+  KspOptions par = k_opts(8);
+  par.parallel = true;
+  auto a = optyen_ksp(g, 0, 40, k_opts(8));
+  auto b = optyen_ksp(g, 0, 40, par);
+  test::expect_same_distances(a.paths, b.paths);
+}
+
+TEST(OptYen, UnitWeightGraph) {
+  auto g = test::random_graph(32, 96, 115, /*unit_weights=*/true);
+  auto r = optyen_ksp(g, 0, 16, k_opts(6));
+  auto oracle = bruteforce_ksp(g, 0, 16, 6);
+  test::expect_same_distances(r.paths, oracle.paths);
+}
+
+}  // namespace
+}  // namespace peek::ksp

@@ -1,0 +1,69 @@
+// Thread-count sweeps: every parallel code path must return the same answer
+// at every thread count (the §7.5 scalability experiment's correctness
+// premise).
+#include <gtest/gtest.h>
+
+#include "core/peek.hpp"
+#include "ksp/node_classification.hpp"
+#include "ksp/optyen.hpp"
+#include "ksp/yen.hpp"
+#include "parallel/parallel_for.hpp"
+#include "test_util.hpp"
+
+namespace peek {
+namespace {
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, PeekStableAcrossThreadCounts) {
+  par::ThreadScope scope(GetParam());
+  auto g = test::random_graph(200, 1600, 901);
+  core::PeekOptions opts;
+  opts.k = 8;
+  opts.parallel = true;
+  auto r = core::peek_ksp(g, 0, 100, opts);
+  // Reference computed serially at any thread count.
+  core::PeekOptions ser;
+  ser.k = 8;
+  auto ref = core::peek_ksp(g, 0, 100, ser);
+  test::expect_same_distances(ref.ksp.paths, r.ksp.paths);
+}
+
+TEST_P(ThreadSweep, OptYenStableAcrossThreadCounts) {
+  par::ThreadScope scope(GetParam());
+  auto g = test::random_graph(150, 1200, 903);
+  ksp::KspOptions opts;
+  opts.k = 6;
+  opts.parallel = true;
+  auto r = ksp::optyen_ksp(g, 0, 75, opts);
+  ksp::KspOptions ser;
+  ser.k = 6;
+  auto ref = ksp::optyen_ksp(g, 0, 75, ser);
+  test::expect_same_distances(ref.paths, r.paths);
+}
+
+TEST_P(ThreadSweep, YenStableAcrossThreadCounts) {
+  par::ThreadScope scope(GetParam());
+  auto g = test::random_graph(120, 960, 905);
+  ksp::KspOptions opts;
+  opts.k = 6;
+  opts.parallel = true;
+  auto r = ksp::yen_ksp(g, 0, 60, opts);
+  ksp::KspOptions ser;
+  ser.k = 6;
+  test::expect_same_distances(ksp::yen_ksp(g, 0, 60, ser).paths, r.paths);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 4, 8));
+
+TEST(ThreadScope, RestoresThreadCount) {
+  const int before = par::max_threads();
+  {
+    par::ThreadScope scope(2);
+    EXPECT_EQ(par::max_threads(), 2);
+  }
+  EXPECT_EQ(par::max_threads(), before);
+}
+
+}  // namespace
+}  // namespace peek

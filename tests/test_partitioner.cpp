@@ -1,0 +1,69 @@
+#include "parallel/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace peek::par {
+namespace {
+
+void check_cover(const std::vector<VertexRange>& ranges, vid_t n) {
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges.front().begin, 0);
+  EXPECT_EQ(ranges.back().end, n);
+  for (size_t i = 0; i + 1 < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].end, ranges[i + 1].begin);
+    EXPECT_LE(ranges[i].begin, ranges[i].end);
+  }
+}
+
+TEST(PartitionByVertices, CoversAndBalances) {
+  auto ranges = partition_by_vertices(100, 7);
+  check_cover(ranges, 100);
+  for (const auto& r : ranges) EXPECT_LE(r.end - r.begin, 15);
+}
+
+TEST(PartitionByVertices, MorePartsThanVertices) {
+  auto ranges = partition_by_vertices(3, 8);
+  check_cover(ranges, 3);
+  EXPECT_EQ(ranges.size(), 8u);  // trailing parts empty
+}
+
+TEST(PartitionByVertices, RejectsZeroParts) {
+  EXPECT_THROW(partition_by_vertices(10, 0), std::invalid_argument);
+}
+
+TEST(PartitionByEdges, CoversVertexSpace) {
+  auto g = peek::graph::rmat(10, 16);
+  auto ranges = partition_by_edges(g, 8);
+  check_cover(ranges, g.num_vertices());
+}
+
+TEST(PartitionByEdges, BalancesSkewedDegrees) {
+  // R-MAT is heavily skewed; edge-balanced split must bound each part's edge
+  // count near m/parts (up to one hub vertex of slack).
+  auto g = peek::graph::rmat(12, 16);
+  const int parts = 8;
+  auto ranges = partition_by_edges(g, parts);
+  eid_t max_deg = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max(max_deg, g.degree(v));
+  const eid_t ideal = g.num_edges() / parts;
+  for (const auto& r : ranges) {
+    eid_t edges = 0;
+    for (vid_t v = r.begin; v < r.end; ++v) edges += g.degree(v);
+    EXPECT_LE(edges, ideal + max_deg + 1);
+  }
+}
+
+TEST(PartitionByEdges, SinglePart) {
+  auto g = test::random_graph(20, 60, 2);
+  auto ranges = partition_by_edges(g, 1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 0);
+  EXPECT_EQ(ranges[0].end, 20);
+}
+
+}  // namespace
+}  // namespace peek::par

@@ -1,0 +1,62 @@
+#include "ksp/path_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peek::ksp {
+namespace {
+
+Path make(std::vector<vid_t> verts, weight_t d) { return {std::move(verts), d}; }
+
+TEST(CandidateSet, PopsInDistanceOrder) {
+  CandidateSet cs;
+  cs.push(make({0, 2, 9}, 3.0), 1);
+  cs.push(make({0, 1, 9}, 1.0), 0);
+  cs.push(make({0, 3, 9}, 2.0), 2);
+  EXPECT_DOUBLE_EQ(cs.pop_min()->path.dist, 1.0);
+  EXPECT_DOUBLE_EQ(cs.pop_min()->path.dist, 2.0);
+  EXPECT_DOUBLE_EQ(cs.pop_min()->path.dist, 3.0);
+  EXPECT_FALSE(cs.pop_min().has_value());
+}
+
+TEST(CandidateSet, LexicographicTieBreak) {
+  CandidateSet cs;
+  cs.push(make({0, 5, 9}, 1.0), 0);
+  cs.push(make({0, 2, 9}, 1.0), 0);
+  EXPECT_EQ(cs.pop_min()->path.verts[1], 2);
+  EXPECT_EQ(cs.pop_min()->path.verts[1], 5);
+}
+
+TEST(CandidateSet, DeduplicatesForever) {
+  CandidateSet cs;
+  EXPECT_TRUE(cs.push(make({0, 1}, 1.0), 0));
+  EXPECT_FALSE(cs.push(make({0, 1}, 1.0), 0));
+  cs.pop_min();
+  // Even after popping, re-insertion is rejected (Algorithm 1 line 9).
+  EXPECT_FALSE(cs.push(make({0, 1}, 1.0), 0));
+  EXPECT_EQ(cs.total_generated(), 1u);
+}
+
+TEST(CandidateSet, RejectsEmptyPath) {
+  CandidateSet cs;
+  EXPECT_FALSE(cs.push(Path{}, 0));
+  EXPECT_TRUE(cs.empty());
+}
+
+TEST(CandidateSet, KeepsDeviationIndex) {
+  CandidateSet cs;
+  cs.push(make({0, 1, 2}, 1.0), 7);
+  EXPECT_EQ(cs.pop_min()->dev_index, 7);
+}
+
+TEST(CandidateSet, SizeTracksHeap) {
+  CandidateSet cs;
+  cs.push(make({0, 1}, 1.0), 0);
+  cs.push(make({0, 2}, 2.0), 0);
+  EXPECT_EQ(cs.size(), 2u);
+  cs.pop_min();
+  EXPECT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs.total_generated(), 2u);
+}
+
+}  // namespace
+}  // namespace peek::ksp

@@ -1,0 +1,94 @@
+#include "ksp/pnc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ksp/bruteforce.hpp"
+#include "ksp/yen.hpp"
+#include "test_util.hpp"
+
+namespace peek::ksp {
+namespace {
+
+KspOptions k_opts(int k) {
+  KspOptions o;
+  o.k = k;
+  return o;
+}
+
+TEST(Pnc, PaperExampleTopThree) {
+  auto ex = test::paper_example_graph();
+  auto r = pnc_ksp(ex.g, ex.s, ex.t, k_opts(3));
+  ASSERT_EQ(r.paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.paths[0].dist, 11.0);
+  EXPECT_DOUBLE_EQ(r.paths[1].dist, 12.0);
+  EXPECT_DOUBLE_EQ(r.paths[2].dist, 14.0);
+  test::check_ksp_invariants(ex.g, ex.s, ex.t, r.paths);
+}
+
+TEST(Pnc, StarPaperExample) {
+  auto ex = test::paper_example_graph();
+  auto r = pnc_star_ksp(ex.g, ex.s, ex.t, k_opts(3));
+  ASSERT_EQ(r.paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.paths[2].dist, 14.0);
+}
+
+class PncSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PncSweep, MatchesOracleAndYen) {
+  auto g = test::random_graph(32, 96, GetParam());
+  auto oracle = bruteforce_ksp(g, 0, 16, 10);
+  auto pnc = pnc_ksp(g, 0, 16, k_opts(10));
+  auto star = pnc_star_ksp(g, 0, 16, k_opts(10));
+  test::expect_same_distances(oracle.paths, pnc.paths);
+  test::expect_same_distances(oracle.paths, star.paths);
+  test::check_ksp_invariants(g, 0, 16, pnc.paths);
+  test::check_ksp_invariants(g, 0, 16, star.paths);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PncSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Pnc, PostponesRepairs) {
+  // PNC's premise: fewer SSSPs than deviations examined, because only
+  // extracted tentative candidates get repaired.
+  auto g = test::random_graph(150, 1200, 881);
+  auto yen = yen_ksp(g, 0, 75, k_opts(12));
+  auto pnc = pnc_ksp(g, 0, 75, k_opts(12));
+  if (yen.paths.empty()) GTEST_SKIP() << "unreachable pair";
+  test::expect_same_distances(yen.paths, pnc.paths);
+  EXPECT_LT(pnc.stats.sssp_calls, yen.stats.sssp_calls);
+}
+
+TEST(Pnc, StarReducesRepairsFurther) {
+  auto g = test::random_graph(150, 1200, 883);
+  auto pnc = pnc_ksp(g, 0, 75, k_opts(16));
+  auto star = pnc_star_ksp(g, 0, 75, k_opts(16));
+  if (pnc.paths.empty()) GTEST_SKIP() << "unreachable pair";
+  test::expect_same_distances(pnc.paths, star.paths);
+  EXPECT_LE(star.stats.sssp_calls, pnc.stats.sssp_calls);
+}
+
+TEST(Pnc, UnreachableAndInvalid) {
+  auto g = graph::from_edges(3, {{1, 0, 1.0}});
+  EXPECT_TRUE(pnc_ksp(g, 0, 2, k_opts(4)).paths.empty());
+  EXPECT_TRUE(pnc_star_ksp(g, 0, 2, k_opts(0)).paths.empty());
+}
+
+TEST(Pnc, ExhaustsSmallPathSpace) {
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {0, 2, 2.0}, {1, 3, 1.0},
+                                 {2, 3, 1.0}});
+  EXPECT_EQ(pnc_ksp(g, 0, 3, k_opts(10)).paths.size(), 2u);
+  EXPECT_EQ(pnc_star_ksp(g, 0, 3, k_opts(10)).paths.size(), 2u);
+}
+
+TEST(Pnc, DenseDagMatchesOracle) {
+  auto g = graph::layered_dag(4, 4, 3, {graph::WeightKind::kUniform01, 21}, 23);
+  auto oracle = bruteforce_ksp(g, 0, 13, 12);
+  test::expect_same_distances(pnc_ksp(g, 0, 13, k_opts(12)).paths,
+                              oracle.paths);
+  test::expect_same_distances(pnc_star_ksp(g, 0, 13, k_opts(12)).paths,
+                              oracle.paths);
+}
+
+}  // namespace
+}  // namespace peek::ksp

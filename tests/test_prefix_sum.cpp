@@ -1,0 +1,70 @@
+#include "parallel/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace peek::par {
+namespace {
+
+TEST(PrefixSum, ExclusiveSmall) {
+  std::vector<std::int64_t> in{3, 1, 4, 1, 5};
+  auto out = exclusive_prefix_sum(in);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(PrefixSum, InclusiveSmall) {
+  std::vector<std::int64_t> in{3, 1, 4, 1, 5};
+  auto out = inclusive_prefix_sum(in);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{3, 4, 8, 9, 14}));
+}
+
+TEST(PrefixSum, ReturnsGrandTotal) {
+  std::vector<std::int64_t> in{1, 2, 3};
+  std::vector<std::int64_t> out(3);
+  EXPECT_EQ(exclusive_prefix_sum(std::span<const std::int64_t>(in),
+                                 std::span<std::int64_t>(out)),
+            6);
+}
+
+TEST(PrefixSum, Empty) {
+  std::vector<std::int64_t> in;
+  EXPECT_TRUE(exclusive_prefix_sum(in).empty());
+  EXPECT_TRUE(inclusive_prefix_sum(in).empty());
+}
+
+TEST(PrefixSum, SingleElement) {
+  std::vector<std::int64_t> in{42};
+  EXPECT_EQ(exclusive_prefix_sum(in), (std::vector<std::int64_t>{0}));
+  EXPECT_EQ(inclusive_prefix_sum(in), (std::vector<std::int64_t>{42}));
+}
+
+TEST(PrefixSum, InPlaceAliasing) {
+  std::vector<std::int64_t> v{1, 1, 1, 1};
+  exclusive_prefix_sum(std::span<const std::int64_t>(v),
+                       std::span<std::int64_t>(v));
+  EXPECT_EQ(v, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+class PrefixSumSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PrefixSumSweep, MatchesSerialReference) {
+  const size_t n = GetParam();
+  std::mt19937_64 rng(n);
+  std::uniform_int_distribution<std::int64_t> d(0, 100);
+  std::vector<std::int64_t> in(n);
+  for (auto& x : in) x = d(rng);
+  std::vector<std::int64_t> expect(n);
+  std::exclusive_scan(in.begin(), in.end(), expect.begin(), std::int64_t{0});
+  EXPECT_EQ(exclusive_prefix_sum(in), expect);
+  std::inclusive_scan(in.begin(), in.end(), expect.begin());
+  EXPECT_EQ(inclusive_prefix_sum(in), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSumSweep,
+                         ::testing::Values(2, 7, 63, 64, 65, 1000, 4096,
+                                           100000));
+
+}  // namespace
+}  // namespace peek::par

@@ -1,0 +1,81 @@
+#include "dist/sample_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <random>
+
+namespace peek::dist {
+namespace {
+
+/// Runs the collective and checks: globally sorted, same multiset.
+void check_sample_sort(int ranks, size_t per_rank, std::uint64_t seed) {
+  std::vector<std::vector<double>> inputs(static_cast<size_t>(ranks));
+  std::vector<double> all;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(0, 100);
+  for (auto& in : inputs) {
+    in.resize(per_rank);
+    for (auto& x : in) {
+      x = d(rng);
+      all.push_back(x);
+    }
+  }
+  std::sort(all.begin(), all.end());
+
+  std::vector<std::vector<double>> outputs(static_cast<size_t>(ranks));
+  run_ranks(ranks, [&](Comm& c) {
+    outputs[static_cast<size_t>(c.rank())] =
+        dist_sample_sort(c, inputs[static_cast<size_t>(c.rank())]);
+  });
+
+  std::vector<double> merged;
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_TRUE(std::is_sorted(outputs[static_cast<size_t>(r)].begin(),
+                               outputs[static_cast<size_t>(r)].end()));
+    if (r > 0 && !outputs[static_cast<size_t>(r)].empty() &&
+        !outputs[static_cast<size_t>(r) - 1].empty()) {
+      EXPECT_LE(outputs[static_cast<size_t>(r) - 1].back(),
+                outputs[static_cast<size_t>(r)].front());
+    }
+    merged.insert(merged.end(), outputs[static_cast<size_t>(r)].begin(),
+                  outputs[static_cast<size_t>(r)].end());
+  }
+  EXPECT_EQ(merged, all);
+}
+
+TEST(SampleSort, SingleRank) { check_sample_sort(1, 100, 1); }
+TEST(SampleSort, TwoRanks) { check_sample_sort(2, 500, 2); }
+TEST(SampleSort, ManyRanks) { check_sample_sort(8, 300, 3); }
+TEST(SampleSort, TinyInputs) { check_sample_sort(4, 2, 4); }
+
+TEST(SampleSort, EmptyOnSomeRanks) {
+  std::vector<std::vector<double>> outputs(3);
+  run_ranks(3, [&](Comm& c) {
+    std::vector<double> mine;
+    if (c.rank() == 1) mine = {5.0, 1.0, 3.0};
+    outputs[static_cast<size_t>(c.rank())] = dist_sample_sort(c, mine);
+  });
+  std::vector<double> merged;
+  for (auto& o : outputs) merged.insert(merged.end(), o.begin(), o.end());
+  std::sort(merged.begin(), merged.end());
+  EXPECT_EQ(merged, (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(SampleSort, DuplicateKeys) {
+  std::vector<std::vector<double>> outputs(4);
+  run_ranks(4, [&](Comm& c) {
+    std::vector<double> mine(50, static_cast<double>(c.rank() % 2));
+    outputs[static_cast<size_t>(c.rank())] = dist_sample_sort(c, mine);
+  });
+  size_t total = 0;
+  for (auto& o : outputs) {
+    EXPECT_TRUE(std::is_sorted(o.begin(), o.end()));
+    total += o.size();
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+}  // namespace
+}  // namespace peek::dist

@@ -1,0 +1,94 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "test_util.hpp"
+
+namespace peek::graph {
+namespace {
+
+TEST(Scc, TwoCyclesAndABridge) {
+  // 0 <-> 1 (cycle A), 2 <-> 3 (cycle B), bridge 1 -> 2.
+  auto g = from_edges(4, {{0, 1, 1.0}, {1, 0, 1.0}, {2, 3, 1.0}, {3, 2, 1.0},
+                          {1, 2, 1.0}});
+  auto r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 2);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+}
+
+TEST(Scc, DagIsAllSingletons) {
+  auto g = layered_dag(3, 4, 2, {WeightKind::kUnit, 1}, 5);
+  auto r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, g.num_vertices());
+}
+
+TEST(Scc, FullCycle) {
+  Builder b(5);
+  for (vid_t v = 0; v < 5; ++v) b.add_edge(v, (v + 1) % 5, 1.0);
+  auto r = strongly_connected_components(b.build());
+  EXPECT_EQ(r.num_components, 1);
+}
+
+TEST(Scc, ReverseTopologicalIds) {
+  // Component ids must be reverse-topological: if SCC(u) can reach SCC(v)
+  // and they differ, component[u] > component[v] (Tarjan property).
+  auto g = test::random_graph(100, 500, 941);
+  auto r = strongly_connected_components(g);
+  for (vid_t u = 0; u < 100; ++u) {
+    for (vid_t v : g.neighbors(u)) {
+      if (r.component[u] != r.component[v]) {
+        EXPECT_GT(r.component[u], r.component[v]) << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(Scc, MembersAreMutuallyReachable) {
+  auto g = test::random_graph(80, 640, 943);
+  auto r = strongly_connected_components(g);
+  const vid_t big = r.largest();
+  // Every pair inside the largest SCC reaches each other (spot-check from
+  // one member via BFS both ways).
+  vid_t probe = kNoVertex;
+  for (vid_t v = 0; v < 80; ++v) {
+    if (r.component[v] == big) {
+      probe = v;
+      break;
+    }
+  }
+  ASSERT_NE(probe, kNoVertex);
+  auto fwd = reachable_from(g, probe);
+  auto bwd = reaching_to(g, probe);
+  for (vid_t v = 0; v < 80; ++v) {
+    if (r.component[v] == big) {
+      EXPECT_TRUE(fwd[v] && bwd[v]) << v;
+    } else {
+      EXPECT_FALSE(fwd[v] && bwd[v]) << v;  // else it would be in the SCC
+    }
+  }
+}
+
+TEST(Scc, SizesSumToN) {
+  auto g = test::random_graph(200, 800, 947);
+  auto r = strongly_connected_components(g);
+  auto sizes = r.sizes();
+  vid_t total = 0;
+  for (vid_t s : sizes) total += s;
+  EXPECT_EQ(total, 200);
+}
+
+TEST(Scc, EmptyAndSingleton) {
+  CsrGraph empty({0}, {}, {});
+  EXPECT_EQ(strongly_connected_components(empty).num_components, 0);
+  CsrGraph one({0, 0}, {}, {});
+  auto r = strongly_connected_components(one);
+  EXPECT_EQ(r.num_components, 1);
+  EXPECT_EQ(r.component[0], 0);
+}
+
+}  // namespace
+}  // namespace peek::graph

@@ -1,0 +1,76 @@
+#include "core/shortest_k_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ksp/bruteforce.hpp"
+#include "test_util.hpp"
+
+namespace peek::core {
+namespace {
+
+TEST(ShortestKGroup, UnitWeightDiamondGroups) {
+  // 0 -> {1,2} -> 3 with unit weights: one group of two paths (dist 2).
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 1.0},
+                                 {2, 3, 1.0}});
+  auto r = shortest_k_groups(g, 0, 3, 2);
+  EXPECT_TRUE(r.complete);
+  ASSERT_EQ(r.groups.size(), 1u);  // only one distance exists
+  EXPECT_DOUBLE_EQ(r.groups[0].dist, 2.0);
+  EXPECT_EQ(r.groups[0].paths.size(), 2u);
+}
+
+TEST(ShortestKGroup, GroupsAreCompleteAndOrdered) {
+  auto g = test::random_graph(26, 70, 401, /*unit_weights=*/true);
+  auto r = shortest_k_groups(g, 0, 13, 3);
+  if (r.groups.empty()) GTEST_SKIP() << "unreachable pair";
+  EXPECT_TRUE(r.complete);
+  EXPECT_LE(r.groups.size(), 3u);
+  for (size_t i = 0; i < r.groups.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GT(r.groups[i].dist, r.groups[i - 1].dist);
+    }
+    for (const auto& p : r.groups[i].paths)
+      EXPECT_DOUBLE_EQ(p.dist, r.groups[i].dist);
+  }
+  // Completeness against the oracle: the i-th group holds ALL simple paths
+  // of its distance.
+  auto all = ksp::enumerate_all_simple_paths(sssp::GraphView(g), 0, 13);
+  for (const auto& grp : r.groups) {
+    size_t expected = 0;
+    for (const auto& p : all)
+      if (std::abs(p.dist - grp.dist) < 1e-9) expected++;
+    EXPECT_EQ(grp.paths.size(), expected) << "dist " << grp.dist;
+  }
+}
+
+TEST(ShortestKGroup, KZero) {
+  auto g = graph::from_edges(2, {{0, 1, 1.0}});
+  auto r = shortest_k_groups(g, 0, 1, 0);
+  EXPECT_TRUE(r.groups.empty());
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(ShortestKGroup, ExhaustedPathSpace) {
+  auto g = graph::path(5, {graph::WeightKind::kUnit, 1});
+  auto r = shortest_k_groups(g, 0, 4, 5);
+  EXPECT_TRUE(r.complete);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].paths.size(), 1u);
+}
+
+TEST(ShortestKGroup, UnreachablePair) {
+  auto g = graph::from_edges(3, {{1, 2, 1.0}});
+  auto r = shortest_k_groups(g, 0, 2, 2);
+  EXPECT_TRUE(r.groups.empty());
+}
+
+TEST(ShortestKGroup, DistinctRealWeightsGiveSingletonGroups) {
+  auto g = test::random_graph(36, 260, 403);  // continuous weights: ties
+                                              // have measure zero
+  auto r = shortest_k_groups(g, 0, 18, 4);
+  if (r.groups.empty()) GTEST_SKIP() << "unreachable pair";
+  for (const auto& grp : r.groups) EXPECT_EQ(grp.paths.size(), 1u);
+}
+
+}  // namespace
+}  // namespace peek::core

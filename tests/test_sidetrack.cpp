@@ -1,0 +1,90 @@
+#include "ksp/sidetrack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ksp/bruteforce.hpp"
+#include "ksp/yen.hpp"
+#include "test_util.hpp"
+
+namespace peek::ksp {
+namespace {
+
+KspOptions k_opts(int k) {
+  KspOptions o;
+  o.k = k;
+  return o;
+}
+
+TEST(Sidetrack, SbPaperExample) {
+  auto ex = test::paper_example_graph();
+  auto r = sb_ksp(ex.g, ex.s, ex.t, k_opts(3));
+  ASSERT_EQ(r.paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.paths[0].dist, 11.0);
+  EXPECT_DOUBLE_EQ(r.paths[1].dist, 12.0);
+  EXPECT_DOUBLE_EQ(r.paths[2].dist, 14.0);
+  test::check_ksp_invariants(ex.g, ex.s, ex.t, r.paths);
+}
+
+TEST(Sidetrack, SbStarPaperExample) {
+  auto ex = test::paper_example_graph();
+  auto r = sb_star_ksp(ex.g, ex.s, ex.t, k_opts(3));
+  ASSERT_EQ(r.paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.paths[2].dist, 14.0);
+}
+
+TEST(Sidetrack, StoresTrees) {
+  // SB's signature cost: multiple resident reverse trees.
+  auto g = test::random_graph(120, 960, 131);
+  auto r = sb_ksp(g, 0, 60, k_opts(10));
+  if (r.paths.empty()) GTEST_SKIP() << "unreachable pair";
+  EXPECT_GT(r.stats.trees_stored, 1u);
+}
+
+TEST(Sidetrack, TreeShortcutsAnswerDeviations) {
+  // Per-prefix trees answer most deviations without a fallback SSSP.
+  auto g = test::random_graph(120, 960, 133);
+  auto yen = yen_ksp(g, 0, 60, k_opts(12));
+  auto sb = sb_ksp(g, 0, 60, k_opts(12));
+  if (yen.paths.empty()) GTEST_SKIP() << "unreachable pair";
+  test::expect_same_distances(yen.paths, sb.paths);
+  EXPECT_GT(sb.stats.tree_shortcuts, 0);
+}
+
+TEST(Sidetrack, SbAndSbStarAgree) {
+  for (std::uint64_t seed : {141u, 142u, 143u}) {
+    auto g = test::random_graph(90, 720, seed);
+    auto a = sb_ksp(g, 1, 45, k_opts(10));
+    auto b = sb_star_ksp(g, 1, 45, k_opts(10));
+    test::expect_same_distances(a.paths, b.paths);
+  }
+}
+
+TEST(Sidetrack, TreePoolCapRespected) {
+  auto g = test::random_graph(100, 800, 151);
+  SidetrackOptions so;
+  so.base = k_opts(16);
+  so.max_resident_trees = 4;
+  auto capped = sb_ksp(sssp::BiView::of(g), 0, 50, so);
+  EXPECT_LE(capped.stats.trees_stored, 4u);
+  // Correctness unchanged by eviction.
+  auto uncapped = sb_ksp(g, 0, 50, k_opts(16));
+  test::expect_same_distances(capped.paths, uncapped.paths);
+}
+
+TEST(Sidetrack, MatchesOracleOnDenseDag) {
+  auto g = graph::layered_dag(4, 4, 3, {graph::WeightKind::kUniform01, 11}, 19);
+  auto oracle = bruteforce_ksp(g, 0, 13, 12);
+  test::expect_same_distances(sb_ksp(g, 0, 13, k_opts(12)).paths,
+                              oracle.paths);
+  test::expect_same_distances(sb_star_ksp(g, 0, 13, k_opts(12)).paths,
+                              oracle.paths);
+}
+
+TEST(Sidetrack, UnreachableAndInvalid) {
+  auto g = graph::from_edges(3, {{1, 0, 1.0}});
+  EXPECT_TRUE(sb_ksp(g, 0, 2, k_opts(4)).paths.empty());
+  EXPECT_TRUE(sb_star_ksp(g, 0, 2, k_opts(0)).paths.empty());
+}
+
+}  // namespace
+}  // namespace peek::ksp

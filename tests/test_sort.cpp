@@ -1,0 +1,70 @@
+#include "parallel/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace peek::par {
+namespace {
+
+TEST(ParallelSort, SortsSmall) {
+  std::vector<int> v{5, 3, 8, 1, 9, 2};
+  parallel_sort(v.begin(), v.end());
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(ParallelSort, CustomComparator) {
+  std::vector<int> v{1, 5, 3};
+  parallel_sort(v.begin(), v.end(), std::greater<>{});
+  EXPECT_EQ(v, (std::vector<int>{5, 3, 1}));
+}
+
+TEST(ParallelSort, EmptyAndSingle) {
+  std::vector<int> e;
+  parallel_sort(e.begin(), e.end());
+  std::vector<int> one{7};
+  parallel_sort(one.begin(), one.end());
+  EXPECT_EQ(one[0], 7);
+}
+
+class SortSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SortSweep, MatchesStdSort) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> d(0, 1);
+  std::vector<double> v(GetParam());
+  for (auto& x : v) x = d(rng);
+  std::vector<double> expect = v;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(v.begin(), v.end());
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSweep,
+                         ::testing::Values(10, 4095, 4096, 4097, 50000,
+                                           200000));
+
+TEST(SortPermutation, OrdersKeys) {
+  std::vector<double> keys{0.5, 0.1, 0.9, 0.3};
+  auto perm = sort_permutation(keys);
+  EXPECT_EQ(perm, (std::vector<std::int32_t>{1, 3, 0, 2}));
+}
+
+TEST(SortPermutation, DeterministicTieBreak) {
+  std::vector<double> keys{1.0, 1.0, 1.0};
+  auto perm = sort_permutation(keys);
+  EXPECT_EQ(perm, (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(SortPermutation, InfinitiesSortLast) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> keys{inf, 2.0, inf, 1.0};
+  auto perm = sort_permutation(keys);
+  EXPECT_EQ(perm[0], 3);
+  EXPECT_EQ(perm[1], 1);
+  EXPECT_EQ(perm[2], 0);  // tie between infs broken by index
+  EXPECT_EQ(perm[3], 2);
+}
+
+}  // namespace
+}  // namespace peek::par

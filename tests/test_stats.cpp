@@ -1,0 +1,66 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace peek::graph {
+namespace {
+
+TEST(Stats, CountsBasics) {
+  auto g = from_edges(4, {{0, 1, 2.0}, {1, 2, 0.5}, {1, 3, 1.0}});
+  auto s = compute_stats(g);
+  EXPECT_EQ(s.n, 4);
+  EXPECT_EQ(s.m, 3);
+  EXPECT_EQ(s.max_out_degree, 2);
+  EXPECT_DOUBLE_EQ(s.min_weight, 0.5);
+  EXPECT_DOUBLE_EQ(s.max_weight, 2.0);
+  EXPECT_EQ(s.isolated_vertices, 0);
+}
+
+TEST(Stats, IsolatedDetection) {
+  auto g = from_edges(5, {{0, 1, 1.0}});
+  auto s = compute_stats(g);
+  EXPECT_EQ(s.isolated_vertices, 3);  // 2, 3, 4
+}
+
+TEST(Stats, ToStringContainsFields) {
+  auto g = from_edges(2, {{0, 1, 1.0}});
+  std::string str = to_string(compute_stats(g));
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+  EXPECT_NE(str.find("m=1"), std::string::npos);
+}
+
+TEST(Reachability, ForwardBfs) {
+  // 0 -> 1 -> 2, 3 isolated.
+  auto g = from_edges(4, {{0, 1, 1.0}, {1, 2, 1.0}});
+  auto r = reachable_from(g, 0);
+  EXPECT_TRUE(r[0] && r[1] && r[2]);
+  EXPECT_FALSE(r[3]);
+}
+
+TEST(Reachability, ReverseBfs) {
+  auto g = from_edges(4, {{0, 1, 1.0}, {1, 2, 1.0}});
+  auto r = reaching_to(g, 2);
+  EXPECT_TRUE(r[0] && r[1] && r[2]);
+  EXPECT_FALSE(r[3]);
+}
+
+TEST(Reachability, PaperExampleUnreachables) {
+  auto ex = test::paper_example_graph();
+  auto from_s = reachable_from(ex.g, ex.s);
+  // a, c, d cannot be reached from s (they only point INTO the graph).
+  EXPECT_FALSE(from_s[ex.id.at("a")]);
+  EXPECT_FALSE(from_s[ex.id.at("c")]);
+  EXPECT_FALSE(from_s[ex.id.at("d")]);
+  EXPECT_TRUE(from_s[ex.id.at("q")]);
+  auto to_t = reaching_to(ex.g, ex.t);
+  // b and p have no out-edges, so they cannot reach t.
+  EXPECT_FALSE(to_t[ex.id.at("b")]);
+  EXPECT_FALSE(to_t[ex.id.at("p")]);
+  EXPECT_TRUE(to_t[ex.id.at("e")]);
+}
+
+}  // namespace
+}  // namespace peek::graph

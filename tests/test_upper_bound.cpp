@@ -1,0 +1,151 @@
+#include "core/upper_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ksp/bruteforce.hpp"
+#include "test_util.hpp"
+
+namespace peek::core {
+namespace {
+
+TEST(UpperBound, PaperExampleBoundAndKeepSet) {
+  // Figure 3: K = 3 gives b = 14 and keeps exactly {s, g, l, f, j, q, t}.
+  auto ex = test::paper_example_graph();
+  PruneOptions opts;
+  opts.k = 3;
+  auto r = k_upper_bound_prune(ex.g, ex.s, ex.t, opts);
+  EXPECT_DOUBLE_EQ(r.upper_bound, 14.0);
+  EXPECT_EQ(r.kept_vertices, 7);
+  for (const char* name : {"s", "g", "l", "f", "j", "q", "t"})
+    EXPECT_TRUE(r.vertex_keep[ex.id.at(name)]) << name;
+  for (const char* name : {"a", "b", "c", "d", "e", "i", "o", "p", "r"})
+    EXPECT_FALSE(r.vertex_keep[ex.id.at(name)]) << name;
+}
+
+TEST(UpperBound, BoundIsSound) {
+  // b must be >= the true K-th shortest path distance (Lemma 4.2's premise).
+  for (std::uint64_t seed : {201u, 202u, 203u, 204u}) {
+    auto g = test::random_graph(32, 96, seed);
+    auto oracle = ksp::bruteforce_ksp(g, 0, 16, 8);
+    if (oracle.paths.size() < 8) continue;
+    PruneOptions opts;
+    opts.k = 8;
+    auto r = k_upper_bound_prune(g, 0, 16, opts);
+    EXPECT_GE(r.upper_bound + 1e-12, oracle.paths.back().dist) << seed;
+  }
+}
+
+TEST(UpperBound, KeepsEveryKspVertex) {
+  // Theorem 4.3's precondition: no vertex of any of the K shortest paths may
+  // be pruned.
+  for (std::uint64_t seed : {211u, 212u, 213u}) {
+    auto g = test::random_graph(32, 96, seed);
+    auto oracle = ksp::bruteforce_ksp(g, 0, 16, 8);
+    if (oracle.paths.empty()) continue;
+    PruneOptions opts;
+    opts.k = 8;
+    auto r = k_upper_bound_prune(g, 0, 16, opts);
+    for (const auto& p : oracle.paths)
+      for (vid_t v : p.verts) EXPECT_TRUE(r.vertex_keep[v]) << "seed " << seed;
+  }
+}
+
+TEST(UpperBound, UnreachableTargetPrunesEverything) {
+  auto g = graph::from_edges(3, {{1, 0, 1.0}});
+  auto r = k_upper_bound_prune(g, 0, 2, {});
+  EXPECT_EQ(r.kept_vertices, 0);
+  EXPECT_EQ(r.upper_bound, kInfDist);
+}
+
+TEST(UpperBound, FewerPathsThanKKeepsAllReachable) {
+  // Only one simple path exists; with K = 5 the bound must fall back to inf
+  // and keep every s-t-reachable vertex.
+  auto g = graph::path(6, {graph::WeightKind::kUnit, 1});
+  PruneOptions opts;
+  opts.k = 5;
+  auto r = k_upper_bound_prune(g, 0, 5, opts);
+  EXPECT_EQ(r.upper_bound, kInfDist);
+  EXPECT_EQ(r.kept_vertices, 6);
+}
+
+TEST(UpperBound, SourceAndTargetAlwaysKept) {
+  for (std::uint64_t seed : {221u, 222u}) {
+    auto g = test::random_graph(64, 512, seed);
+    PruneOptions opts;
+    opts.k = 2;
+    auto r = k_upper_bound_prune(g, 0, 32, opts);
+    if (r.kept_vertices == 0) continue;  // unreachable pair
+    EXPECT_TRUE(r.vertex_keep[0]);
+    EXPECT_TRUE(r.vertex_keep[32]);
+  }
+}
+
+TEST(UpperBound, ParallelMatchesSerial) {
+  auto g = test::random_graph(300, 2400, 231);
+  PruneOptions ser;
+  ser.k = 8;
+  PruneOptions par = ser;
+  par.parallel = true;
+  auto a = k_upper_bound_prune(g, 0, 150, ser);
+  auto b = k_upper_bound_prune(g, 0, 150, par);
+  EXPECT_EQ(a.kept_vertices, b.kept_vertices);
+  EXPECT_NEAR(a.upper_bound, b.upper_bound, 1e-9);
+  EXPECT_EQ(a.vertex_keep, b.vertex_keep);
+}
+
+TEST(UpperBound, LargerKKeepsMore) {
+  auto g = test::random_graph(200, 1600, 233);
+  PruneOptions small;
+  small.k = 2;
+  PruneOptions large;
+  large.k = 64;
+  auto a = k_upper_bound_prune(g, 0, 100, small);
+  auto b = k_upper_bound_prune(g, 0, 100, large);
+  EXPECT_LE(a.kept_vertices, b.kept_vertices);
+  EXPECT_LE(a.upper_bound, b.upper_bound);
+}
+
+TEST(UpperBound, EdgeKeepPaperRule) {
+  // Paper rule (line 13): only the weight matters.
+  auto ex = test::paper_example_graph();
+  PruneOptions opts;
+  opts.k = 3;
+  auto r = k_upper_bound_prune(ex.g, ex.s, ex.t, opts);
+  ASSERT_TRUE(static_cast<bool>(r.edge_keep));
+  EXPECT_TRUE(r.edge_keep(0, 1, 14.0));
+  EXPECT_FALSE(r.edge_keep(0, 1, 14.5));
+}
+
+TEST(UpperBound, TightEdgePruneIsStrongerButStillSound) {
+  for (std::uint64_t seed : {241u, 242u}) {
+    auto g = test::random_graph(32, 96, seed);
+    auto oracle = ksp::bruteforce_ksp(g, 0, 16, 6);
+    if (oracle.paths.size() < 6) continue;
+    PruneOptions opts;
+    opts.k = 6;
+    opts.tight_edge_prune = true;
+    auto r = k_upper_bound_prune(g, 0, 16, opts);
+    // Soundness: every edge on every oracle path survives the tight rule.
+    for (const auto& p : oracle.paths) {
+      for (size_t i = 0; i + 1 < p.verts.size(); ++i) {
+        const eid_t e = g.find_edge(p.verts[i], p.verts[i + 1]);
+        EXPECT_TRUE(r.edge_keep(p.verts[i], p.verts[i + 1], g.edge_weight(e)))
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(UpperBound, PruningPowerIsHighOnBigGraphs) {
+  // The paper's headline: ~98% of vertices pruned. On a 2^12-vertex R-MAT we
+  // should see well over half the graph vanish for K = 8.
+  auto g = graph::rmat(12, 8);
+  PruneOptions opts;
+  opts.k = 8;
+  auto r = k_upper_bound_prune(g, 1, 2000, opts);
+  if (r.kept_vertices == 0) GTEST_SKIP() << "unreachable pair";
+  EXPECT_LT(r.kept_vertices, g.num_vertices() / 2);
+}
+
+}  // namespace
+}  // namespace peek::core

@@ -1,0 +1,61 @@
+#include "sssp/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "test_util.hpp"
+
+namespace peek::sssp {
+namespace {
+
+TEST(GraphView, PlainViewMirrorsCsr) {
+  auto g = graph::from_edges(3, {{0, 1, 1.0}, {0, 2, 2.0}, {1, 2, 3.0}});
+  GraphView v(g);
+  EXPECT_EQ(v.num_vertices(), 3);
+  EXPECT_EQ(v.edge_end(0) - v.edge_begin(0), 2);
+  EXPECT_TRUE(v.vertex_alive(2));
+  EXPECT_TRUE(v.edge_alive(0));
+  EXPECT_DOUBLE_EQ(v.max_edge_weight(), 3.0);
+  EXPECT_EQ(v.count_alive_edges(), 3);
+}
+
+TEST(GraphView, StatusMasksFilter) {
+  auto g = graph::from_edges(3, {{0, 1, 1.0}, {0, 2, 2.0}, {1, 2, 3.0}});
+  std::vector<std::uint8_t> valive{1, 0, 1};  // kill vertex 1
+  std::vector<std::uint8_t> ealive{1, 1, 1};
+  GraphView v(g, valive.data(), ealive.data());
+  EXPECT_FALSE(v.vertex_alive(1));
+  // count_alive_edges skips edges to/from dead vertices.
+  EXPECT_EQ(v.count_alive_edges(), 1);  // only 0 -> 2 survives
+  EXPECT_DOUBLE_EQ(v.max_edge_weight(), 2.0);
+}
+
+TEST(GraphView, EdgeMaskFilters) {
+  auto g = graph::from_edges(2, {{0, 1, 1.0}});
+  std::vector<std::uint8_t> ealive{0};
+  GraphView v(g, nullptr, ealive.data());
+  EXPECT_FALSE(v.edge_alive(0));
+  EXPECT_EQ(v.count_alive_edges(), 0);
+  EXPECT_EQ(v.find_edge(0, 1), kNoEdge);
+}
+
+TEST(GraphView, FindEdgeHonoursValidCount) {
+  auto g = graph::from_edges(2, {{0, 1, 1.0}});
+  std::vector<eid_t> count{0, 0};  // pretend all edges swapped out
+  GraphView v(2, g.row_offsets().data(), g.col().data(), g.weights().data(),
+              count.data(), nullptr, nullptr);
+  EXPECT_EQ(v.edge_end(0), v.edge_begin(0));
+  EXPECT_EQ(v.find_edge(0, 1), kNoEdge);
+}
+
+TEST(BiView, OfBuildsBothOrientations) {
+  auto g = graph::from_edges(2, {{0, 1, 1.5}});
+  BiView bv = BiView::of(g);
+  EXPECT_NE(bv.fwd.find_edge(0, 1), kNoEdge);
+  EXPECT_EQ(bv.fwd.find_edge(1, 0), kNoEdge);
+  EXPECT_NE(bv.rev.find_edge(1, 0), kNoEdge);
+  EXPECT_DOUBLE_EQ(bv.rev.edge_weight(bv.rev.find_edge(1, 0)), 1.5);
+}
+
+}  // namespace
+}  // namespace peek::sssp

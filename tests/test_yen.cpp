@@ -1,0 +1,93 @@
+#include "ksp/yen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ksp/bruteforce.hpp"
+#include "test_util.hpp"
+
+namespace peek::ksp {
+namespace {
+
+KspOptions k_opts(int k) {
+  KspOptions o;
+  o.k = k;
+  return o;
+}
+
+TEST(Yen, PaperExampleTopThree) {
+  auto ex = test::paper_example_graph();
+  auto r = yen_ksp(ex.g, ex.s, ex.t, k_opts(3));
+  ASSERT_EQ(r.paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.paths[0].dist, 11.0);
+  EXPECT_DOUBLE_EQ(r.paths[1].dist, 12.0);
+  EXPECT_DOUBLE_EQ(r.paths[2].dist, 14.0);
+  test::check_ksp_invariants(ex.g, ex.s, ex.t, r.paths);
+}
+
+TEST(Yen, KOneIsShortestPath) {
+  auto g = test::random_graph(32, 90, 101);
+  auto r = yen_ksp(g, 0, 16, k_opts(1));
+  auto oracle = bruteforce_ksp(g, 0, 16, 1);
+  ASSERT_EQ(r.paths.size(), oracle.paths.size());
+  if (!r.paths.empty()) {
+    EXPECT_NEAR(r.paths[0].dist, oracle.paths[0].dist, 1e-9);
+  }
+}
+
+TEST(Yen, ExhaustsSmallPathSpace) {
+  // Diamond has exactly 2 simple paths; asking for 10 returns 2.
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {0, 2, 2.0}, {1, 3, 1.0},
+                                 {2, 3, 1.0}});
+  auto r = yen_ksp(g, 0, 3, k_opts(10));
+  EXPECT_EQ(r.paths.size(), 2u);
+}
+
+TEST(Yen, UnreachableTargetEmpty) {
+  auto g = graph::from_edges(3, {{1, 0, 1.0}});
+  EXPECT_TRUE(yen_ksp(g, 0, 2, k_opts(4)).paths.empty());
+}
+
+TEST(Yen, SameSourceAndTarget) {
+  auto g = graph::from_edges(3, {{0, 1, 1.0}, {1, 0, 1.0}});
+  auto r = yen_ksp(g, 0, 0, k_opts(3));
+  // The trivial zero-length path is the only simple s->s path.
+  ASSERT_GE(r.paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.paths[0].dist, 0.0);
+}
+
+TEST(Yen, InvalidInputsSafe) {
+  auto g = graph::from_edges(2, {{0, 1, 1.0}});
+  EXPECT_TRUE(yen_ksp(g, -1, 1, k_opts(2)).paths.empty());
+  EXPECT_TRUE(yen_ksp(g, 0, 7, k_opts(2)).paths.empty());
+  EXPECT_TRUE(yen_ksp(g, 0, 1, k_opts(0)).paths.empty());
+}
+
+TEST(Yen, CountsSsspCalls) {
+  auto ex = test::paper_example_graph();
+  auto r = yen_ksp(ex.g, ex.s, ex.t, k_opts(3));
+  // At least one SSSP for the first path plus one per deviation examined.
+  EXPECT_GE(r.stats.sssp_calls, 3);
+}
+
+TEST(Yen, ParallelMatchesSerial) {
+  auto g = test::random_graph(80, 640, 103);
+  KspOptions ser = k_opts(8);
+  KspOptions par = k_opts(8);
+  par.parallel = true;
+  auto a = yen_ksp(g, 0, 40, ser);
+  auto b = yen_ksp(g, 0, 40, par);
+  test::expect_same_distances(a.paths, b.paths);
+}
+
+TEST(Yen, LawlerIndexDoesNotLosePaths) {
+  // Dense path space where naive-vs-Lawler divergence would show: compare
+  // against the oracle exactly.
+  auto g = graph::layered_dag(4, 4, 3, {graph::WeightKind::kUniform01, 5}, 11);
+  auto r = yen_ksp(g, 0, 13, k_opts(12));
+  auto oracle = bruteforce_ksp(g, 0, 13, 12);
+  test::expect_same_distances(r.paths, oracle.paths);
+  test::check_ksp_invariants(g, 0, 13, r.paths);
+}
+
+}  // namespace
+}  // namespace peek::ksp

@@ -1,0 +1,232 @@
+// peek — command-line K shortest paths.
+//
+//   peek --graph web.gr --format dimacs --source 4 --target 912 --k 8
+//   peek --gen rmat --scale 14 --k 16 --algo yen --pairs 4 --seed 7
+//
+// Loads (or generates) a graph, answers one or many KSP queries with any of
+// the implemented algorithms, and prints paths or timing summaries. This is
+// the downstream-user entry point; every library feature is reachable from
+// here without writing C++.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/batch.hpp"
+#include "core/shortest_k_group.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "ksp/node_classification.hpp"
+#include "ksp/optyen.hpp"
+#include "ksp/pnc.hpp"
+#include "ksp/sidetrack.hpp"
+#include "ksp/yen.hpp"
+
+namespace {
+
+using namespace peek;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  bool has(const std::string& key) const { return kv.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  long get_int(const std::string& key, long fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stol(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stod(it->second);
+  }
+};
+
+void usage() {
+  std::puts(
+      "peek - K shortest simple paths\n"
+      "\n"
+      "input (one of):\n"
+      "  --graph PATH --format {edgelist|dimacs|binary}   load a graph file\n"
+      "  --gen {rmat|er|smallworld|prefattach|grid} [--scale S] [--n N]\n"
+      "        [--weights {random|unit}] [--seed X]        generate one\n"
+      "\n"
+      "query:\n"
+      "  --source V --target V      a single query, prints the paths\n"
+      "  --pairs N                  N random reachable pairs, prints timings\n"
+      "  --k K                      number of paths (default 8)\n"
+      "  --groups G                 GQL SHORTEST-k-GROUP mode instead\n"
+      "\n"
+      "algorithm:\n"
+      "  --algo {peek|yen|nc|optyen|sb|sbstar|pnc|pncstar}  (default peek)\n"
+      "  --parallel                 two-level parallel execution\n"
+      "  --alpha A                  adaptive compaction threshold (peek)\n"
+      "  --stats                    print graph statistics and exit\n");
+}
+
+graph::CsrGraph load_graph(const Args& args) {
+  if (args.has("graph")) {
+    const std::string path = args.get("graph", "");
+    const std::string format = args.get("format", "edgelist");
+    if (format == "dimacs") return graph::read_dimacs_file(path);
+    if (format == "binary") return graph::read_binary_file(path);
+    if (format == "edgelist") return graph::read_edge_list_file(path);
+    throw std::runtime_error("unknown --format " + format);
+  }
+  graph::WeightOptions w;
+  w.kind = args.get("weights", "random") == "unit" ? graph::WeightKind::kUnit
+                                                   : graph::WeightKind::kUniform01;
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  w.seed = seed + 1;
+  const std::string gen = args.get("gen", "rmat");
+  const int scale = static_cast<int>(args.get_int("scale", 14));
+  const vid_t n = static_cast<vid_t>(args.get_int("n", 1 << scale));
+  if (gen == "rmat") return graph::rmat(scale, 8, w, seed);
+  if (gen == "er") return graph::erdos_renyi(n, static_cast<eid_t>(n) * 8, w, seed);
+  if (gen == "smallworld") return graph::small_world(n, 8, 0.05, w, seed);
+  if (gen == "prefattach") return graph::preferential_attachment(n, 4, w, seed);
+  if (gen == "grid") {
+    const vid_t side = static_cast<vid_t>(std::max(2.0, std::sqrt(double(n))));
+    return graph::grid(side, side, w, seed);
+  }
+  throw std::runtime_error("unknown --gen " + gen);
+}
+
+ksp::KspResult run_algorithm(const std::string& algo, const graph::CsrGraph& g,
+                             vid_t s, vid_t t, const ksp::KspOptions& ko) {
+  if (algo == "yen") return ksp::yen_ksp(g, s, t, ko);
+  if (algo == "nc") return ksp::nc_ksp(g, s, t, ko);
+  if (algo == "optyen") return ksp::optyen_ksp(g, s, t, ko);
+  if (algo == "sb") return ksp::sb_ksp(g, s, t, ko);
+  if (algo == "sbstar") return ksp::sb_star_ksp(g, s, t, ko);
+  if (algo == "pnc") return ksp::pnc_ksp(g, s, t, ko);
+  if (algo == "pncstar") return ksp::pnc_star_ksp(g, s, t, ko);
+  throw std::runtime_error("unknown --algo " + algo);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      usage();
+      return 2;
+    }
+    key = key.substr(2);
+    if (key == "help") {
+      usage();
+      return 0;
+    }
+    // Flags without values.
+    if (key == "parallel" || key == "stats") {
+      args.kv[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+      return 2;
+    }
+    args.kv[key] = argv[++i];
+  }
+
+  try {
+    graph::CsrGraph g = load_graph(args);
+    if (args.has("stats")) {
+      std::printf("%s\n", graph::to_string(graph::compute_stats(g)).c_str());
+      return 0;
+    }
+
+    const int k = static_cast<int>(args.get_int("k", 8));
+    const std::string algo = args.get("algo", "peek");
+    const bool parallel = args.has("parallel");
+
+    if (args.has("groups")) {
+      core::PeekOptions po;
+      po.parallel = parallel;
+      auto r = core::shortest_k_groups(
+          g, static_cast<vid_t>(args.get_int("source", 0)),
+          static_cast<vid_t>(args.get_int("target", 1)),
+          static_cast<int>(args.get_int("groups", 3)), po);
+      for (size_t i = 0; i < r.groups.size(); ++i) {
+        std::printf("group %zu (dist %.6f, %zu paths)\n", i + 1,
+                    r.groups[i].dist, r.groups[i].paths.size());
+        for (const auto& p : r.groups[i].paths)
+          std::printf("  %s\n", sssp::to_string(p).c_str());
+      }
+      return 0;
+    }
+
+    if (args.has("source") && args.has("target")) {
+      const auto s = static_cast<vid_t>(args.get_int("source", 0));
+      const auto t = static_cast<vid_t>(args.get_int("target", 0));
+      if (algo == "peek") {
+        core::PeekOptions po;
+        po.k = k;
+        po.parallel = parallel;
+        po.alpha = args.get_double("alpha", 0.5);
+        auto r = core::peek_ksp(g, s, t, po);
+        std::printf("b=%.6f kept %d/%d vertices, %s compaction, "
+                    "%.4f/%.4f/%.4fs prune/compact/ksp\n",
+                    r.upper_bound, r.kept_vertices, g.num_vertices(),
+                    compact::to_string(r.strategy_used), r.prune_seconds,
+                    r.compact_seconds, r.ksp_seconds);
+        for (const auto& p : r.ksp.paths)
+          std::printf("%s\n", sssp::to_string(p).c_str());
+      } else {
+        ksp::KspOptions ko;
+        ko.k = k;
+        ko.parallel = parallel;
+        auto r = run_algorithm(algo, g, s, t, ko);
+        std::printf("%d SSSP calls, %d tree shortcuts\n", r.stats.sssp_calls,
+                    r.stats.tree_shortcuts);
+        for (const auto& p : r.paths)
+          std::printf("%s\n", sssp::to_string(p).c_str());
+      }
+      return 0;
+    }
+
+    // Batch mode over random pairs.
+    const int pairs = static_cast<int>(args.get_int("pairs", 4));
+    std::vector<core::BatchQuery> queries;
+    {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+      std::uniform_int_distribution<vid_t> pick(0, g.num_vertices() - 1);
+      auto fwd = sssp::GraphView(g);
+      while (static_cast<int>(queries.size()) < pairs) {
+        const vid_t s = pick(rng);
+        auto r = sssp::dijkstra(fwd, s);
+        std::vector<vid_t> reach;
+        for (vid_t v = 0; v < g.num_vertices(); ++v)
+          if (v != s && r.dist[v] != kInfDist) reach.push_back(v);
+        if (reach.empty()) continue;
+        std::uniform_int_distribution<size_t> pick_t(0, reach.size() - 1);
+        queries.push_back({s, reach[pick_t(rng)]});
+      }
+    }
+    core::BatchOptions bo;
+    bo.per_query.k = k;
+    bo.parallel_queries = parallel;
+    auto batch = core::peek_ksp_batch(g, queries, bo);
+    double avg = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto& r = batch.results[i];
+      std::printf("pair %zu: %d->%d, %zu paths, kept %d vertices, %.4fs\n",
+                  i + 1, queries[i].s, queries[i].t, r.ksp.paths.size(),
+                  r.kept_vertices, r.total_seconds());
+      avg += r.total_seconds();
+    }
+    std::printf("batch wall %.4fs, avg per query %.4fs\n", batch.wall_seconds,
+                avg / queries.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
