@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_pruning.dir/bench_fig04_pruning.cpp.o"
+  "CMakeFiles/bench_fig04_pruning.dir/bench_fig04_pruning.cpp.o.d"
+  "bench_fig04_pruning"
+  "bench_fig04_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

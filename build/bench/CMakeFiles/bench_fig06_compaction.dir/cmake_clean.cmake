@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_compaction.dir/bench_fig06_compaction.cpp.o"
+  "CMakeFiles/bench_fig06_compaction.dir/bench_fig06_compaction.cpp.o.d"
+  "bench_fig06_compaction"
+  "bench_fig06_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_distributed.dir/bench_fig10_distributed.cpp.o"
+  "CMakeFiles/bench_fig10_distributed.dir/bench_fig10_distributed.cpp.o.d"
+  "bench_fig10_distributed"
+  "bench_fig10_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_kvalues.dir/bench_fig11_kvalues.cpp.o"
+  "CMakeFiles/bench_fig11_kvalues.dir/bench_fig11_kvalues.cpp.o.d"
+  "bench_fig11_kvalues"
+  "bench_fig11_kvalues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_kvalues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sssp.dir/bench_micro_sssp.cpp.o"
+  "CMakeFiles/bench_micro_sssp.dir/bench_micro_sssp.cpp.o.d"
+  "bench_micro_sssp"
+  "bench_micro_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

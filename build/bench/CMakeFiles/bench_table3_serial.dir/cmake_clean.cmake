@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_serial.dir/bench_table3_serial.cpp.o"
+  "CMakeFiles/bench_table3_serial.dir/bench_table3_serial.cpp.o.d"
+  "bench_table3_serial"
+  "bench_table3_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biology.dir/biology.cpp.o"
+  "CMakeFiles/biology.dir/biology.cpp.o.d"
+  "biology"
+  "biology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphdb_groups.dir/graphdb_groups.cpp.o"
+  "CMakeFiles/graphdb_groups.dir/graphdb_groups.cpp.o.d"
+  "graphdb_groups"
+  "graphdb_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphdb_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compact/adaptive.cpp" "src/CMakeFiles/peek.dir/compact/adaptive.cpp.o" "gcc" "src/CMakeFiles/peek.dir/compact/adaptive.cpp.o.d"
+  "/root/repo/src/compact/edge_swap.cpp" "src/CMakeFiles/peek.dir/compact/edge_swap.cpp.o" "gcc" "src/CMakeFiles/peek.dir/compact/edge_swap.cpp.o.d"
+  "/root/repo/src/compact/regeneration.cpp" "src/CMakeFiles/peek.dir/compact/regeneration.cpp.o" "gcc" "src/CMakeFiles/peek.dir/compact/regeneration.cpp.o.d"
+  "/root/repo/src/compact/status_array.cpp" "src/CMakeFiles/peek.dir/compact/status_array.cpp.o" "gcc" "src/CMakeFiles/peek.dir/compact/status_array.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "src/CMakeFiles/peek.dir/core/batch.cpp.o" "gcc" "src/CMakeFiles/peek.dir/core/batch.cpp.o.d"
+  "/root/repo/src/core/diverse.cpp" "src/CMakeFiles/peek.dir/core/diverse.cpp.o" "gcc" "src/CMakeFiles/peek.dir/core/diverse.cpp.o.d"
+  "/root/repo/src/core/peek.cpp" "src/CMakeFiles/peek.dir/core/peek.cpp.o" "gcc" "src/CMakeFiles/peek.dir/core/peek.cpp.o.d"
+  "/root/repo/src/core/shortest_k_group.cpp" "src/CMakeFiles/peek.dir/core/shortest_k_group.cpp.o" "gcc" "src/CMakeFiles/peek.dir/core/shortest_k_group.cpp.o.d"
+  "/root/repo/src/core/upper_bound.cpp" "src/CMakeFiles/peek.dir/core/upper_bound.cpp.o" "gcc" "src/CMakeFiles/peek.dir/core/upper_bound.cpp.o.d"
+  "/root/repo/src/dist/comm.cpp" "src/CMakeFiles/peek.dir/dist/comm.cpp.o" "gcc" "src/CMakeFiles/peek.dir/dist/comm.cpp.o.d"
+  "/root/repo/src/dist/dist_peek.cpp" "src/CMakeFiles/peek.dir/dist/dist_peek.cpp.o" "gcc" "src/CMakeFiles/peek.dir/dist/dist_peek.cpp.o.d"
+  "/root/repo/src/dist/dist_sssp.cpp" "src/CMakeFiles/peek.dir/dist/dist_sssp.cpp.o" "gcc" "src/CMakeFiles/peek.dir/dist/dist_sssp.cpp.o.d"
+  "/root/repo/src/dist/partition.cpp" "src/CMakeFiles/peek.dir/dist/partition.cpp.o" "gcc" "src/CMakeFiles/peek.dir/dist/partition.cpp.o.d"
+  "/root/repo/src/dist/sample_sort.cpp" "src/CMakeFiles/peek.dir/dist/sample_sort.cpp.o" "gcc" "src/CMakeFiles/peek.dir/dist/sample_sort.cpp.o.d"
+  "/root/repo/src/dyn/dynamic_graph.cpp" "src/CMakeFiles/peek.dir/dyn/dynamic_graph.cpp.o" "gcc" "src/CMakeFiles/peek.dir/dyn/dynamic_graph.cpp.o.d"
+  "/root/repo/src/dyn/dynamic_sssp.cpp" "src/CMakeFiles/peek.dir/dyn/dynamic_sssp.cpp.o" "gcc" "src/CMakeFiles/peek.dir/dyn/dynamic_sssp.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/peek.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/peek.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/peek.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/peek.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/peek.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/peek.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/peek.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/peek.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/CMakeFiles/peek.dir/graph/scc.cpp.o" "gcc" "src/CMakeFiles/peek.dir/graph/scc.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/peek.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/peek.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/ksp/bruteforce.cpp" "src/CMakeFiles/peek.dir/ksp/bruteforce.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/bruteforce.cpp.o.d"
+  "/root/repo/src/ksp/hop_limited.cpp" "src/CMakeFiles/peek.dir/ksp/hop_limited.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/hop_limited.cpp.o.d"
+  "/root/repo/src/ksp/node_classification.cpp" "src/CMakeFiles/peek.dir/ksp/node_classification.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/node_classification.cpp.o.d"
+  "/root/repo/src/ksp/optyen.cpp" "src/CMakeFiles/peek.dir/ksp/optyen.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/optyen.cpp.o.d"
+  "/root/repo/src/ksp/path_set.cpp" "src/CMakeFiles/peek.dir/ksp/path_set.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/path_set.cpp.o.d"
+  "/root/repo/src/ksp/pnc.cpp" "src/CMakeFiles/peek.dir/ksp/pnc.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/pnc.cpp.o.d"
+  "/root/repo/src/ksp/sidetrack.cpp" "src/CMakeFiles/peek.dir/ksp/sidetrack.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/sidetrack.cpp.o.d"
+  "/root/repo/src/ksp/stream.cpp" "src/CMakeFiles/peek.dir/ksp/stream.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/stream.cpp.o.d"
+  "/root/repo/src/ksp/yen.cpp" "src/CMakeFiles/peek.dir/ksp/yen.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/yen.cpp.o.d"
+  "/root/repo/src/ksp/yen_engine.cpp" "src/CMakeFiles/peek.dir/ksp/yen_engine.cpp.o" "gcc" "src/CMakeFiles/peek.dir/ksp/yen_engine.cpp.o.d"
+  "/root/repo/src/parallel/partitioner.cpp" "src/CMakeFiles/peek.dir/parallel/partitioner.cpp.o" "gcc" "src/CMakeFiles/peek.dir/parallel/partitioner.cpp.o.d"
+  "/root/repo/src/parallel/prefix_sum.cpp" "src/CMakeFiles/peek.dir/parallel/prefix_sum.cpp.o" "gcc" "src/CMakeFiles/peek.dir/parallel/prefix_sum.cpp.o.d"
+  "/root/repo/src/parallel/sort.cpp" "src/CMakeFiles/peek.dir/parallel/sort.cpp.o" "gcc" "src/CMakeFiles/peek.dir/parallel/sort.cpp.o.d"
+  "/root/repo/src/sssp/alt.cpp" "src/CMakeFiles/peek.dir/sssp/alt.cpp.o" "gcc" "src/CMakeFiles/peek.dir/sssp/alt.cpp.o.d"
+  "/root/repo/src/sssp/bellman_ford.cpp" "src/CMakeFiles/peek.dir/sssp/bellman_ford.cpp.o" "gcc" "src/CMakeFiles/peek.dir/sssp/bellman_ford.cpp.o.d"
+  "/root/repo/src/sssp/bidirectional.cpp" "src/CMakeFiles/peek.dir/sssp/bidirectional.cpp.o" "gcc" "src/CMakeFiles/peek.dir/sssp/bidirectional.cpp.o.d"
+  "/root/repo/src/sssp/delta_stepping.cpp" "src/CMakeFiles/peek.dir/sssp/delta_stepping.cpp.o" "gcc" "src/CMakeFiles/peek.dir/sssp/delta_stepping.cpp.o.d"
+  "/root/repo/src/sssp/dijkstra.cpp" "src/CMakeFiles/peek.dir/sssp/dijkstra.cpp.o" "gcc" "src/CMakeFiles/peek.dir/sssp/dijkstra.cpp.o.d"
+  "/root/repo/src/sssp/hop_limited.cpp" "src/CMakeFiles/peek.dir/sssp/hop_limited.cpp.o" "gcc" "src/CMakeFiles/peek.dir/sssp/hop_limited.cpp.o.d"
+  "/root/repo/src/sssp/path.cpp" "src/CMakeFiles/peek.dir/sssp/path.cpp.o" "gcc" "src/CMakeFiles/peek.dir/sssp/path.cpp.o.d"
+  "/root/repo/src/sssp/resumable_dijkstra.cpp" "src/CMakeFiles/peek.dir/sssp/resumable_dijkstra.cpp.o" "gcc" "src/CMakeFiles/peek.dir/sssp/resumable_dijkstra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bellman_ford.dir/test_bellman_ford.cpp.o"
+  "CMakeFiles/test_bellman_ford.dir/test_bellman_ford.cpp.o.d"
+  "test_bellman_ford"
+  "test_bellman_ford.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bellman_ford.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

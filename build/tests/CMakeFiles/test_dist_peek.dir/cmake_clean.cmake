@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_peek.dir/test_dist_peek.cpp.o"
+  "CMakeFiles/test_dist_peek.dir/test_dist_peek.cpp.o.d"
+  "test_dist_peek"
+  "test_dist_peek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_peek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

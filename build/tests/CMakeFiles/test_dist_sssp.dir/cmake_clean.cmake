@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_sssp.dir/test_dist_sssp.cpp.o"
+  "CMakeFiles/test_dist_sssp.dir/test_dist_sssp.cpp.o.d"
+  "test_dist_sssp"
+  "test_dist_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

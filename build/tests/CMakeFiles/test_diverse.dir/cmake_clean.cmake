@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diverse.dir/test_diverse.cpp.o"
+  "CMakeFiles/test_diverse.dir/test_diverse.cpp.o.d"
+  "test_diverse"
+  "test_diverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_sssp.dir/test_dynamic_sssp.cpp.o"
+  "CMakeFiles/test_dynamic_sssp.dir/test_dynamic_sssp.cpp.o.d"
+  "test_dynamic_sssp"
+  "test_dynamic_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_swap.dir/test_edge_swap.cpp.o"
+  "CMakeFiles/test_edge_swap.dir/test_edge_swap.cpp.o.d"
+  "test_edge_swap"
+  "test_edge_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hop_limited.dir/test_hop_limited.cpp.o"
+  "CMakeFiles/test_hop_limited.dir/test_hop_limited.cpp.o.d"
+  "test_hop_limited"
+  "test_hop_limited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hop_limited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ksp_agreement.dir/test_ksp_agreement.cpp.o"
+  "CMakeFiles/test_ksp_agreement.dir/test_ksp_agreement.cpp.o.d"
+  "test_ksp_agreement"
+  "test_ksp_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ksp_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

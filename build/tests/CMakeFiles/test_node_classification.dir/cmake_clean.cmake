@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_classification.dir/test_node_classification.cpp.o"
+  "CMakeFiles/test_node_classification.dir/test_node_classification.cpp.o.d"
+  "test_node_classification"
+  "test_node_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

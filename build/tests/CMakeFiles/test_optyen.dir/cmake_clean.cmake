@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optyen.dir/test_optyen.cpp.o"
+  "CMakeFiles/test_optyen.dir/test_optyen.cpp.o.d"
+  "test_optyen"
+  "test_optyen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optyen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_optyen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_ksp.dir/test_parallel_ksp.cpp.o"
+  "CMakeFiles/test_parallel_ksp.dir/test_parallel_ksp.cpp.o.d"
+  "test_parallel_ksp"
+  "test_parallel_ksp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_ksp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_set.dir/test_path_set.cpp.o"
+  "CMakeFiles/test_path_set.dir/test_path_set.cpp.o.d"
+  "test_path_set"
+  "test_path_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

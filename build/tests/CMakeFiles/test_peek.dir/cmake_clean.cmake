@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peek.dir/test_peek.cpp.o"
+  "CMakeFiles/test_peek.dir/test_peek.cpp.o.d"
+  "test_peek"
+  "test_peek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

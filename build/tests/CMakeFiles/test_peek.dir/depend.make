@@ -1,0 +1,2 @@
+# Empty dependencies file for test_peek.
+# This may be replaced when dependencies are built.

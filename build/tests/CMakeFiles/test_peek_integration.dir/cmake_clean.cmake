@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peek_integration.dir/test_peek_integration.cpp.o"
+  "CMakeFiles/test_peek_integration.dir/test_peek_integration.cpp.o.d"
+  "test_peek_integration"
+  "test_peek_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peek_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pnc.dir/test_pnc.cpp.o"
+  "CMakeFiles/test_pnc.dir/test_pnc.cpp.o.d"
+  "test_pnc"
+  "test_pnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

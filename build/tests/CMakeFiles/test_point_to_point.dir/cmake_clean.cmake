@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_point_to_point.dir/test_point_to_point.cpp.o"
+  "CMakeFiles/test_point_to_point.dir/test_point_to_point.cpp.o.d"
+  "test_point_to_point"
+  "test_point_to_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_point_to_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regeneration.dir/test_regeneration.cpp.o"
+  "CMakeFiles/test_regeneration.dir/test_regeneration.cpp.o.d"
+  "test_regeneration"
+  "test_regeneration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regeneration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shortest_k_group.dir/test_shortest_k_group.cpp.o"
+  "CMakeFiles/test_shortest_k_group.dir/test_shortest_k_group.cpp.o.d"
+  "test_shortest_k_group"
+  "test_shortest_k_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shortest_k_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sidetrack.dir/test_sidetrack.cpp.o"
+  "CMakeFiles/test_sidetrack.dir/test_sidetrack.cpp.o.d"
+  "test_sidetrack"
+  "test_sidetrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sidetrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sidetrack.
+# This may be replaced when dependencies are built.

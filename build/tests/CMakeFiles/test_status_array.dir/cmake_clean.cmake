@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_status_array.dir/test_status_array.cpp.o"
+  "CMakeFiles/test_status_array.dir/test_status_array.cpp.o.d"
+  "test_status_array"
+  "test_status_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_status_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yen_engine.dir/test_yen_engine.cpp.o"
+  "CMakeFiles/test_yen_engine.dir/test_yen_engine.cpp.o.d"
+  "test_yen_engine"
+  "test_yen_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yen_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

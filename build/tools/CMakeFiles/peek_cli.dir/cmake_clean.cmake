@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peek_cli.dir/peek_cli.cpp.o"
+  "CMakeFiles/peek_cli.dir/peek_cli.cpp.o.d"
+  "peek"
+  "peek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peek_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
