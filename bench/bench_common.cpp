@@ -1,10 +1,14 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <sstream>
 
 #include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace peek::bench {
 
@@ -78,6 +82,35 @@ std::vector<std::pair<vid_t, vid_t>> sample_pairs(const CsrGraph& g, int count,
     pairs.push_back({s, far[pick_t(rng)]});
   }
   return pairs;
+}
+
+namespace {
+
+std::string g_metrics_path;  // set once in enable_metrics_dump
+
+void dump_metrics() {
+  if (g_metrics_path.empty()) return;
+  if (!obs::write_metrics_json(g_metrics_path,
+                               obs::MetricsRegistry::global().snapshot())) {
+    std::fprintf(stderr, "warning: failed to write metrics json to %s\n",
+                 g_metrics_path.c_str());
+  }
+}
+
+}  // namespace
+
+void enable_metrics_dump(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      g_metrics_path = argv[i + 1];
+      break;
+    }
+  }
+  if (g_metrics_path.empty()) {
+    const char* env = std::getenv("PEEK_METRICS");
+    if (env && *env) g_metrics_path = env;
+  }
+  if (!g_metrics_path.empty()) std::atexit(dump_metrics);
 }
 
 void print_header(const std::string& title, const std::string& paper_ref) {

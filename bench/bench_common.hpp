@@ -48,6 +48,12 @@ double time_seconds(Fn&& fn) {
       .count();
 }
 
+/// Registers an at-exit dump of the global metrics registry so BENCH_*.json
+/// trajectories carry internal counters, not just wall time. The output path
+/// comes from `--metrics-json PATH` on the command line, else the
+/// PEEK_METRICS environment variable; with neither, this is a no-op.
+void enable_metrics_dump(int argc, char** argv);
+
 /// Printf-style table helpers (fixed-width columns).
 void print_header(const std::string& title, const std::string& paper_ref);
 void print_row(const std::vector<std::string>& cells, int width = 12);

@@ -25,7 +25,8 @@ int env_int(const char* name, int fallback) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  enable_metrics_dump(argc, argv);
   auto g = twitter_like(env_int("PEEK_BENCH_SCALE", 13));
   auto pts = sample_pairs(g, 2, 42);
   if (pts.empty()) return 0;

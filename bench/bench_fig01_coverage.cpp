@@ -17,7 +17,8 @@ int env_int(const char* name, int fallback) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  enable_metrics_dump(argc, argv);
   const int pairs = env_int("PEEK_BENCH_PAIRS", 2);
   auto g = twitter_like(env_int("PEEK_BENCH_SCALE", 12));
   print_header("Figure 1: covered vertices/edges vs K",

@@ -18,7 +18,8 @@ int env_int(const char* name, int fallback) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  enable_metrics_dump(argc, argv);
   const int pairs = env_int("PEEK_BENCH_PAIRS", 2);
   auto suite = benchmark_suite(env_int("PEEK_BENCH_SHIFT", 0));
   print_header("Figure 9: shared-memory scalability (PeeK, K=8)",

@@ -17,7 +17,8 @@ int env_int(const char* name, int fallback) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  enable_metrics_dump(argc, argv);
   auto suite = benchmark_suite(env_int("PEEK_BENCH_SHIFT", -1));
   print_header("Figure 10: distributed scalability (PeeK, K=8)",
                "Figure 10 — simulated ranks standing in for 16..1024 cores; "

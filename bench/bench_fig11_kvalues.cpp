@@ -19,7 +19,8 @@ int env_int(const char* name, int fallback) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  enable_metrics_dump(argc, argv);
   auto suite = benchmark_suite(env_int("PEEK_BENCH_SHIFT", -1));
   print_header("Figure 11: runtime (s) vs K",
                "Figure 11 — Yen/NC/OptYen/PeeK, K = 2..128, 32 threads");

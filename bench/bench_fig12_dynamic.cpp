@@ -28,7 +28,8 @@ std::uint64_t pair_key(vid_t u, vid_t v) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  enable_metrics_dump(argc, argv);
   auto g = twitter_like(env_int("PEEK_BENCH_SCALE", 14));
   const auto pts = sample_pairs(g, 1, 99);
   if (pts.empty()) return 0;

@@ -23,7 +23,8 @@ int env_int(const char* name, int fallback) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  enable_metrics_dump(argc, argv);
   const int pairs = env_int("PEEK_BENCH_PAIRS", 2);
   const int shift = env_int("PEEK_BENCH_SHIFT", 0);
   par::ThreadScope one_thread(1);

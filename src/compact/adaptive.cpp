@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace peek::compact {
@@ -16,14 +17,27 @@ const char* to_string(Strategy s) {
 }
 
 Strategy choose_strategy(eid_t m_remaining, eid_t m_original, double alpha) {
-  return static_cast<double>(m_remaining) < alpha * static_cast<double>(m_original)
-             ? Strategy::kRegeneration
-             : Strategy::kEdgeSwap;
+  const Strategy s =
+      static_cast<double>(m_remaining) < alpha * static_cast<double>(m_original)
+          ? Strategy::kRegeneration
+          : Strategy::kEdgeSwap;
+  if (m_original > 0) {
+    PEEK_GAUGE_SET("compact.remaining_edge_ratio",
+                   static_cast<double>(m_remaining) /
+                       static_cast<double>(m_original));
+  }
+  if (s == Strategy::kRegeneration) {
+    PEEK_COUNT_INC("compact.strategy.regeneration");
+  } else {
+    PEEK_COUNT_INC("compact.strategy.edge_swap");
+  }
+  return s;
 }
 
 eid_t count_remaining_edges(const GraphView& view,
                             const std::uint8_t* vertex_keep,
                             const EdgeKeep& keep, bool parallel) {
+  PEEK_TIMER_SCOPE("compact.count_remaining");
   auto vertex_kept = [&](vid_t v) {
     return view.vertex_alive(v) && (!vertex_keep || vertex_keep[v]);
   };

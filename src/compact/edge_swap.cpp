@@ -3,6 +3,7 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace peek::compact {
@@ -69,6 +70,7 @@ eid_t pack_row(vid_t self, eid_t begin, eid_t count, std::vector<vid_t>& col,
 
 eid_t edge_swap_compact(MutableCsr& g, const std::uint8_t* vertex_keep,
                         const EdgeKeep& keep, const EdgeSwapOptions& opts) {
+  PEEK_TIMER_SCOPE("compact.edge_swap");
   const vid_t n = g.num_vertices();
   auto& alive = g.vertex_alive();
   std::atomic<eid_t> remaining{0};
@@ -92,6 +94,7 @@ eid_t edge_swap_compact(MutableCsr& g, const std::uint8_t* vertex_keep,
   } else {
     for (vid_t v = 0; v < n; ++v) body(v);
   }
+  PEEK_COUNT_ADD("compact.edge_swap.kept_edges", remaining.load());
   return remaining.load();
 }
 

@@ -1,5 +1,6 @@
 #include "compact/regeneration.hpp"
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/prefix_sum.hpp"
 
@@ -9,6 +10,7 @@ RegeneratedGraph regenerate(const GraphView& view,
                             const std::uint8_t* vertex_keep,
                             const EdgeKeep& keep,
                             const RegenerationOptions& opts) {
+  PEEK_TIMER_SCOPE("compact.regenerate");
   const vid_t n_old = view.num_vertices();
 
   auto vertex_kept = [&](vid_t v) {
@@ -81,6 +83,8 @@ RegeneratedGraph regenerate(const GraphView& view,
   if (opts.parallel) par::parallel_for_dynamic(vid_t{0}, n_old, fill_edges);
   else for (vid_t v = 0; v < n_old; ++v) fill_edges(v);
 
+  PEEK_COUNT_ADD("compact.regenerate.kept_vertices", n_new);
+  PEEK_COUNT_ADD("compact.regenerate.kept_edges", m_new);
   return {CsrGraph(std::move(row), std::move(col), std::move(wgt)),
           std::move(map)};
 }

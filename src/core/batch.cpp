@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace peek::core {
@@ -23,11 +24,16 @@ BatchResult peek_ksp_batch(const graph::CsrGraph& g,
   auto run_one = [&](size_t i) {
     out.results[i] = peek_ksp(g, queries[i].s, queries[i].t, per);
   };
-  if (opts.parallel_queries) {
-    par::parallel_for_dynamic(size_t{0}, queries.size(), run_one, 1);
-  } else {
-    for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+  {
+    PEEK_TIMER_SCOPE("batch.wall");
+    if (opts.parallel_queries) {
+      PEEK_COUNT_INC("batch.parallel_rounds");
+      par::parallel_for_dynamic(size_t{0}, queries.size(), run_one, 1);
+    } else {
+      for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+    }
   }
+  PEEK_COUNT_ADD("batch.queries", queries.size());
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

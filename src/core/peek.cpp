@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "compact/status_array.hpp"
+#include "obs/metrics.hpp"
 
 namespace peek::core {
 
@@ -29,6 +30,33 @@ PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
   PeekResult result;
   const eid_t m_original = g.num_edges();
 
+  // Invoked on every exit path: mirrors the per-stage wall times and kept
+  // ratios into the registry and (on request) attaches the snapshot.
+  auto finalize = [&]() {
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::MetricsRegistry::global();
+      reg.counter("peek.runs").inc();
+      auto to_ns = [](double s2) {
+        return static_cast<std::int64_t>(s2 * 1e9);
+      };
+      reg.timer("peek.prune").add_nanos(to_ns(result.prune_seconds));
+      reg.timer("peek.compact").add_nanos(to_ns(result.compact_seconds));
+      reg.timer("peek.ksp").add_nanos(to_ns(result.ksp_seconds));
+      if (g.num_vertices() > 0) {
+        reg.gauge("peek.kept_vertex_ratio")
+            .set(static_cast<double>(result.kept_vertices) / g.num_vertices());
+      }
+      if (m_original > 0) {
+        reg.gauge("peek.kept_edge_ratio")
+            .set(static_cast<double>(result.kept_edges) /
+                 static_cast<double>(m_original));
+      }
+    }
+    if (opts.collect_metrics) {
+      result.metrics = obs::MetricsRegistry::global().snapshot();
+    }
+  };
+
   if (!opts.prune) {
     // Ablation "Base": the downstream algorithm on the untouched graph.
     const auto t0 = Clock::now();
@@ -36,6 +64,7 @@ PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
     result.ksp_seconds = seconds_since(t0);
     result.kept_vertices = g.num_vertices();
     result.kept_edges = m_original;
+    finalize();
     return result;
   }
 
@@ -50,7 +79,10 @@ PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
   result.prune_seconds = seconds_since(t0);
   result.upper_bound = pruned.upper_bound;
   result.kept_vertices = pruned.kept_vertices;
-  if (pruned.kept_vertices == 0) return result;  // t unreachable
+  if (pruned.kept_vertices == 0) {  // t unreachable
+    finalize();
+    return result;
+  }
 
   // Stage 2: compaction.
   const auto t1 = Clock::now();
@@ -119,6 +151,7 @@ PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
       break;
     }
   }
+  finalize();
   return result;
 }
 

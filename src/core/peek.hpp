@@ -7,9 +7,12 @@
 // strategy ran. Per-stage wall times are returned for the benches.
 #pragma once
 
+#include <optional>
+
 #include "compact/adaptive.hpp"
 #include "core/upper_bound.hpp"
 #include "ksp/optyen.hpp"
+#include "obs/metrics.hpp"
 
 namespace peek::core {
 
@@ -34,6 +37,11 @@ struct PeekOptions {
   /// OptYen on the original graph).
   bool prune = true;
   bool tight_edge_prune = false;  // see PruneOptions
+
+  /// Attach a MetricsSnapshot of the global registry to the result. Off by
+  /// default: the snapshot copies every registered metric under a mutex,
+  /// which batch-mode hot paths should not pay per query.
+  bool collect_metrics = false;
 };
 
 struct PeekResult {
@@ -45,6 +53,10 @@ struct PeekResult {
   double prune_seconds = 0;
   double compact_seconds = 0;
   double ksp_seconds = 0;
+  /// Cumulative registry snapshot taken as this run finished (counters cover
+  /// the whole process, not just this query). Populated only when
+  /// PeekOptions::collect_metrics is set; empty in PEEK_OBS=OFF builds.
+  std::optional<obs::MetricsSnapshot> metrics;
 
   double total_seconds() const {
     return prune_seconds + compact_seconds + ksp_seconds;

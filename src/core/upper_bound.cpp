@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/sort.hpp"
 #include "sssp/delta_stepping.hpp"
@@ -16,20 +17,25 @@ PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
   PruneResult r;
   const vid_t n = g.num_vertices();
   r.vertex_keep.assign(static_cast<size_t>(n), 0);
+  PEEK_COUNT_INC("prune.runs");
 
   // Step 1: shortest distances from the source and to the target.
-  if (opts.parallel) {
-    sssp::DeltaSteppingOptions ds;
-    ds.delta = opts.delta;
-    r.from_source = sssp::delta_stepping(sssp::GraphView(g), s, ds);
-    r.to_target = sssp::reverse_delta_stepping(g, t, ds);
-  } else {
-    r.from_source = sssp::dijkstra(sssp::GraphView(g), s);
-    r.to_target = sssp::reverse_dijkstra(g, t);
+  {
+    PEEK_TIMER_SCOPE("prune.sssp");
+    if (opts.parallel) {
+      sssp::DeltaSteppingOptions ds;
+      ds.delta = opts.delta;
+      r.from_source = sssp::delta_stepping(sssp::GraphView(g), s, ds);
+      r.to_target = sssp::reverse_delta_stepping(g, t, ds);
+    } else {
+      r.from_source = sssp::dijkstra(sssp::GraphView(g), s);
+      r.to_target = sssp::reverse_dijkstra(g, t);
+    }
   }
 
   if (r.to_target.dist[s] == kInfDist) {
     // t unreachable: no path at all; prune everything.
+    PEEK_COUNT_INC("prune.unreachable_queries");
     r.upper_bound = kInfDist;
     r.edge_keep = nullptr;
     return r;
@@ -47,37 +53,59 @@ PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
 
   // Step 3: identify b — walk vertices in increasing dist order, keep the
   // K-th valid, distinct combined path (lines 5-9). kInfDist sorts last.
-  const std::vector<vid_t> order = par::sort_permutation(dist);
-  std::unordered_set<sssp::Path, sssp::PathHash> distinct;
   weight_t b = kInfDist;
-  int valid = 0;
-  for (vid_t v : order) {
-    if (dist[v] == kInfDist) break;  // only unreachable remain
-    r.inspected_paths++;
-    if (!sssp::combined_path_is_simple(r.from_source, r.to_target, s, v, t))
-      continue;
-    sssp::Path p = sssp::combined_path(r.from_source, r.to_target, s, v, t);
-    if (p.empty() || !distinct.insert(std::move(p)).second) continue;
-    valid++;
-    if (valid == opts.k) {
-      b = dist[v];
-      break;
+  {
+    PEEK_TIMER_SCOPE("prune.scan");
+    const std::vector<vid_t> order = par::sort_permutation(dist);
+    std::unordered_set<sssp::Path, sssp::PathHash> distinct;
+    int valid = 0;
+    std::int64_t non_simple = 0, duplicates = 0;
+    for (vid_t v : order) {
+      if (dist[v] == kInfDist) break;  // only unreachable remain
+      r.inspected_paths++;
+      if (!sssp::combined_path_is_simple(r.from_source, r.to_target, s, v, t)) {
+        non_simple++;
+        continue;
+      }
+      sssp::Path p = sssp::combined_path(r.from_source, r.to_target, s, v, t);
+      if (p.empty() || !distinct.insert(std::move(p)).second) {
+        duplicates++;
+        continue;
+      }
+      valid++;
+      if (valid == opts.k) {
+        b = dist[v];
+        break;
+      }
     }
+    PEEK_COUNT_ADD("prune.inspected_paths", r.inspected_paths);
+    PEEK_COUNT_ADD("prune.valid_paths", valid);
+    PEEK_COUNT_ADD("prune.non_simple_paths", non_simple);
+    PEEK_COUNT_ADD("prune.duplicate_paths", duplicates);
   }
   r.upper_bound = b;
 
   // Step 4: prune (lines 10-13). Unreachable vertices (dist == inf) always
   // go; with fewer than K estimated paths (b == inf) nothing else can.
-  std::atomic<vid_t> kept{0};
-  auto keep_body = [&](vid_t v) {
-    if (dist[v] != kInfDist && dist[v] <= b) {
-      r.vertex_keep[v] = 1;
-      kept.fetch_add(1, std::memory_order_relaxed);
-    }
-  };
-  if (opts.parallel) par::parallel_for(vid_t{0}, n, keep_body);
-  else for (vid_t v = 0; v < n; ++v) keep_body(v);
-  r.kept_vertices = kept.load();
+  {
+    PEEK_TIMER_SCOPE("prune.mark");
+    std::atomic<vid_t> kept{0};
+    auto keep_body = [&](vid_t v) {
+      if (dist[v] != kInfDist && dist[v] <= b) {
+        r.vertex_keep[v] = 1;
+        kept.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    if (opts.parallel) par::parallel_for(vid_t{0}, n, keep_body);
+    else for (vid_t v = 0; v < n; ++v) keep_body(v);
+    r.kept_vertices = kept.load();
+  }
+  PEEK_COUNT_ADD("prune.kept_vertices", r.kept_vertices);
+  PEEK_COUNT_ADD("prune.pruned_vertices", n - r.kept_vertices);
+  if (n > 0) {
+    PEEK_GAUGE_SET("prune.kept_vertex_ratio",
+                   static_cast<double>(r.kept_vertices) / n);
+  }
 
   if (b == kInfDist) {
     r.edge_keep = nullptr;  // keep all edges between kept vertices

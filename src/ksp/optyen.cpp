@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "ksp/yen_engine.hpp"
+#include "obs/metrics.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
 
@@ -67,12 +68,15 @@ KspResult optyen_ksp(const BiView& g, vid_t s, vid_t t, const KspOptions& opts) 
   // The single static reverse shortest-path tree (computed in parallel when
   // requested — it is a plain SSSP on the reverse view).
   sssp::SsspResult rtree;
-  if (opts.parallel) {
-    sssp::DeltaSteppingOptions ds;
-    ds.delta = opts.delta;
-    rtree = sssp::delta_stepping(g.rev, t, ds);
-  } else {
-    rtree = sssp::dijkstra(g.rev, t);
+  {
+    PEEK_TIMER_SCOPE("ksp.reverse_tree");
+    if (opts.parallel) {
+      sssp::DeltaSteppingOptions ds;
+      ds.delta = opts.delta;
+      rtree = sssp::delta_stepping(g.rev, t, ds);
+    } else {
+      rtree = sssp::dijkstra(g.rev, t);
+    }
   }
   sssp_calls.fetch_add(1);
 
@@ -103,6 +107,8 @@ KspResult optyen_ksp(const BiView& g, vid_t s, vid_t t, const KspOptions& opts) 
   KspResult result = detail::run_yen_engine(g.fwd, s, t, opts, solver);
   result.stats.sssp_calls = sssp_calls.load();
   result.stats.tree_shortcuts = shortcuts.load();
+  PEEK_COUNT_ADD("ksp.deviation_sssp_calls", result.stats.sssp_calls);
+  PEEK_COUNT_ADD("ksp.tree_shortcuts", result.stats.tree_shortcuts);
   return result;
 }
 

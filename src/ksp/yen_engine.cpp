@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace peek::ksp::detail {
@@ -87,7 +88,13 @@ KspResult run_yen_engine(const GraphView& fwd, vid_t s, vid_t t,
       found[static_cast<size_t>(par::thread_id())].push_back(std::move(cand));
     };
 
+    // Task-parallel scheduling stats: one round per accepted path, one task
+    // per deviation position dispatched within the round.
+    if (len - 1 > cur.dev_index) {
+      PEEK_COUNT_ADD("ksp.deviation_tasks", len - 1 - cur.dev_index);
+    }
     if (opts.parallel && !hooks.on_path_accepted) {
+      PEEK_COUNT_INC("ksp.parallel_deviation_rounds");
       par::parallel_for_dynamic(cur.dev_index, len - 1, deviate, 1);
     } else {
       for (int i = cur.dev_index; i < len - 1; ++i) deviate(i);
@@ -105,6 +112,8 @@ KspResult run_yen_engine(const GraphView& fwd, vid_t s, vid_t t,
   for (Candidate& c : accepted) result.paths.push_back(std::move(c.path));
   result.stats.candidates_generated =
       static_cast<int>(cands.total_generated());
+  PEEK_COUNT_ADD("ksp.candidates_generated", result.stats.candidates_generated);
+  PEEK_COUNT_ADD("ksp.paths_accepted", accepted.size());
   return result;
 }
 

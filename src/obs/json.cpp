@@ -1,0 +1,239 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace peek::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": " << v;
+    first = false;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << fmt_double(v);
+    first = false;
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"timers\": {";
+  first = true;
+  for (const auto& [name, v] : timers) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": {\"seconds\": " << fmt_double(v.seconds)
+       << ", \"count\": " << v.count << "}";
+    first = false;
+  }
+  os << (timers.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent cursor over the exporter's JSON subset.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  bool parse(MetricsSnapshot& out) {
+    if (!expect('{')) return false;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (eat('}')) break;
+      if (!first && !expect(',')) return false;
+      first = false;
+      std::string section;
+      if (!parse_string(section) || !expect(':')) return false;
+      if (section == "counters") {
+        if (!parse_number_map([&](std::string k, double v) {
+              out.counters[std::move(k)] = static_cast<std::int64_t>(v);
+            }))
+          return false;
+      } else if (section == "gauges") {
+        if (!parse_number_map([&](std::string k, double v) {
+              out.gauges[std::move(k)] = v;
+            }))
+          return false;
+      } else if (section == "timers") {
+        if (!parse_timer_map(out)) return false;
+      } else {
+        return false;  // unknown section: not our document
+      }
+    }
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      pos_++;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) { return eat(c); }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return false;
+            }
+            if (code > 0x7f) return false;  // names are ASCII
+            out += static_cast<char>(code);
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      pos_++;
+    if (pos_ == start) return false;
+    try {
+      out = std::stod(std::string(s_.substr(start, pos_ - start)));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  template <typename Sink>
+  bool parse_number_map(Sink&& sink) {
+    if (!expect('{')) return false;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (eat('}')) return true;
+      if (!first && !expect(',')) return false;
+      first = false;
+      std::string key;
+      double val = 0;
+      if (!parse_string(key) || !expect(':') || !parse_number(val))
+        return false;
+      sink(std::move(key), val);
+    }
+  }
+
+  bool parse_timer_map(MetricsSnapshot& out) {
+    if (!expect('{')) return false;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (eat('}')) return true;
+      if (!first && !expect(',')) return false;
+      first = false;
+      std::string key;
+      if (!parse_string(key) || !expect(':')) return false;
+      TimerValue tv;
+      const bool ok = parse_number_map([&](std::string field, double v) {
+        if (field == "seconds") tv.seconds = v;
+        else if (field == "count") tv.count = static_cast<std::uint64_t>(v);
+      });
+      if (!ok) return false;
+      out.timers[std::move(key)] = tv;
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<MetricsSnapshot> parse_metrics_json(std::string_view text) {
+  MetricsSnapshot snap;
+  Parser p(text);
+  if (!p.parse(snap)) return std::nullopt;
+  return snap;
+}
+
+bool write_metrics_json(const std::string& path, const MetricsSnapshot& snap) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = snap.to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace peek::obs

@@ -1,0 +1,34 @@
+// JSON export/import for MetricsSnapshot. The exporter emits a stable,
+// sorted-key document:
+//
+//   {
+//     "counters": {"sssp.dijkstra.relaxed_edges": 1234, ...},
+//     "gauges":   {"prune.kept_vertex_ratio": 0.016, ...},
+//     "timers":   {"peek.prune": {"seconds": 0.0123, "count": 1}, ...}
+//   }
+//
+// The parser understands exactly this shape (strings, numbers, one level of
+// nesting) — enough for round-trip tests and for tools that consume the
+// BENCH_*.json / PEEK_METRICS artifacts without a JSON dependency.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace peek::obs {
+
+/// JSON string escaping for metric names (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+/// Parses a document produced by MetricsSnapshot::to_json(). Returns nullopt
+/// on malformed input or unexpected structure.
+std::optional<MetricsSnapshot> parse_metrics_json(std::string_view text);
+
+/// Writes `snap.to_json()` to `path`. Returns false (and leaves no partial
+/// file behind where possible) on I/O failure.
+bool write_metrics_json(const std::string& path, const MetricsSnapshot& snap);
+
+}  // namespace peek::obs

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace peek::sssp {
@@ -71,14 +72,21 @@ SsspResult delta_stepping(const GraphView& view, vid_t source,
       // inside an outer parallel region); always use slot 0 then.
       std::vector<vid_t>& mine =
           local[opts.parallel ? static_cast<size_t>(par::thread_id()) : 0];
+      std::int64_t relaxed = 0, improved = 0;
       for (eid_t e = view.edge_begin(u); e < view.edge_end(u); ++e) {
         if (!view.edge_alive(e) || opts.bans.edge_banned(e)) continue;
         const weight_t w = view.edge_weight(e);
         if (light != (w <= delta)) continue;
         const vid_t v = view.edge_target(e);
         if (!view.vertex_alive(v) || opts.bans.vertex_banned(v)) continue;
-        if (atomic_min(dist[v], du + w)) mine.push_back(v);
+        relaxed++;
+        if (atomic_min(dist[v], du + w)) {
+          improved++;
+          mine.push_back(v);
+        }
       }
+      PEEK_COUNT_ADD("sssp.delta.relaxed_edges", relaxed);
+      PEEK_COUNT_ADD("sssp.delta.improved", improved);
     };
     if (opts.parallel) {
       par::parallel_for_dynamic(size_t{0}, frontier.size(), body);
@@ -88,6 +96,7 @@ SsspResult delta_stepping(const GraphView& view, vid_t source,
     for (auto& buf : local) out.insert(out.end(), buf.begin(), buf.end());
   };
 
+  PEEK_COUNT_INC("sssp.delta.runs");
   for (size_t bi = 0; bi < buckets.size(); ++bi) {
     // Early exit: every future settle is >= bi*delta.
     if (opts.target != kNoVertex &&
@@ -97,7 +106,9 @@ SsspResult delta_stepping(const GraphView& view, vid_t source,
     std::vector<vid_t> settled;  // every vertex processed from bucket bi
     std::vector<vid_t> current;
     current.swap(buckets[bi]);
+    if (!current.empty()) PEEK_COUNT_INC("sssp.delta.buckets");
     while (!current.empty()) {
+      PEEK_COUNT_INC("sssp.delta.light_phases");
       // Keep only vertices whose distance still maps to this bucket.
       std::vector<vid_t> frontier;
       frontier.reserve(current.size());
@@ -121,6 +132,7 @@ SsspResult delta_stepping(const GraphView& view, vid_t source,
       // we only touch bucket bi here.
     }
     // Heavy edges once per settled vertex.
+    PEEK_COUNT_ADD("sssp.delta.settled", settled.size());
     std::vector<vid_t> updated;
     relax_edges(settled, /*light=*/false, updated);
     for (vid_t v : updated)

@@ -2,6 +2,8 @@
 
 #include <queue>
 
+#include "obs/metrics.hpp"
+
 namespace peek::sssp {
 
 namespace {
@@ -26,6 +28,8 @@ SsspResult dijkstra(const GraphView& view, vid_t source,
   if (source < 0 || source >= n) return r;
   if (!view.vertex_alive(source) || opts.bans.vertex_banned(source)) return r;
 
+  // Hot loop: counts accumulate in locals, one sharded add on exit.
+  std::int64_t settled = 0, relaxed = 0, improved = 0;
   MinHeap heap;
   r.dist[source] = 0;
   heap.push({0, source});
@@ -33,19 +37,26 @@ SsspResult dijkstra(const GraphView& view, vid_t source,
     const auto [d, u] = heap.top();
     heap.pop();
     if (d > r.dist[u]) continue;  // stale lazy-deleted entry
+    settled++;
     if (u == opts.target) break;
     for (eid_t e = view.edge_begin(u); e < view.edge_end(u); ++e) {
       if (!view.edge_alive(e) || opts.bans.edge_banned(e)) continue;
       const vid_t v = view.edge_target(e);
       if (!view.vertex_alive(v) || opts.bans.vertex_banned(v)) continue;
+      relaxed++;
       const weight_t nd = d + view.edge_weight(e);
       if (nd < r.dist[v]) {
         r.dist[v] = nd;
         r.parent[v] = u;
         heap.push({nd, v});
+        improved++;
       }
     }
   }
+  PEEK_COUNT_INC("sssp.dijkstra.runs");
+  PEEK_COUNT_ADD("sssp.dijkstra.settled", settled);
+  PEEK_COUNT_ADD("sssp.dijkstra.relaxed_edges", relaxed);
+  PEEK_COUNT_ADD("sssp.dijkstra.improved", improved);
   return r;
 }
 

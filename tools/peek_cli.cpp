@@ -8,6 +8,7 @@
 // the downstream-user entry point; every library feature is reachable from
 // here without writing C++.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -23,6 +24,8 @@
 #include "ksp/pnc.hpp"
 #include "ksp/sidetrack.hpp"
 #include "ksp/yen.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -65,7 +68,12 @@ void usage() {
       "  --algo {peek|yen|nc|optyen|sb|sbstar|pnc|pncstar}  (default peek)\n"
       "  --parallel                 two-level parallel execution\n"
       "  --alpha A                  adaptive compaction threshold (peek)\n"
-      "  --stats                    print graph statistics and exit\n");
+      "  --stats                    print graph statistics and exit\n"
+      "\n"
+      "observability:\n"
+      "  PEEK_METRICS=out.json      dump the pipeline metrics registry\n"
+      "                             (stage timers, SSSP/prune/compaction\n"
+      "                             counters) as JSON on exit\n");
 }
 
 graph::CsrGraph load_graph(const Args& args) {
@@ -108,9 +116,22 @@ ksp::KspResult run_algorithm(const std::string& algo, const graph::CsrGraph& g,
   throw std::runtime_error("unknown --algo " + algo);
 }
 
+/// PEEK_METRICS=path env hook: dump the global registry as JSON on any exit
+/// path (registered via atexit so every `return` in main is covered).
+void dump_metrics_at_exit() {
+  const char* path = std::getenv("PEEK_METRICS");
+  if (!path || !*path) return;
+  if (!obs::write_metrics_json(path,
+                               obs::MetricsRegistry::global().snapshot())) {
+    std::fprintf(stderr, "warning: failed to write PEEK_METRICS file %s\n",
+                 path);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::atexit(dump_metrics_at_exit);
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
