@@ -1,0 +1,135 @@
+// Serving benchmark: repeated (s, t, K) queries through serve::QueryEngine
+// against the same stream answered by fresh, uncached peek_ksp calls. Two
+// sweeps on the Twitter-like graph:
+//   1. reuse fraction — each query repeats an already-issued key with
+//      probability f (fresh pair otherwise); the acceptance bar is >= 2x
+//      median-latency improvement at f = 0.5.
+//   2. Zipf skew — queries drawn Zipfian over a fixed pool, the shape of a
+//      production mix where a few hot pairs dominate.
+// Pass --metrics-json PATH to dump serve.cache.* counters alongside.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/peek.hpp"
+#include "serve/query_engine.hpp"
+
+namespace {
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+/// Query stream where each query repeats an earlier key with probability
+/// `reuse` (uniformly among issued keys), else takes the next fresh pair.
+std::vector<std::pair<vid_t, vid_t>> reuse_stream(
+    const std::vector<std::pair<vid_t, vid_t>>& fresh, int n, double reuse,
+    std::uint64_t seed) {
+  std::vector<std::pair<vid_t, vid_t>> stream;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  size_t next = 0;
+  for (int q = 0; q < n; ++q) {
+    if (!stream.empty() && (coin(rng) < reuse || next >= fresh.size())) {
+      std::uniform_int_distribution<size_t> pick(0, stream.size() - 1);
+      stream.push_back(stream[pick(rng)]);
+    } else {
+      stream.push_back(fresh[next++]);
+    }
+  }
+  return stream;
+}
+
+/// Zipfian stream over a fixed pool: P(rank i) proportional to (i+1)^-theta.
+std::vector<std::pair<vid_t, vid_t>> zipf_stream(
+    const std::vector<std::pair<vid_t, vid_t>>& pool, int n, double theta,
+    std::uint64_t seed) {
+  std::vector<double> cdf(pool.size());
+  double acc = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -theta);
+    cdf[i] = acc;
+  }
+  std::vector<std::pair<vid_t, vid_t>> stream;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, acc);
+  for (int q = 0; q < n; ++q) {
+    const size_t r = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) - cdf.begin());
+    stream.push_back(pool[std::min(r, pool.size() - 1)]);
+  }
+  return stream;
+}
+
+struct RunStats {
+  double served_med = 0, uncached_med = 0;
+  int hits = 0, extensions = 0;
+};
+
+RunStats run_stream(const CsrGraph& g,
+                    const std::vector<std::pair<vid_t, vid_t>>& stream,
+                    int k) {
+  RunStats rs;
+  serve::QueryEngine engine(g);
+  std::vector<double> served, uncached;
+  for (const auto& [s, t] : stream) {
+    auto r = engine.query(s, t, k);
+    served.push_back(r.seconds);
+    rs.hits += r.snapshot_hit ? 1 : 0;
+    rs.extensions += r.extended ? 1 : 0;
+  }
+  core::PeekOptions po;
+  po.k = k;
+  for (const auto& [s, t] : stream) {
+    uncached.push_back(time_seconds([&] { core::peek_ksp(g, s, t, po); }));
+  }
+  rs.served_med = median(served);
+  rs.uncached_med = median(uncached);
+  return rs;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  enable_metrics_dump(argc, argv);
+  auto g = twitter_like(env_int("PEEK_BENCH_SCALE", 13));
+  const int n = env_int("PEEK_BENCH_QUERIES", 48);
+  const int k = env_int("PEEK_BENCH_K", 8);
+  const auto fresh = sample_pairs(g, n, 7);
+  if (static_cast<int>(fresh.size()) < n) return 0;
+
+  print_header("Serving: artifact cache vs uncached PeeK",
+               "serving layer — median query latency by key-reuse fraction "
+               "and Zipf skew");
+  print_row({"mix", "hit%", "extends", "served_med", "uncached", "speedup"});
+
+  for (double f : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    const auto stream = reuse_stream(fresh, n, f, 11);
+    const auto rs = run_stream(g, stream, k);
+    print_row({"reuse=" + fmt(f, 2), fmt(100.0 * rs.hits / n, 1),
+               fmt(rs.extensions, 0), fmt(rs.served_med, 6),
+               fmt(rs.uncached_med, 6),
+               fmt(rs.uncached_med / std::max(rs.served_med, 1e-9), 1) + "x"});
+  }
+
+  const auto pool = std::vector<std::pair<vid_t, vid_t>>(
+      fresh.begin(), fresh.begin() + std::min<size_t>(fresh.size(), 12));
+  for (double theta : {0.5, 0.99, 1.5}) {
+    const auto stream = zipf_stream(pool, n, theta, 13);
+    const auto rs = run_stream(g, stream, k);
+    print_row({"zipf=" + fmt(theta, 2), fmt(100.0 * rs.hits / n, 1),
+               fmt(rs.extensions, 0), fmt(rs.served_med, 6),
+               fmt(rs.uncached_med, 6),
+               fmt(rs.uncached_med / std::max(rs.served_med, 1e-9), 1) + "x"});
+  }
+  return 0;
+}

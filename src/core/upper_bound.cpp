@@ -19,16 +19,26 @@ PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
   r.vertex_keep.assign(static_cast<size_t>(n), 0);
   PEEK_COUNT_INC("prune.runs");
 
-  // Step 1: shortest distances from the source and to the target.
+  // Step 1: shortest distances from the source and to the target. Either
+  // tree may arrive precomputed from the serving layer's artifact cache.
   {
     PEEK_TIMER_SCOPE("prune.sssp");
-    if (opts.parallel) {
-      sssp::DeltaSteppingOptions ds;
-      ds.delta = opts.delta;
+    sssp::DeltaSteppingOptions ds;
+    ds.delta = opts.delta;
+    if (opts.reuse_from_source) {
+      r.from_source = *opts.reuse_from_source;
+      PEEK_COUNT_INC("prune.reused_trees");
+    } else if (opts.parallel) {
       r.from_source = sssp::delta_stepping(sssp::GraphView(g), s, ds);
-      r.to_target = sssp::reverse_delta_stepping(g, t, ds);
     } else {
       r.from_source = sssp::dijkstra(sssp::GraphView(g), s);
+    }
+    if (opts.reuse_to_target) {
+      r.to_target = *opts.reuse_to_target;
+      PEEK_COUNT_INC("prune.reused_trees");
+    } else if (opts.parallel) {
+      r.to_target = sssp::reverse_delta_stepping(g, t, ds);
+    } else {
       r.to_target = sssp::reverse_dijkstra(g, t);
     }
   }
@@ -87,11 +97,18 @@ PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
 
   // Step 4: prune (lines 10-13). Unreachable vertices (dist == inf) always
   // go; with fewer than K estimated paths (b == inf) nothing else can.
+  // Keep-side relative epsilon: vertices on the K-th path itself can sum
+  // spSrc[v] + spTgt[v] an ulp above b, because that sum associates
+  // differently than the walk that produced b — without slack the K-th path
+  // loses a vertex and the result silently degrades to the (K+1)-th.
+  // Under-pruning is sound (Theorem 4.3 bounds what may be deleted, not what
+  // must be); this mirrors the tight-edge rule's slack below.
+  const weight_t keep_slack = b == kInfDist ? 0 : b * 1e-12 + 1e-12;
   {
     PEEK_TIMER_SCOPE("prune.mark");
     std::atomic<vid_t> kept{0};
     auto keep_body = [&](vid_t v) {
-      if (dist[v] != kInfDist && dist[v] <= b) {
+      if (dist[v] != kInfDist && dist[v] <= b + keep_slack) {
         r.vertex_keep[v] = 1;
         kept.fetch_add(1, std::memory_order_relaxed);
       }

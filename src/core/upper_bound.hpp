@@ -26,6 +26,14 @@ struct PruneOptions {
   /// prune edge (u,v) when spSrc[u] + w + spTgt[v] > b, which is sound by
   /// the same Lemma 4.1 argument and strictly stronger.
   bool tight_edge_prune = false;
+  /// Precomputed SSSP trees to reuse (the serving layer's cross-query
+  /// artifact cache, serve/artifact_cache.hpp): the forward tree depends only
+  /// on s and the reverse tree only on t, so a query that shares either end
+  /// with an earlier one can skip that SSSP. When non-null, Step 1 copies the
+  /// tree instead of recomputing it. The tree must have been computed on this
+  /// exact graph from this s / to this t.
+  const sssp::SsspResult* reuse_from_source = nullptr;
+  const sssp::SsspResult* reuse_to_target = nullptr;
 };
 
 struct PruneResult {

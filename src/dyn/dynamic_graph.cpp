@@ -37,6 +37,7 @@ void DynamicGraph::insert_edge(vid_t u, vid_t v, weight_t w) {
     row.overflow.insert(it, {v, w});
   }
   m_++;
+  version_++;
 }
 
 bool DynamicGraph::delete_edge(vid_t u, vid_t v) {
@@ -54,6 +55,7 @@ bool DynamicGraph::delete_edge(vid_t u, vid_t v) {
         row.inline_count--;
       }
       m_--;
+      version_++;
       return true;
     }
   }
@@ -63,12 +65,14 @@ bool DynamicGraph::delete_edge(vid_t u, vid_t v) {
   if (it != row.overflow.end() && it->to == v) {
     row.overflow.erase(it);
     m_--;
+    version_++;
     return true;
   }
   auto tit = row.tree.find(v);
   if (tit != row.tree.end()) {
     row.tree.erase(tit);
     m_--;
+    version_++;
     return true;
   }
   return false;
@@ -85,6 +89,7 @@ void DynamicGraph::delete_vertex(vid_t v) {
   Row& row = rows_[v];
   if (!row.alive) return;
   m_ -= out_degree(v);
+  version_++;
   row.alive = false;
   row.inline_count = 0;
   row.overflow.clear();

@@ -33,6 +33,13 @@ class DynamicGraph {
   vid_t num_vertices() const { return static_cast<vid_t>(rows_.size()); }
   eid_t num_edges() const { return m_; }
 
+  /// Monotonic structural version: bumped by every successful insert_edge /
+  /// delete_edge / delete_vertex (bulk-load counts as its insertions). The
+  /// serving layer (serve/query_engine) compares this against the version it
+  /// last snapshotted to generation-tag — and thereby lazily invalidate —
+  /// every cached cross-query artifact.
+  std::uint64_t version() const { return version_; }
+
   bool vertex_alive(vid_t v) const { return rows_[v].alive; }
 
   /// Inserts u -> v (no dedup check across levels for speed; callers that
@@ -91,6 +98,7 @@ class DynamicGraph {
 
   std::vector<Row> rows_;
   eid_t m_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace peek::dyn

@@ -5,8 +5,10 @@
 // a restricted SSSP. The color maintenance cost — every new red vertex
 // re-colors its whole tree subtree — is exactly the overhead the paper blames
 // for NC's poor parallel scaling (§7.2 observation iii), and it is faithfully
-// reproduced here: the outer deviation loop is serial because colors are
-// shared mutable state.
+// reproduced here: NC's outer deviation loop stays serial because colors are
+// shared mutable state — contrast `run_yen_engine` in ksp/yen_engine.cpp,
+// which runs the same loop's deviation SSSPs concurrently for Yen/OptYen
+// (via par::parallel_for_dynamic) when `KspOptions::parallel` is set.
 #pragma once
 
 #include "ksp/path_set.hpp"

@@ -62,8 +62,10 @@ struct KspResult {
 
 struct KspOptions {
   int k = 8;
-  /// Two-level parallel strategy (§6.1): concurrent deviation SSSPs +
-  /// parallel Δ-stepping. Serial algorithms ignore it.
+  /// Two-level parallel strategy (§6.1), implemented by `run_yen_engine` in
+  /// ksp/yen_engine.cpp: concurrent deviation SSSPs (the outer level) +
+  /// parallel Δ-stepping inside each (the inner). Serial algorithms ignore
+  /// it.
   bool parallel = false;
   /// Δ-stepping bucket width when parallel (<=0 auto).
   weight_t delta = 0;

@@ -15,6 +15,13 @@ KspStream::KspStream(const sssp::BiView& g, vid_t s, vid_t t)
 KspStream::KspStream(const graph::CsrGraph& g, vid_t s, vid_t t)
     : KspStream(sssp::BiView::of(g), s, t) {}
 
+KspStream::KspStream(const sssp::BiView& g, vid_t s, vid_t t,
+                     sssp::SsspResult rtree)
+    : KspStream(g, s, t) {
+  rtree_ = std::move(rtree);
+  have_rtree_ = true;
+}
+
 void KspStream::expand_deviations(const Candidate& cur) {
   const auto& p = cur.path.verts;
   const int len = static_cast<int>(p.size());
@@ -54,8 +61,10 @@ std::optional<sssp::Path> KspStream::next() {
   if (exhausted_) return std::nullopt;
   if (!primed_) {
     primed_ = true;
-    rtree_ = sssp::dijkstra(g_.rev, t_);
-    stats_.sssp_calls++;
+    if (!have_rtree_) {
+      rtree_ = sssp::dijkstra(g_.rev, t_);
+      stats_.sssp_calls++;
+    }
     sssp::Path first = sssp::path_from_reverse_parents(rtree_, s_, t_);
     if (first.empty()) {
       exhausted_ = true;

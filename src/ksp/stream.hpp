@@ -26,6 +26,13 @@ class KspStream {
   KspStream(const sssp::BiView& g, vid_t s, vid_t t);
   KspStream(const graph::CsrGraph& g, vid_t s, vid_t t);
 
+  /// Warm-start: adopt a precomputed reverse shortest-path tree from t
+  /// (dist[v] = shortest v->t distance, parent[v] = v's successor toward t)
+  /// instead of running the priming SSSP on the first next() call. The
+  /// serving layer (serve/query_engine) uses this to recycle the pruning
+  /// stage's to-target tree, translated into compacted ids.
+  KspStream(const sssp::BiView& g, vid_t s, vid_t t, sssp::SsspResult rtree);
+
   /// The next shortest simple path, or nullopt when the path space is
   /// exhausted. The i-th successful call returns the i-th shortest path.
   std::optional<sssp::Path> next();
@@ -47,6 +54,7 @@ class KspStream {
   KspStats stats_;
   bool primed_ = false;
   bool exhausted_ = false;
+  bool have_rtree_ = false;  // warm-start constructor supplied rtree_
 };
 
 }  // namespace peek::ksp

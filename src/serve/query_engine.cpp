@@ -1,0 +1,278 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "ksp/stream.hpp"
+#include "obs/metrics.hpp"
+
+namespace peek::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Translates a compacted-id path into original ids (in place).
+void to_original_ids(sssp::Path& p, const compact::VertexMap& map) {
+  for (auto& v : p.verts) v = map.to_old(v);
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const graph::CsrGraph& g, const ServeOptions& opts)
+    : static_graph_(&g), opts_(opts), cache_(opts.cache) {}
+
+QueryEngine::QueryEngine(const dyn::DynamicGraph& dg, const ServeOptions& opts)
+    : dyn_graph_(&dg), opts_(opts), cache_(opts.cache) {}
+
+void QueryEngine::invalidate() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  PEEK_COUNT_INC("serve.invalidations");
+}
+
+int QueryEngine::budget_for(int k) const {
+  int target = k > opts_.k_budget_floor ? k : opts_.k_budget_floor;
+  int b = 1;
+  while (b < target) b <<= 1;
+  return b;
+}
+
+std::shared_ptr<const graph::CsrGraph> QueryEngine::active_graph() {
+  if (static_graph_ != nullptr) {
+    // Non-owning: the caller guarantees the graph outlives the engine.
+    return std::shared_ptr<const graph::CsrGraph>(static_graph_,
+                                                  [](const graph::CsrGraph*) {
+                                                  });
+  }
+  std::lock_guard<std::mutex> lock(dyn_mu_);
+  if (!dyn_snapshot_ || dyn_graph_->version() != dyn_version_seen_) {
+    dyn_version_seen_ = dyn_graph_->version();
+    dyn_snapshot_ =
+        std::make_shared<const graph::CsrGraph>(dyn_graph_->to_csr());
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    PEEK_COUNT_INC("serve.dynamic_resnapshots");
+  }
+  return dyn_snapshot_;
+}
+
+bool QueryEngine::serve_from_snapshot(PrunedSnapshot& snap, int k,
+                                      ServeResult& out) {
+  std::lock_guard<std::mutex> lock(snap.mu);
+  if (static_cast<int>(snap.paths.size()) < k && !snap.exhausted) {
+    if (snap.k_budget < k) return false;  // needs a wider pruning bound
+    // Incremental K extension: pull only the missing paths from the live
+    // stream. Exhaustion below the budget is definitive — when the pruned
+    // graph runs out before k_budget, the bound was infinite (Lemma 4.2)
+    // and the pruned graph holds every s->t path there is.
+    while (static_cast<int>(snap.paths.size()) < k) {
+      auto p = snap.stream ? snap.stream->next() : std::nullopt;
+      if (!p) {
+        snap.exhausted = true;
+        snap.stream.reset();
+        break;
+      }
+      to_original_ids(*p, snap.map);
+      snap.paths.push_back(std::move(*p));
+      out.extended = true;
+      PEEK_COUNT_INC("serve.stream_extensions");
+    }
+  }
+  const size_t take = std::min<size_t>(static_cast<size_t>(k),
+                                       snap.paths.size());
+  out.paths.assign(snap.paths.begin(), snap.paths.begin() + take);
+  out.upper_bound = snap.upper_bound;
+  return true;
+}
+
+std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
+    const graph::CsrGraph& g, vid_t s, vid_t t, int k_budget,
+    std::uint64_t generation, ServeResult& out) {
+  PEEK_TIMER_SCOPE("serve.compute");
+  std::shared_ptr<const sssp::SsspResult> fwd, rev;
+  if (opts_.cache_trees) {
+    fwd = cache_.get_tree(ArtifactKind::kForwardTree, s, generation);
+    rev = cache_.get_tree(ArtifactKind::kReverseTree, t, generation);
+  }
+  out.fwd_tree_hit = fwd != nullptr;
+  out.rev_tree_hit = rev != nullptr;
+
+  core::PruneOptions po;
+  po.k = k_budget;
+  po.parallel = opts_.peek.parallel;
+  po.delta = opts_.peek.delta;
+  po.tight_edge_prune = opts_.peek.tight_edge_prune;
+  po.reuse_from_source = fwd.get();
+  po.reuse_to_target = rev.get();
+  core::PruneResult pruned = core::k_upper_bound_prune(g, s, t, po);
+
+  if (opts_.cache_trees) {
+    if (!fwd) {
+      cache_.put_tree(ArtifactKind::kForwardTree, s,
+                      std::make_shared<sssp::SsspResult>(pruned.from_source),
+                      generation);
+    }
+    if (!rev && !pruned.to_target.dist.empty()) {
+      cache_.put_tree(ArtifactKind::kReverseTree, t,
+                      std::make_shared<sssp::SsspResult>(pruned.to_target),
+                      generation);
+    }
+  }
+
+  auto snap = std::make_shared<PrunedSnapshot>();
+  snap->s = s;
+  snap->t = t;
+  snap->k_budget = k_budget;
+  snap->upper_bound = pruned.upper_bound;
+  if (pruned.kept_vertices == 0) {
+    snap->exhausted = true;  // t unreachable: a cached negative answer
+    return snap;
+  }
+
+  auto regen =
+      compact::regenerate(sssp::GraphView(g), pruned.vertex_keep.data(),
+                          pruned.edge_keep, {.parallel = opts_.peek.parallel});
+  const vid_t cs = regen.map.to_new(s), ct = regen.map.to_new(t);
+  if (cs == kNoVertex || ct == kNoVertex) {  // defensive: s/t are kept
+    snap->exhausted = true;
+    return snap;
+  }
+  auto cg = std::make_shared<graph::CsrGraph>(std::move(regen.graph));
+  cg->warm_reverse();  // the stream's reverse view, built once here
+
+  // Recycle the pruning stage's reverse tree as the stream's warm-start
+  // tree, translated into compacted ids. Sound: for every kept v, the
+  // shortest v->t path survives pruning vertex-by-vertex and edge-by-edge
+  // (for u on it, spSrc[u] + spTgt[u] <= spSrc[v] + spTgt[v] <= b by
+  // subpath optimality, and each edge obeys both §4 edge rules), so the
+  // tree is a valid — and distance-identical — reverse SP tree of the
+  // compacted graph.
+  const vid_t n_new = cg->num_vertices();
+  sssp::SsspResult rtree;
+  rtree.dist.assign(static_cast<size_t>(n_new), kInfDist);
+  rtree.parent.assign(static_cast<size_t>(n_new), kNoVertex);
+  for (vid_t v = 0; v < n_new; ++v) {
+    const vid_t old = regen.map.to_old(v);
+    rtree.dist[v] = pruned.to_target.dist[old];
+    const vid_t par = pruned.to_target.parent[old];
+    rtree.parent[v] = par == kNoVertex ? kNoVertex : regen.map.to_new(par);
+  }
+
+  snap->graph = cg;
+  snap->map = std::move(regen.map);
+  snap->stream = std::make_unique<ksp::KspStream>(sssp::BiView::of(*cg), cs,
+                                                  ct, std::move(rtree));
+  return snap;
+}
+
+ServeResult QueryEngine::query(vid_t s, vid_t t, int k) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ServeResult out;
+  PEEK_COUNT_INC("serve.queries");
+  PEEK_TIMER_SCOPE("serve.query");
+
+  auto g = active_graph();
+  const std::uint64_t gen = generation();
+  if (k <= 0 || s < 0 || s >= g->num_vertices() || t < 0 ||
+      t >= g->num_vertices()) {
+    out.seconds = seconds_since(t0);
+    return out;
+  }
+
+  if (cache_.byte_budget() == 0 ||
+      (!opts_.cache_snapshots && !opts_.cache_trees)) {
+    // Memory-pressure / cache-off degradation: plain uncached PeeK.
+    core::PeekOptions po = opts_.peek;
+    po.k = k;
+    auto r = core::peek_ksp(*g, s, t, po);
+    out.paths = std::move(r.ksp.paths);
+    out.upper_bound = r.upper_bound;
+    out.uncached = true;
+    PEEK_COUNT_INC("serve.uncached_fallbacks");
+    out.seconds = seconds_since(t0);
+    return out;
+  }
+
+  const std::pair<vid_t, vid_t> key{s, t};
+  for (;;) {
+    if (opts_.cache_snapshots) {
+      if (auto snap = cache_.get_snapshot(s, t, gen)) {
+        if (serve_from_snapshot(*snap, k, out)) {
+          out.snapshot_hit = true;
+          PEEK_COUNT_INC("serve.snapshot_hits");
+          break;
+        }
+        // Budget too small for this K: recompute below with a wider bound
+        // (the new snapshot replaces the old entry).
+      }
+    }
+
+    // Admission: coalesce with an identical in-flight computation, or claim
+    // ownership of this (s, t).
+    std::shared_ptr<Inflight> inf;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        inf = it->second;
+      } else {
+        inf = std::make_shared<Inflight>();
+        inf->k_budget = budget_for(k);
+        inflight_[key] = inf;
+        owner = true;
+      }
+    }
+
+    if (!owner) {
+      {
+        std::unique_lock<std::mutex> lock(inf->mu);
+        inf->cv.wait(lock, [&] { return inf->done; });
+      }
+      out.coalesced = true;
+      PEEK_COUNT_INC("serve.coalesced_waits");
+      if (inf->snap && serve_from_snapshot(*inf->snap, k, out)) break;
+      continue;  // the published budget was too small for our K — retry
+    }
+
+    PEEK_COUNT_INC("serve.snapshot_misses");
+    std::shared_ptr<PrunedSnapshot> snap;
+    try {
+      snap = compute_snapshot(*g, s, t, inf->k_budget, gen, out);
+    } catch (...) {
+      // Never leave waiters hanging or the key claimed.
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(key);
+      }
+      {
+        std::lock_guard<std::mutex> lock(inf->mu);
+        inf->done = true;
+      }
+      inf->cv.notify_all();
+      throw;
+    }
+    serve_from_snapshot(*snap, k, out);
+    if (opts_.cache_snapshots) {
+      if (!cache_.put_snapshot(s, t, snap, gen)) out.uncached = true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> lock(inf->mu);
+      inf->snap = snap;
+      inf->done = true;
+    }
+    inf->cv.notify_all();
+    break;
+  }
+
+  out.seconds = seconds_since(t0);
+  return out;
+}
+
+}  // namespace peek::serve

@@ -1,0 +1,131 @@
+// Query-serving layer: concurrent (s, t, K) admission on top of core/peek,
+// amortizing PeeK's per-query artifacts across queries via the ArtifactCache.
+//
+// Per query, in order of decreasing savings:
+//   1. Snapshot hit  — a cached pruned-and-compacted (s, t) state answers
+//      K <= its budget with zero graph work: K paths already produced is a
+//      pure lookup; otherwise the snapshot's live KspStream (incremental
+//      OptYen, ksp/stream.hpp) pulls just the missing paths.
+//   2. Tree hit      — the §4.1 forward tree (keyed on s) and/or reverse tree
+//      (keyed on t) skip one or both full-graph SSSPs inside pruning, which
+//      dominate PeeK's runtime (§7: ~95% of end-to-end time at K = 8).
+//   3. Coalescing    — duplicate in-flight (s, t) queries block on the first
+//      computation instead of repeating it (the thundering-herd guard).
+//   4. Full compute  — prune with an over-provisioned K budget (so nearby
+//      future Ks stay lookups), regeneration-compact, stream the paths.
+//
+// Snapshots are always regeneration-compacted (§5.3): of the three §5
+// strategies it is the only one that yields a self-owned subgraph, which a
+// cache entry must be — the other two alias the query-time graph. Pruning
+// with budget B is sound for every K <= B (Theorem 4.3 with the larger
+// bound b_B >= b_K), so one cached K = 32 run serves K ∈ [1, 32] exactly.
+//
+// Mutability: a QueryEngine over a dyn::DynamicGraph re-snapshots the CSR
+// and bumps the cache generation whenever the graph's structural version
+// changed — stale artifacts then die lazily on their next lookup.
+//
+// Degradation: with a zero cache budget every query runs plain peek_ksp;
+// artifacts larger than a cache shard are served but not retained.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <utility>
+
+#include "core/peek.hpp"
+#include "dyn/dynamic_graph.hpp"
+#include "serve/artifact_cache.hpp"
+
+namespace peek::serve {
+
+struct ServeOptions {
+  /// Base pipeline configuration for cache misses. `k` and `compaction` are
+  /// managed per query by the engine (see header comment); the other fields
+  /// (parallel, delta, alpha, tight_edge_prune) apply as in core::peek_ksp.
+  core::PeekOptions peek;
+  ArtifactCache::Options cache;
+  /// A miss for K prunes with max(K, k_budget_floor) rounded up to a power
+  /// of two, so the snapshot serves larger follow-up Ks without re-pruning.
+  int k_budget_floor = 32;
+  bool cache_trees = true;
+  bool cache_snapshots = true;
+};
+
+/// One served query: the paths plus where the work was (not) spent.
+struct ServeResult {
+  std::vector<sssp::Path> paths;  // original ids, sorted (dist, then lex)
+  weight_t upper_bound = kInfDist;  // pruning bound of the answering snapshot
+  bool snapshot_hit = false;  // answered from a cached (s, t) snapshot
+  bool extended = false;      // the snapshot's stream pulled extra paths
+  bool coalesced = false;     // waited on an identical in-flight query
+  bool fwd_tree_hit = false;  // pruning reused the cached forward tree
+  bool rev_tree_hit = false;  // pruning reused the cached reverse tree
+  bool uncached = false;      // served via plain PeeK (budget 0 / oversize)
+  double seconds = 0;         // wall time of this query() call
+};
+
+/// Thread-safe serving facade. The underlying graph must outlive the engine;
+/// `query()` may be called concurrently from any number of threads.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const graph::CsrGraph& g, const ServeOptions& opts = {});
+  /// Serve a dynamic graph: each query first reconciles against
+  /// dg.version(), re-packing the CSR snapshot and invalidating the cache
+  /// when the structure changed. Mutate-vs-query interleaving is the
+  /// caller's concern (mutations must not race the version check itself).
+  explicit QueryEngine(const dyn::DynamicGraph& dg,
+                       const ServeOptions& opts = {});
+
+  /// The K shortest simple paths from s to t (identical to
+  /// core::peek_ksp(g, s, t, {.k = k, ...}).ksp.paths — see
+  /// tests/test_serve.cpp for the bit-identity property).
+  ServeResult query(vid_t s, vid_t t, int k);
+
+  /// Manual cache invalidation (e.g. out-of-band graph edits): bumps the
+  /// generation so every cached artifact becomes stale.
+  void invalidate();
+
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  ArtifactCache& cache() { return cache_; }
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    int k_budget = 0;
+    std::shared_ptr<PrunedSnapshot> snap;  // published result
+  };
+
+  /// The CSR to serve this query from (re-snapshots a dynamic source).
+  std::shared_ptr<const graph::CsrGraph> active_graph();
+  /// Full pipeline on a miss; fills the tree-hit flags of `out`.
+  std::shared_ptr<PrunedSnapshot> compute_snapshot(const graph::CsrGraph& g,
+                                                   vid_t s, vid_t t,
+                                                   int k_budget,
+                                                   std::uint64_t generation,
+                                                   ServeResult& out);
+  /// Serves `k` paths out of `snap` (extending its stream if needed); false
+  /// when the snapshot's budget is too small for `k` (caller recomputes).
+  bool serve_from_snapshot(PrunedSnapshot& snap, int k, ServeResult& out);
+  int budget_for(int k) const;
+
+  const graph::CsrGraph* static_graph_ = nullptr;
+  const dyn::DynamicGraph* dyn_graph_ = nullptr;
+  std::mutex dyn_mu_;  // guards the two fields below
+  std::shared_ptr<const graph::CsrGraph> dyn_snapshot_;
+  std::uint64_t dyn_version_seen_ = 0;
+
+  ServeOptions opts_;
+  std::atomic<std::uint64_t> generation_{0};
+  ArtifactCache cache_;
+
+  std::mutex inflight_mu_;
+  std::map<std::pair<vid_t, vid_t>, std::shared_ptr<Inflight>> inflight_;
+};
+
+}  // namespace peek::serve

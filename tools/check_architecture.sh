@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Keeps ARCHITECTURE.md honest in both directions:
+#   1. every file path ARCHITECTURE.md references under src/ must exist;
+#   2. every subsystem directory under src/ must have a "### `src/<name>`"
+#      section in ARCHITECTURE.md.
+# Run from the repository root (CI does). Exits non-zero on any drift.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. Referenced paths exist. Matches `src/foo` and bare `name.hpp` inside the
+# subsystem section that names its directory.
+while read -r ref; do
+  if [ ! -e "$ref" ]; then
+    echo "ARCHITECTURE.md references missing path: $ref"
+    fail=1
+  fi
+done < <(grep -o '`src/[A-Za-z0-9_/.]*`' ARCHITECTURE.md | tr -d '`' | sort -u)
+
+# Per-subsystem file bullets like "- `adaptive.hpp` — ...".
+current_dir=""
+while IFS= read -r line; do
+  case "$line" in
+    '### `src/'*)
+      current_dir=$(printf '%s' "$line" | sed -n 's/.*`\(src\/[a-z_]*\)`.*/\1/p')
+      ;;
+    '## '*) current_dir="" ;;
+    *)
+      [ -n "$current_dir" ] || continue
+      for f in $(printf '%s' "$line" |
+                   grep -o '`[a-z_]*\.\(hpp\|cpp\)`' | tr -d '`'); do
+        if [ ! -e "$current_dir/$f" ]; then
+          echo "ARCHITECTURE.md ($current_dir section) references missing file: $current_dir/$f"
+          fail=1
+        fi
+      done
+      ;;
+  esac
+done < ARCHITECTURE.md
+
+# 2. Every src/ subsystem has a section.
+for d in src/*/; do
+  name=$(basename "$d")
+  if ! grep -q "^### \`src/$name\`" ARCHITECTURE.md; then
+    echo "src/$name has no '### \`src/$name\`' section in ARCHITECTURE.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "ARCHITECTURE.md is in sync with src/."
+fi
+exit "$fail"

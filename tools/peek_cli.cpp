@@ -14,8 +14,11 @@
 #include <optional>
 #include <string>
 
+#include <algorithm>
+
 #include "core/batch.hpp"
 #include "core/shortest_k_group.hpp"
+#include "serve/query_engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
@@ -63,6 +66,14 @@ void usage() {
       "  --pairs N                  N random reachable pairs, prints timings\n"
       "  --k K                      number of paths (default 8)\n"
       "  --groups G                 GQL SHORTEST-k-GROUP mode instead\n"
+      "\n"
+      "serving (repeated-query driver over the serve/ layer):\n"
+      "  --serve N                  answer N queries drawn Zipfian from a\n"
+      "                             pool of random pairs, print hit rates\n"
+      "                             and latency percentiles\n"
+      "  --pool P                   distinct (s,t) pairs in the pool (16)\n"
+      "  --zipf THETA               Zipf skew across the pool (0.99)\n"
+      "  --cache-mb M               artifact-cache byte budget (256)\n"
       "\n"
       "algorithm:\n"
       "  --algo {peek|yen|nc|optyen|sb|sbstar|pnc|pncstar}  (default peek)\n"
@@ -114,6 +125,84 @@ ksp::KspResult run_algorithm(const std::string& algo, const graph::CsrGraph& g,
   if (algo == "pnc") return ksp::pnc_ksp(g, s, t, ko);
   if (algo == "pncstar") return ksp::pnc_star_ksp(g, s, t, ko);
   throw std::runtime_error("unknown --algo " + algo);
+}
+
+/// Random (source, reachable target) pairs, deterministic in `seed`.
+std::vector<std::pair<vid_t, vid_t>> sample_reachable_pairs(
+    const graph::CsrGraph& g, int count, std::uint64_t seed) {
+  std::vector<std::pair<vid_t, vid_t>> pairs;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<vid_t> pick(0, g.num_vertices() - 1);
+  auto fwd = sssp::GraphView(g);
+  while (static_cast<int>(pairs.size()) < count) {
+    const vid_t s = pick(rng);
+    auto r = sssp::dijkstra(fwd, s);
+    std::vector<vid_t> reach;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      if (v != s && r.dist[v] != kInfDist) reach.push_back(v);
+    if (reach.empty()) continue;
+    std::uniform_int_distribution<size_t> pick_t(0, reach.size() - 1);
+    pairs.emplace_back(s, reach[pick_t(rng)]);
+  }
+  return pairs;
+}
+
+/// Repeated-query serving driver: N queries drawn Zipfian over a pool of
+/// pairs through serve::QueryEngine, reporting hit rates and latency
+/// percentiles — the shape of a production deployment, from the shell.
+int run_serve(const graph::CsrGraph& g, const Args& args, int k,
+              bool parallel) {
+  const int n_queries = static_cast<int>(args.get_int("serve", 64));
+  const int pool_size = static_cast<int>(args.get_int("pool", 16));
+  const double theta = args.get_double("zipf", 0.99);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  serve::ServeOptions so;
+  so.peek.parallel = parallel;
+  so.cache.byte_budget =
+      static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;
+  serve::QueryEngine engine(g, so);
+
+  const auto pool = sample_reachable_pairs(g, pool_size, seed);
+  // Zipf over pool ranks: weight(i) = (i+1)^-theta, sampled by inverse CDF.
+  std::vector<double> cdf(pool.size());
+  double acc = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -theta);
+    cdf[i] = acc;
+  }
+  std::mt19937_64 rng(seed ^ 0x5e47e);
+  std::uniform_real_distribution<double> uni(0.0, acc);
+
+  std::vector<double> lat;
+  lat.reserve(static_cast<size_t>(n_queries));
+  int hits = 0, tree_hits = 0, extensions = 0;
+  for (int q = 0; q < n_queries; ++q) {
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) - cdf.begin());
+    const auto [s, t] = pool[std::min(rank, pool.size() - 1)];
+    auto r = engine.query(s, t, k);
+    lat.push_back(r.seconds);
+    hits += r.snapshot_hit ? 1 : 0;
+    tree_hits += (r.fwd_tree_hit || r.rev_tree_hit) ? 1 : 0;
+    extensions += r.extended ? 1 : 0;
+  }
+  std::sort(lat.begin(), lat.end());
+  auto pct = [&](double p) {
+    return lat[std::min(lat.size() - 1,
+                        static_cast<size_t>(p * double(lat.size())))];
+  };
+  const auto cs = engine.cache().stats();
+  std::printf(
+      "served %d queries (pool %zu, zipf %.2f, k %d)\n"
+      "snapshot hits %d (%.1f%%), tree-assisted misses %d, extensions %d\n"
+      "latency p50 %.6fs  p90 %.6fs  p99 %.6fs\n"
+      "cache: %zu entries, %.1f MiB used, %lld evictions\n",
+      n_queries, pool.size(), theta, k, hits,
+      100.0 * hits / std::max(1, n_queries), tree_hits, extensions, pct(0.50),
+      pct(0.90), pct(0.99), cs.entries, double(cs.bytes_used) / double(1 << 20),
+      static_cast<long long>(cs.evictions));
+  return 0;
 }
 
 /// PEEK_METRICS=path env hook: dump the global registry as JSON on any exit
@@ -168,6 +257,8 @@ int main(int argc, char** argv) {
     const std::string algo = args.get("algo", "peek");
     const bool parallel = args.has("parallel");
 
+    if (args.has("serve")) return run_serve(g, args, k, parallel);
+
     if (args.has("groups")) {
       core::PeekOptions po;
       po.parallel = parallel;
@@ -216,20 +307,9 @@ int main(int argc, char** argv) {
     // Batch mode over random pairs.
     const int pairs = static_cast<int>(args.get_int("pairs", 4));
     std::vector<core::BatchQuery> queries;
-    {
-      std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
-      std::uniform_int_distribution<vid_t> pick(0, g.num_vertices() - 1);
-      auto fwd = sssp::GraphView(g);
-      while (static_cast<int>(queries.size()) < pairs) {
-        const vid_t s = pick(rng);
-        auto r = sssp::dijkstra(fwd, s);
-        std::vector<vid_t> reach;
-        for (vid_t v = 0; v < g.num_vertices(); ++v)
-          if (v != s && r.dist[v] != kInfDist) reach.push_back(v);
-        if (reach.empty()) continue;
-        std::uniform_int_distribution<size_t> pick_t(0, reach.size() - 1);
-        queries.push_back({s, reach[pick_t(rng)]});
-      }
+    for (auto [s, t] : sample_reachable_pairs(
+             g, pairs, static_cast<std::uint64_t>(args.get_int("seed", 1)))) {
+      queries.push_back({s, t});
     }
     core::BatchOptions bo;
     bo.per_query.k = k;
