@@ -1,0 +1,72 @@
+#include "check/invariants.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/csr.hpp"
+
+namespace peek::check {
+
+void dcheck_fail(const char* expr, const char* file, int line,
+                 const char* why) {
+  if (why != nullptr && why[0] != '\0') {
+    std::fprintf(stderr, "PEEK_DCHECK failed: %s at %s:%d — %s\n", expr, file,
+                 line, why);
+  } else {
+    std::fprintf(stderr, "PEEK_DCHECK failed: %s at %s:%d\n", expr, file,
+                 line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace {
+
+bool fail(std::string* why, std::string message) {
+  if (why != nullptr) *why = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool validate_csr(const graph::CsrGraph& g, std::string* why) {
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+  const auto row = g.row_offsets();
+  const auto col = g.col();
+  const auto wgt = g.weights();
+  if (n < 0) return fail(why, "negative vertex count");
+  if (m < 0) return fail(why, "negative edge count");
+  if (n == 0) {
+    // Default-constructed empty graph: all arrays empty is the only valid
+    // shape.
+    if (!row.empty() || m != 0)
+      return fail(why, "empty graph with non-empty arrays");
+    return true;
+  }
+  if (row.size() != static_cast<size_t>(n) + 1)
+    return fail(why, "row_offsets size is not n+1");
+  if (col.size() != static_cast<size_t>(m))
+    return fail(why, "col size is not m");
+  if (wgt.size() != static_cast<size_t>(m))
+    return fail(why, "weights size is not m");
+  if (row.front() != 0) return fail(why, "row_offsets[0] != 0");
+  if (row.back() != m) return fail(why, "row_offsets[n] != m");
+  for (vid_t v = 0; v < n; ++v) {
+    if (row[static_cast<size_t>(v)] > row[static_cast<size_t>(v) + 1])
+      return fail(why,
+                  "row_offsets not monotone at vertex " + std::to_string(v));
+  }
+  for (eid_t e = 0; e < m; ++e) {
+    const vid_t t = col[static_cast<size_t>(e)];
+    if (t < 0 || t >= n)
+      return fail(why, "column id out of range at edge " + std::to_string(e));
+    const weight_t w = wgt[static_cast<size_t>(e)];
+    if (std::isnan(w) || std::isinf(w) || w < 0)
+      return fail(why, "bad weight at edge " + std::to_string(e));
+  }
+  return true;
+}
+
+}  // namespace peek::check

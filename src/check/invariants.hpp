@@ -1,0 +1,76 @@
+// Library-internal invariant checking.
+//
+// PEEK_DCHECK(cond) is the repo's only sanctioned debug assertion: it prints
+// the failing expression with its location and aborts. Unlike <cassert> it
+// has a single, CMake-controlled switch (PEEK_DCHECK_ENABLED, default: on in
+// Debug builds, off under NDEBUG), never evaluates its argument when
+// disabled, and is allowed in headers consumed by every build flavour.
+// Library code must not use assert() — tools/peek_lint.py enforces this.
+//
+// check::validate_csr is a full structural validator for CsrGraph (offset
+// monotonicity, endpoint sentinels, column range, weight sanity). It is
+// always compiled — the race-stress suite runs it on concurrently shared and
+// freshly compacted graphs — while PEEK_DCHECK_VALID_CSR gates it behind the
+// debug switch for use inside the library itself.
+#pragma once
+
+#include <string>
+
+namespace peek::graph {
+class CsrGraph;  // graph/csr.hpp
+}
+
+namespace peek::check {
+
+/// Prints "PEEK_DCHECK failed: <expr> at <file>:<line>" (plus `why` when
+/// non-empty) to stderr and aborts. Out of line so the macro stays small.
+[[noreturn]] void dcheck_fail(const char* expr, const char* file, int line,
+                              const char* why = "");
+
+/// Exhaustive CSR structural check: row_offsets has n+1 entries framing
+/// [0, m], offsets are monotone, every column id is in [0, n), weights are
+/// finite and non-negative, and the weight array matches the edge count.
+/// Returns false and fills `*why` (when given) with the first violation.
+bool validate_csr(const graph::CsrGraph& g, std::string* why = nullptr);
+
+}  // namespace peek::check
+
+#ifndef PEEK_DCHECK_ENABLED
+#ifdef NDEBUG
+#define PEEK_DCHECK_ENABLED 0
+#else
+#define PEEK_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if PEEK_DCHECK_ENABLED
+
+#define PEEK_DCHECK(cond)                                        \
+  do {                                                           \
+    if (!(cond)) ::peek::check::dcheck_fail(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define PEEK_DCHECK_MSG(cond, why)                                      \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::peek::check::dcheck_fail(#cond, __FILE__, __LINE__, (why));     \
+  } while (0)
+
+/// Debug-only full structural validation of a CsrGraph.
+#define PEEK_DCHECK_VALID_CSR(g)                                           \
+  do {                                                                     \
+    std::string peek_dcheck_why_;                                          \
+    if (!::peek::check::validate_csr((g), &peek_dcheck_why_))              \
+      ::peek::check::dcheck_fail("validate_csr(" #g ")", __FILE__,         \
+                                 __LINE__, peek_dcheck_why_.c_str());      \
+  } while (0)
+
+#else  // PEEK_DCHECK_ENABLED
+
+// sizeof keeps the operands name-checked (so disabled checks cannot rot and
+// checked-only locals stay "used") without ever evaluating them.
+#define PEEK_DCHECK(cond) ((void)sizeof(!(cond)))
+#define PEEK_DCHECK_MSG(cond, why) ((void)sizeof(!(cond)), (void)sizeof(why))
+#define PEEK_DCHECK_VALID_CSR(g) ((void)sizeof(&(g)))
+
+#endif  // PEEK_DCHECK_ENABLED

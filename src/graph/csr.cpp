@@ -44,20 +44,17 @@ bool CsrGraph::operator==(const CsrGraph& other) const {
          col_ == other.col_ && wgt_ == other.wgt_;
 }
 
-namespace {
-std::mutex g_reverse_mutex;
-}  // namespace
-
 const CsrGraph& CsrGraph::reverse() const {
   warm_reverse();
-  return *reverse_;
+  return *rcache_->graph;
 }
 
 void CsrGraph::warm_reverse() const {
-  // Double-checked: cheap atomic-ish read, then lock for the build.
-  if (reverse_) return;
-  std::lock_guard<std::mutex> lock(g_reverse_mutex);
-  if (!reverse_) reverse_ = std::make_shared<CsrGraph>(transpose(*this));
+  // call_once both serializes the one build and publishes it: every later
+  // caller's read of rcache_->graph happens-after the store.
+  std::call_once(rcache_->once, [this] {
+    rcache_->graph = std::make_shared<const CsrGraph>(transpose(*this));
+  });
 }
 
 CsrGraph transpose(const CsrGraph& g) {

@@ -8,11 +8,12 @@
 // the KSP algorithms can traverse in-edges at the same cost as out-edges.
 #pragma once
 
-#include <cassert>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "graph/types.hpp"
 
 namespace peek::graph {
@@ -40,7 +41,7 @@ class CsrGraph {
 
   /// Out-degree of `v`.
   eid_t degree(vid_t v) const {
-    assert(v >= 0 && v < n_);
+    PEEK_DCHECK(v >= 0 && v < n_);
     return row_[v + 1] - row_[v];
   }
 
@@ -81,12 +82,24 @@ class CsrGraph {
   bool operator==(const CsrGraph& other) const;
 
  private:
+  /// Once-built transpose. Lives behind its own shared_ptr so CsrGraph stays
+  /// copyable/movable (copies share the cache — the transpose of equal
+  /// content is equal), and uses std::call_once so concurrent first calls to
+  /// reverse()/warm_reverse() are race-free: a double-checked read of a plain
+  /// shared_ptr would be a data race under ThreadSanitizer (and the memory
+  /// model).
+  struct ReverseCache {
+    std::once_flag once;
+    std::shared_ptr<const CsrGraph> graph;  // written exactly once
+  };
+
   vid_t n_ = 0;
   eid_t m_ = 0;
   std::vector<eid_t> row_;      // n+1
   std::vector<vid_t> col_;      // m
   std::vector<weight_t> wgt_;   // m
-  mutable std::shared_ptr<CsrGraph> reverse_;  // lazily built transpose
+  mutable std::shared_ptr<ReverseCache> rcache_ =
+      std::make_shared<ReverseCache>();
 };
 
 /// Builds the transpose of `g` (counting sort over target vertices).

@@ -70,7 +70,12 @@ KspResult run_yen_engine(const GraphView& fwd, vid_t s, vid_t t,
     std::vector<std::vector<Candidate>> found(static_cast<size_t>(nt));
     auto deviate = [&](int i) {
       const vid_t v = p[static_cast<size_t>(i)];
-      auto& mask = masks[static_cast<size_t>(par::thread_id())];
+      // In serial mode thread_id() may still be nonzero (this engine can run
+      // inside an outer parallel region, e.g. a parallel batch); always use
+      // slot 0 then — masks/found are sized 1.
+      const auto slot =
+          opts.parallel ? static_cast<size_t>(par::thread_id()) : 0;
+      auto& mask = masks[slot];
       for (int j = 0; j < i; ++j) mask[p[static_cast<size_t>(j)]] = 1;
       std::vector<vid_t> prefix(p.begin(), p.begin() + i + 1);
       const std::unordered_set<eid_t> banned =
@@ -85,7 +90,7 @@ KspResult run_yen_engine(const GraphView& fwd, vid_t s, vid_t t,
       cand.path.verts.insert(cand.path.verts.end(), suffix.verts.begin() + 1,
                              suffix.verts.end());
       cand.path.dist = cum[static_cast<size_t>(i)] + suffix.dist;
-      found[static_cast<size_t>(par::thread_id())].push_back(std::move(cand));
+      found[slot].push_back(std::move(cand));
     };
 
     // Task-parallel scheduling stats: one round per accepted path, one task

@@ -1,7 +1,11 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace peek::obs {
@@ -35,6 +39,25 @@ std::string fmt_double(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
+}
+
+/// double -> int64 without the UB of a plain static_cast on out-of-range
+/// values (a hand-edited metrics file can carry 1e30): saturates at the
+/// int64 limits, maps NaN to 0.
+std::int64_t clamp_to_int64(double v) {
+  if (std::isnan(v)) return 0;
+  // 2^63 is exactly representable; anything >= it would overflow the cast.
+  constexpr double kMax = 9223372036854775808.0;
+  if (v >= kMax) return std::numeric_limits<std::int64_t>::max();
+  if (v <= -kMax) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t clamp_to_uint64(double v) {
+  if (std::isnan(v) || v <= 0) return 0;
+  constexpr double kMax = 18446744073709551616.0;  // 2^64
+  if (v >= kMax) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(v);
 }
 
 }  // namespace
@@ -85,7 +108,7 @@ class Parser {
       if (!parse_string(section) || !expect(':')) return false;
       if (section == "counters") {
         if (!parse_number_map([&](std::string k, double v) {
-              out.counters[std::move(k)] = static_cast<std::int64_t>(v);
+              out.counters[std::move(k)] = clamp_to_int64(v);
             }))
           return false;
       } else if (section == "gauges") {
@@ -170,11 +193,16 @@ class Parser {
             s_[pos_] == 'e' || s_[pos_] == 'E'))
       pos_++;
     if (pos_ == start) return false;
-    try {
-      out = std::stod(std::string(s_.substr(start, pos_ - start)));
-    } catch (...) {
-      return false;
-    }
+    const std::string tok(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return false;  // e.g. "1.2.3", "1e+"
+    // Underflow to a subnormal (errno ERANGE, finite result) is fine — the
+    // exporter legitimately emits those for tiny gauges; only a literal too
+    // large for double is malformed.
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return false;
+    out = v;
     return true;
   }
 
@@ -208,7 +236,7 @@ class Parser {
       TimerValue tv;
       const bool ok = parse_number_map([&](std::string field, double v) {
         if (field == "seconds") tv.seconds = v;
-        else if (field == "count") tv.count = static_cast<std::uint64_t>(v);
+        else if (field == "count") tv.count = clamp_to_uint64(v);
       });
       if (!ok) return false;
       out.timers[std::move(key)] = tv;

@@ -1,13 +1,16 @@
 #include "obs/metrics.hpp"
 
-#include "parallel/parallel_for.hpp"
-
 namespace peek::obs {
 
 size_t Counter::shard_index() {
-  // OpenMP thread ids are dense within a team; modulo keeps nested teams and
-  // oversubscription safe (collisions are correct, just contended).
-  return static_cast<size_t>(par::thread_id()) % kShards;
+  // One slot per OS thread, assigned on first use. Unlike an OpenMP-id-based
+  // scheme this also spreads threads the library did not create (the serving
+  // layer's request threads all have OpenMP id 0); wrap-around collisions at
+  // kShards are correct, just contended.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
 }
 
 MetricsRegistry& MetricsRegistry::global() {

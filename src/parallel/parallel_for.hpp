@@ -1,14 +1,211 @@
-// Thin OpenMP wrappers so call sites stay readable and the library can be
-// built without OpenMP (the wrappers degrade to serial loops).
+// Thin wrappers around the parallel backend so call sites stay readable and
+// the library can swap how loops are executed without touching algorithms.
+//
+// Backend selection (strongest available wins):
+//   - PEEK_PARALLEL_STDTHREAD=1 — a std::thread fork/join backend. Used by
+//     the ThreadSanitizer build (PEEK_SANITIZE=thread): gcc/clang's OpenMP
+//     runtimes are not TSan-instrumented, so TSan cannot see their barriers
+//     and reports false races at every region boundary. The std::thread
+//     backend synchronizes with plain pthread create/join, which TSan models
+//     exactly — races it reports in loop bodies are real.
+//   - _OPENMP — the production backend (#pragma omp).
+//   - neither — serial loops.
+//
+// Semantics shared by all backends: thread_id() is the worker index within
+// the innermost active region (0 on the caller outside any region), nested
+// regions run serially inline (OpenMP's default nesting behaviour), and
+// ThreadScope pins the worker count for regions started inside its scope.
 #pragma once
 
 #include <cstdint>
 
-#ifdef _OPENMP
+#if defined(PEEK_PARALLEL_STDTHREAD) && PEEK_PARALLEL_STDTHREAD
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+#elif defined(_OPENMP)
 #include <omp.h>
 #endif
 
 namespace peek::par {
+
+#if defined(PEEK_PARALLEL_STDTHREAD) && PEEK_PARALLEL_STDTHREAD
+
+namespace detail {
+
+/// Worker-count override installed by ThreadScope; 0 = hardware default.
+inline std::atomic<int>& configured_threads() {
+  static std::atomic<int> v{0};
+  return v;
+}
+
+inline bool& tl_in_region() noexcept {
+  thread_local bool in_region = false;
+  return in_region;
+}
+inline int& tl_worker_slot() noexcept {
+  thread_local int id = 0;
+  return id;
+}
+inline int tl_worker_id() noexcept { return tl_worker_slot(); }
+
+/// RAII worker identity for the duration of one region (restores the
+/// caller's id so regions nest like OpenMP teams).
+class RegionGuard {
+ public:
+  explicit RegionGuard(int id)
+      : saved_id_(tl_worker_slot()), saved_in_(tl_in_region()) {
+    tl_worker_slot() = id;
+    tl_in_region() = true;
+  }
+  ~RegionGuard() {
+    tl_worker_slot() = saved_id_;
+    tl_in_region() = saved_in_;
+  }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  int saved_id_;
+  bool saved_in_;
+};
+
+inline int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+/// Fork/join helper: runs work(worker) on `nt` workers (caller is worker 0).
+/// Thread join gives TSan (and the caller) the full happens-before edge for
+/// everything the workers wrote.
+template <typename Work>
+void fork_join(int nt, const Work& work) {
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(nt > 0 ? nt - 1 : 0));
+  for (int w = 1; w < nt; ++w) {
+    pool.emplace_back([&work, w] {
+      RegionGuard guard(w);
+      work(w);
+    });
+  }
+  {
+    RegionGuard guard(0);
+    work(0);
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace detail
+
+/// Number of workers the next region will use.
+inline int max_threads() {
+  const int v = detail::configured_threads().load(std::memory_order_relaxed);
+  return v > 0 ? v : detail::hardware_threads();
+}
+
+/// Worker index inside the innermost region; 0 outside any region.
+inline int thread_id() { return detail::tl_worker_id(); }
+
+/// RAII guard that pins the worker count inside a scope — used by the
+/// scalability benches to sweep 1..32 threads.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int threads)
+      : saved_(detail::configured_threads().load(std::memory_order_relaxed)) {
+    detail::configured_threads().store(threads, std::memory_order_relaxed);
+  }
+  ~ThreadScope() {
+    detail::configured_threads().store(saved_, std::memory_order_relaxed);
+  }
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_ = 0;
+};
+
+/// parallel for over [begin, end) with static (blocked) schedule.
+template <typename Index, typename Body>
+void parallel_for(Index begin, Index end, Body&& body) {
+  if (begin >= end) return;
+  const auto n = static_cast<std::int64_t>(end - begin);
+  const int nt = detail::tl_in_region()
+                     ? 1
+                     : static_cast<int>(std::min<std::int64_t>(max_threads(), n));
+  if (nt <= 1) {
+    for (Index i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::int64_t chunk = (n + nt - 1) / nt;
+  detail::fork_join(nt, [&](int w) {
+    const std::int64_t lo = static_cast<std::int64_t>(w) * chunk;
+    const std::int64_t hi = std::min<std::int64_t>(lo + chunk, n);
+    for (std::int64_t i = lo; i < hi; ++i)
+      body(static_cast<Index>(begin + static_cast<Index>(i)));
+  });
+}
+
+/// parallel for with dynamic scheduling — for skewed per-iteration work
+/// (vertex loops on power-law graphs). Workers claim `chunk`-sized slices
+/// from a shared cursor.
+template <typename Index, typename Body>
+void parallel_for_dynamic(Index begin, Index end, Body&& body,
+                          int chunk = 64) {
+  if (begin >= end) return;
+  const auto n = static_cast<std::int64_t>(end - begin);
+  const int nt = detail::tl_in_region()
+                     ? 1
+                     : static_cast<int>(std::min<std::int64_t>(max_threads(), n));
+  if (nt <= 1) {
+    for (Index i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::int64_t step = chunk > 0 ? chunk : 1;
+  std::atomic<std::int64_t> next{0};
+  detail::fork_join(nt, [&](int) {
+    for (;;) {
+      const std::int64_t lo = next.fetch_add(step, std::memory_order_relaxed);
+      if (lo >= n) break;
+      const std::int64_t hi = std::min<std::int64_t>(lo + step, n);
+      for (std::int64_t i = lo; i < hi; ++i)
+        body(static_cast<Index>(begin + static_cast<Index>(i)));
+    }
+  });
+}
+
+/// Parallel sum-reduction over [begin, end) of body(i).
+template <typename Index, typename Body>
+std::int64_t parallel_count(Index begin, Index end, Body&& body) {
+  if (begin >= end) return 0;
+  const auto n = static_cast<std::int64_t>(end - begin);
+  const int nt = detail::tl_in_region()
+                     ? 1
+                     : static_cast<int>(std::min<std::int64_t>(max_threads(), n));
+  if (nt <= 1) {
+    std::int64_t total = 0;
+    for (Index i = begin; i < end; ++i) total += body(i) ? 1 : 0;
+    return total;
+  }
+  struct alignas(64) Partial {
+    std::int64_t v = 0;
+  };
+  std::vector<Partial> partials(static_cast<size_t>(nt));
+  const std::int64_t chunk = (n + nt - 1) / nt;
+  detail::fork_join(nt, [&](int w) {
+    const std::int64_t lo = static_cast<std::int64_t>(w) * chunk;
+    const std::int64_t hi = std::min<std::int64_t>(lo + chunk, n);
+    std::int64_t sum = 0;
+    for (std::int64_t i = lo; i < hi; ++i)
+      sum += body(static_cast<Index>(begin + static_cast<Index>(i))) ? 1 : 0;
+    partials[static_cast<size_t>(w)].v = sum;
+  });
+  std::int64_t total = 0;
+  for (const auto& p : partials) total += p.v;
+  return total;
+}
+
+#else  // OpenMP or serial backend
 
 /// Number of threads the next parallel region will use.
 inline int max_threads() {
@@ -88,5 +285,7 @@ std::int64_t parallel_count(Index begin, Index end, Body&& body) {
 #endif
   return total;
 }
+
+#endif  // backend selection
 
 }  // namespace peek::par

@@ -1,8 +1,8 @@
 #include "parallel/prefix_sum.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "check/invariants.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace peek::par {
@@ -12,10 +12,11 @@ namespace {
 /// Shared body: inclusive if `inclusive`, else exclusive.
 std::int64_t scan(std::span<const std::int64_t> in, std::span<std::int64_t> out,
                   bool inclusive) {
-  assert(in.size() == out.size());
+  PEEK_DCHECK(in.size() == out.size());
   const std::int64_t n = static_cast<std::int64_t>(in.size());
   if (n == 0) return 0;
-  const int threads = std::min<std::int64_t>(max_threads(), n);
+  const int threads =
+      static_cast<int>(std::min<std::int64_t>(max_threads(), n));
   const std::int64_t chunk = (n + threads - 1) / threads;
   std::vector<std::int64_t> partial(static_cast<size_t>(threads) + 1, 0);
 

@@ -1,10 +1,14 @@
-// Parallel merge sort (OpenMP tasks). Stand-in for the Boost block-indirect
-// sort the paper uses to order the distance-sum array (§6.2).
+// Parallel merge sort (OpenMP tasks, or fork/join std::threads under the
+// PEEK_PARALLEL_STDTHREAD backend — see parallel_for.hpp). Stand-in for the
+// Boost block-indirect sort the paper uses to order the distance-sum array
+// (§6.2).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "parallel/parallel_for.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -14,8 +18,32 @@ namespace peek::par {
 
 namespace detail {
 
+#if defined(PEEK_PARALLEL_STDTHREAD) && PEEK_PARALLEL_STDTHREAD
+
 template <typename It, typename Cmp>
-void merge_sort_rec(It first, It last, typename std::iterator_traits<It>::value_type* buf,
+void merge_sort_rec(It first, It last,
+                    typename std::iterator_traits<It>::value_type* buf,
+                    Cmp cmp, int depth) {
+  const auto n = last - first;
+  if (n < 4096 || depth <= 0) {
+    std::sort(first, last, cmp);
+    return;
+  }
+  const auto mid = n / 2;
+  std::thread right([&] {
+    merge_sort_rec(first + mid, last, buf + mid, cmp, depth - 1);
+  });
+  merge_sort_rec(first, first + mid, buf, cmp, depth - 1);
+  right.join();
+  std::merge(first, first + mid, first + mid, last, buf, cmp);
+  std::copy(buf, buf + n, first);
+}
+
+#else
+
+template <typename It, typename Cmp>
+void merge_sort_rec(It first, It last,
+                    typename std::iterator_traits<It>::value_type* buf,
                     Cmp cmp, int depth) {
   const auto n = last - first;
   if (n < 4096 || depth <= 0) {
@@ -37,6 +65,16 @@ void merge_sort_rec(It first, It last, typename std::iterator_traits<It>::value_
   std::copy(buf, buf + n, first);
 }
 
+#endif  // PEEK_PARALLEL_STDTHREAD
+
+/// Recursion depth that spawns parallel work: enough levels to occupy the
+/// configured worker count (each level doubles the task count).
+inline int sort_spawn_depth() {
+  int depth = 0;
+  for (int t = 1; t < max_threads() && depth < 8; t <<= 1) ++depth;
+  return depth;
+}
+
 }  // namespace detail
 
 /// Sorts [first, last) with `cmp` using task-parallel merge sort. Falls back
@@ -47,7 +85,10 @@ void parallel_sort(It first, It last, Cmp cmp = {}) {
   if (n < 2) return;
   std::vector<typename std::iterator_traits<It>::value_type> buf(
       static_cast<size_t>(n));
-#ifdef _OPENMP
+#if defined(PEEK_PARALLEL_STDTHREAD) && PEEK_PARALLEL_STDTHREAD
+  detail::merge_sort_rec(first, last, buf.data(), cmp,
+                         detail::sort_spawn_depth());
+#elif defined(_OPENMP)
 #pragma omp parallel
 #pragma omp single nowait
   detail::merge_sort_rec(first, last, buf.data(), cmp, /*depth=*/8);

@@ -23,6 +23,10 @@ std::size_t tree_bytes(const sssp::SsspResult& t) {
 PrunedSnapshot::~PrunedSnapshot() = default;
 
 std::size_t PrunedSnapshot::bytes() const {
+  // `paths` grows under `mu` while other queries extend the stream; hold it
+  // so concurrent re-accounting (a put racing an extension) reads a
+  // consistent size.
+  std::lock_guard<std::mutex> lock(mu);
   std::size_t total = sizeof(PrunedSnapshot);
   if (graph) {
     // Forward CSR + the cached transpose the stream's reverse view uses.

@@ -63,8 +63,9 @@ struct PrunedSnapshot {
   vid_t s = kNoVertex, t = kNoVertex;  // original ids (for diagnostics)
 
   /// Serving state below is guarded by `mu` (the LRU shard lock is NOT held
-  /// while a stream extension runs).
-  std::mutex mu;
+  /// while a stream extension runs). Mutable so the const bytes() accounting
+  /// can take it too.
+  mutable std::mutex mu;
   std::unique_ptr<ksp::KspStream> stream;  // null once exhausted/dropped
   std::vector<sssp::Path> paths;  // original ids, sorted, grows monotonically
   bool exhausted = false;  // fewer than k_budget paths exist

@@ -1,8 +1,15 @@
 // Model-based randomized tests: each component is driven with random
 // operation sequences and checked against a trivially correct reference
 // model after every step (or at checkpoints).
+//
+// Reproducibility: every test logs the seed it actually ran with, and
+// setting PEEK_FUZZ_SEED=<n> in the environment overrides all seeds — so a
+// CI failure line like "fuzz seed: 3" reproduces locally with
+// `PEEK_FUZZ_SEED=3 ./test_fuzz`.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <random>
 #include <set>
@@ -15,6 +22,23 @@
 namespace peek {
 namespace {
 
+/// The seed a fuzz case runs with: PEEK_FUZZ_SEED (decimal) when set —
+/// deterministic repro of a specific failure — otherwise `fallback` (the
+/// suite's parameter). Always echoed into the test log via SCOPED_TRACE at
+/// the call site so any assertion failure carries the seed.
+std::uint64_t fuzz_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("PEEK_FUZZ_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+    ADD_FAILURE() << "PEEK_FUZZ_SEED is not a decimal integer: " << env;
+  }
+  return fallback;
+}
+
+#define PEEK_FUZZ_SEED_TRACE(var) \
+  SCOPED_TRACE(::testing::Message() << "fuzz seed: " << (var))
+
 // ---------------------------------------------------------------------------
 // DynamicGraph vs a map<pair, multiset<weight>> reference model.
 
@@ -22,7 +46,9 @@ class DynamicGraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DynamicGraphFuzz, MatchesReferenceModel) {
   constexpr vid_t kN = 40;
-  std::mt19937_64 rng(GetParam());
+  const std::uint64_t seed = fuzz_seed(GetParam());
+  PEEK_FUZZ_SEED_TRACE(seed);
+  std::mt19937_64 rng(seed);
   std::uniform_int_distribution<vid_t> pick(0, kN - 1);
   std::uniform_int_distribution<int> op(0, 99);
   std::uniform_real_distribution<double> wgt(0.1, 2.0);
@@ -83,9 +109,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DynamicGraphFuzz,
 class DynamicSsspFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DynamicSsspFuzz, SsspMatchesRepackedCsr) {
-  auto base = test::random_graph(60, 400, GetParam());
+  const std::uint64_t seed = fuzz_seed(GetParam());
+  PEEK_FUZZ_SEED_TRACE(seed);
+  auto base = test::random_graph(60, 400, seed);
   dyn::DynamicGraph g(base);
-  std::mt19937_64 rng(GetParam() * 31);
+  std::mt19937_64 rng(seed * 31);
   std::uniform_int_distribution<vid_t> pick(0, 59);
   for (int i = 0; i < 150; ++i) {
     const vid_t u = pick(rng), v = pick(rng);
@@ -109,7 +137,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DynamicSsspFuzz,
 // CandidateSet vs a sorted reference multiset.
 
 TEST(CandidateSetFuzz, PopsGlobalMinimumAlways) {
-  std::mt19937_64 rng(99);
+  const std::uint64_t seed = fuzz_seed(99);
+  PEEK_FUZZ_SEED_TRACE(seed);
+  std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> d(0, 10);
   std::uniform_int_distribution<vid_t> pick(0, 30);
   ksp::CandidateSet cs;

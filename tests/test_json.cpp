@@ -1,0 +1,162 @@
+// Edge cases for the obs/json.cpp metrics parser: truncated documents,
+// duplicate keys, non-UTF8 bytes, and out-of-range numbers (which must
+// saturate, not overflow — a hand-edited metrics file is attacker-ish input).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace peek::obs {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot snap;
+  snap.counters["sssp.relaxed"] = 1234;
+  snap.counters["prune.removed"] = -7;  // counters may go negative via add()
+  snap.gauges["prune.ratio"] = 0.015625;
+  snap.timers["peek.total"] = TimerValue{1.5, 3};
+  return snap;
+}
+
+TEST(JsonRoundTrip, SampleSnapshotSurvives) {
+  const auto snap = sample_snapshot();
+  const auto back = parse_metrics_json(snap.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->counters, snap.counters);
+  EXPECT_EQ(back->gauges, snap.gauges);
+  ASSERT_EQ(back->timers.size(), 1u);
+  EXPECT_DOUBLE_EQ(back->timers.at("peek.total").seconds, 1.5);
+  EXPECT_EQ(back->timers.at("peek.total").count, 3u);
+}
+
+TEST(JsonRoundTrip, EscapedNamesSurvive) {
+  MetricsSnapshot snap;
+  snap.counters["weird \"name\"\\with\n\tctrl\x01"] = 9;
+  const auto back = parse_metrics_json(snap.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->counters, snap.counters);
+}
+
+TEST(JsonTruncated, EveryPrefixIsRejectedOrEmpty) {
+  // Chopping the document anywhere must never crash, and can only succeed
+  // at full length (the parser requires the input to be fully consumed).
+  std::string doc = sample_snapshot().to_json();
+  while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+  for (size_t len = 0; len < doc.size(); ++len) {
+    const auto out = parse_metrics_json(doc.substr(0, len));
+    EXPECT_FALSE(out.has_value()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(parse_metrics_json(doc).has_value());
+}
+
+TEST(JsonTruncated, TrailingGarbageRejected) {
+  const std::string doc = sample_snapshot().to_json();
+  EXPECT_FALSE(parse_metrics_json(doc + "x").has_value());
+  EXPECT_FALSE(parse_metrics_json(doc + "{}").has_value());
+}
+
+TEST(JsonMalformed, StructuralErrorsRejected) {
+  EXPECT_FALSE(parse_metrics_json("").has_value());
+  EXPECT_FALSE(parse_metrics_json("null").has_value());
+  EXPECT_FALSE(parse_metrics_json("[]").has_value());
+  EXPECT_FALSE(parse_metrics_json("{\"unknown\": {}}").has_value());
+  EXPECT_FALSE(parse_metrics_json("{\"counters\": []}").has_value());
+  EXPECT_FALSE(parse_metrics_json("{\"counters\": {\"a\" 1}}").has_value());
+  EXPECT_FALSE(parse_metrics_json("{\"counters\": {\"a\": }}").has_value());
+  EXPECT_FALSE(
+      parse_metrics_json("{\"counters\": {\"a\": 1,}}").has_value());
+  // Unterminated string and bad escapes.
+  EXPECT_FALSE(parse_metrics_json("{\"counters").has_value());
+  EXPECT_FALSE(parse_metrics_json("{\"counters\\q\": {}}").has_value());
+  EXPECT_FALSE(parse_metrics_json("{\"counters\\u12").has_value());
+  EXPECT_FALSE(parse_metrics_json("{\"counters\\uzzzz\": {}}").has_value());
+}
+
+TEST(JsonDuplicateKeys, LastValueWins) {
+  const auto out = parse_metrics_json(
+      "{\"counters\": {\"a\": 1, \"a\": 2},"
+      " \"gauges\": {\"g\": 0.5, \"g\": 0.25},"
+      " \"timers\": {\"t\": {\"seconds\": 1, \"count\": 1},"
+      "              \"t\": {\"seconds\": 2, \"count\": 4}}}");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->counters.at("a"), 2);
+  EXPECT_DOUBLE_EQ(out->gauges.at("g"), 0.25);
+  EXPECT_DOUBLE_EQ(out->timers.at("t").seconds, 2.0);
+  EXPECT_EQ(out->timers.at("t").count, 4u);
+}
+
+TEST(JsonDuplicateKeys, DuplicateSectionsMerge) {
+  const auto out = parse_metrics_json(
+      "{\"counters\": {\"a\": 1}, \"counters\": {\"b\": 2}}");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->counters.at("a"), 1);
+  EXPECT_EQ(out->counters.at("b"), 2);
+}
+
+TEST(JsonNonUtf8, RawHighBytesPassThroughNames) {
+  // The exporter only escapes ASCII control chars; arbitrary >= 0x80 bytes
+  // (not valid UTF-8 here) must survive a round trip byte-for-byte without
+  // tripping any ctype UB.
+  std::string name = "metric.";
+  name += static_cast<char>(0xff);
+  name += static_cast<char>(0x80);
+  name += static_cast<char>(0xc3);
+  MetricsSnapshot snap;
+  snap.counters[name] = 42;
+  const auto back = parse_metrics_json(snap.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->counters, snap.counters);
+}
+
+TEST(JsonNonUtf8, EscapedNonAsciiCodepointRejected) {
+  // Metric names are ASCII by contract; \u escapes above 0x7f are not ours.
+  EXPECT_FALSE(
+      parse_metrics_json("{\"counters\": {\"\\u00ff\": 1}}").has_value());
+}
+
+TEST(JsonHugeNumbers, CounterValuesSaturateNotOverflow) {
+  const auto out = parse_metrics_json(
+      "{\"counters\": {\"big\": 1e30, \"small\": -1e30,"
+      " \"edge\": 9223372036854775808}}");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->counters.at("big"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(out->counters.at("small"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(out->counters.at("edge"),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(JsonHugeNumbers, TimerCountSaturatesAndNegativeClampsToZero) {
+  const auto out = parse_metrics_json(
+      "{\"timers\": {\"t\": {\"seconds\": 1e308, \"count\": 1e30},"
+      " \"neg\": {\"seconds\": -1, \"count\": -5}}}");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->timers.at("t").count,
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_DOUBLE_EQ(out->timers.at("t").seconds, 1e308);
+  EXPECT_EQ(out->timers.at("neg").count, 0u);
+}
+
+TEST(JsonHugeNumbers, OverflowingLiteralRejectedNotUb) {
+  // 1e400 overflows double entirely — stod throws, the parser reports
+  // malformed input instead of propagating or crashing.
+  EXPECT_FALSE(
+      parse_metrics_json("{\"counters\": {\"a\": 1e400}}").has_value());
+}
+
+TEST(JsonHugeNumbers, GaugesKeepExtremeDoubles) {
+  const auto out = parse_metrics_json(
+      "{\"gauges\": {\"a\": 1e308, \"b\": -1e308, \"c\": 5e-324}}");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out->gauges.at("a"), 1e308);
+  EXPECT_DOUBLE_EQ(out->gauges.at("b"), -1e308);
+  EXPECT_DOUBLE_EQ(out->gauges.at("c"), 5e-324);
+}
+
+}  // namespace
+}  // namespace peek::obs

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""PeeK repo-specific lint. Four checks, all rooted in invariants generic
+tools cannot know:
+
+  metrics    every metric name the library emits (PEEK_COUNT_* / PEEK_GAUGE_SET
+             / PEEK_TIMER_SCOPE hooks and direct registry calls) appears in the
+             README "Observability" tables — and vice versa, so the documented
+             contract never drifts from the code.
+  atomics    in the hot-loop subsystems (src/sssp, src/parallel) every atomic
+             access names an explicit std::memory_order; a deliberate
+             sequentially-consistent access needs a `// seq_cst:` comment
+             justifying why the fences are worth it.
+  headers    every public header under src/ compiles standalone (catches
+             missing includes that happen to work due to include order).
+  asserts    no assert() in library code — PEEK_DCHECK (src/check/
+             invariants.hpp) is the project macro: it reports expression,
+             file:line and an optional reason, and compiles out under NDEBUG
+             without odr-using its arguments.
+
+Exit status 0 = clean. Any finding prints `file:line: [check] message` and
+exits 1. Run from anywhere; paths resolve relative to the repo root.
+
+  tools/peek_lint.py             # all checks
+  tools/peek_lint.py --skip headers   # e.g. when no compiler is available
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+findings = []
+
+
+def finding(path, line_no, check, msg):
+    rel = os.path.relpath(path, REPO)
+    findings.append(f"{rel}:{line_no}: [{check}] {msg}")
+
+
+def source_files(root, exts=(".hpp", ".cpp")):
+    for dirpath, _, names in os.walk(root):
+        for name in sorted(names):
+            if name.endswith(exts):
+                yield os.path.join(dirpath, name)
+
+
+# --------------------------------------------------------------- metrics
+
+# Hook macros and direct registry accessors, first string literal argument.
+EMIT_RE = re.compile(
+    r'(?:PEEK_COUNT_INC|PEEK_COUNT_ADD|PEEK_GAUGE_SET|PEEK_TIMER_SCOPE'
+    r'|\bcounter|\bgauge|\btimer)\s*\(\s*"([^"]+)"'
+)
+# A backticked dotted name in a README table row: | `serve.cache.hits` | ...
+# (metric names always contain a dot, which keeps other tables — bench
+# binaries, CLI flags — out of scope).
+DOC_RE = re.compile(r'^\|\s*`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`\s*\|')
+
+
+def check_metrics():
+    emitted = {}  # name -> (path, line_no) of first emission
+    for path in source_files(SRC):
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                for m in EMIT_RE.finditer(line):
+                    emitted.setdefault(m.group(1), (path, line_no))
+
+    readme = os.path.join(REPO, "README.md")
+    documented = {}
+    with open(readme, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            m = DOC_RE.match(line.strip())
+            if m:
+                documented.setdefault(m.group(1), line_no)
+
+    for name in sorted(set(emitted) - set(documented)):
+        path, line_no = emitted[name]
+        finding(path, line_no, "metrics",
+                f"metric `{name}` is emitted here but missing from the "
+                "README Observability tables")
+    for name in sorted(set(documented) - set(emitted)):
+        finding(readme, documented[name], "metrics",
+                f"metric `{name}` is documented but nothing in src/ emits "
+                "it — stale table row?")
+
+
+# --------------------------------------------------------------- atomics
+
+ATOMIC_SCOPE = (os.path.join(SRC, "sssp"), os.path.join(SRC, "parallel"))
+ATOMIC_OP_RE = re.compile(
+    r'\.\s*(store|load|exchange|fetch_add|fetch_sub|fetch_or|fetch_and'
+    r'|compare_exchange_weak|compare_exchange_strong)\s*\('
+)
+
+
+def call_args(text, open_paren):
+    """Text of the (...) argument list starting at text[open_paren]."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren:i + 1]
+    return text[open_paren:]
+
+
+def check_atomics():
+    for root in ATOMIC_SCOPE:
+        for path in source_files(root):
+            with open(path, encoding="utf-8") as f:
+                lines = f.readlines()
+            text = "".join(lines)
+            # Map character offsets to line numbers for reporting.
+            offsets, pos = [], 0
+            for line in lines:
+                offsets.append(pos)
+                pos += len(line)
+            for m in ATOMIC_OP_RE.finditer(text):
+                args = call_args(text, m.end() - 1)
+                if "memory_order" in args:
+                    continue
+                line_no = next(
+                    (i for i, off in enumerate(offsets) if off > m.start()),
+                    len(lines)) or len(lines)
+                here = lines[line_no - 1]
+                prev = lines[line_no - 2] if line_no >= 2 else ""
+                if "// seq_cst:" in here or "// seq_cst:" in prev:
+                    continue
+                finding(path, line_no, "atomics",
+                        f"atomic .{m.group(1)}() defaults to seq_cst — name "
+                        "a std::memory_order or justify with a "
+                        "`// seq_cst: <reason>` comment")
+
+
+# --------------------------------------------------------------- headers
+
+def check_headers():
+    cxx = os.environ.get("CXX", "c++")
+    headers = sorted(source_files(SRC, exts=(".hpp",)))
+    with tempfile.TemporaryDirectory() as tmp:
+        for path in headers:
+            rel = os.path.relpath(path, SRC)
+            tu = os.path.join(tmp, "standalone.cpp")
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{rel}"\n')
+            cmd = [cxx, "-std=c++20", "-fsyntax-only", "-I", SRC,
+                   "-DPEEK_OBS_ENABLED=1", tu]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                first_error = next(
+                    (ln for ln in proc.stderr.splitlines() if "error" in ln),
+                    proc.stderr.strip().splitlines()[0]
+                    if proc.stderr.strip() else "compiler failed")
+                finding(path, 1, "headers",
+                        f"does not compile standalone: {first_error}")
+
+
+# --------------------------------------------------------------- asserts
+
+ASSERT_RE = re.compile(r'(?<![_\w])assert\s*\(')
+
+
+def check_asserts():
+    for path in source_files(SRC):
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                code = line.split("//", 1)[0]
+                if "static_assert" in code:
+                    continue
+                if ASSERT_RE.search(code):
+                    finding(path, line_no, "asserts",
+                            "assert() in library code — use PEEK_DCHECK / "
+                            "PEEK_DCHECK_MSG from check/invariants.hpp")
+
+
+CHECKS = {
+    "metrics": check_metrics,
+    "atomics": check_atomics,
+    "headers": check_headers,
+    "asserts": check_asserts,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--skip", action="append", default=[],
+                    choices=sorted(CHECKS), help="skip a check (repeatable)")
+    ap.add_argument("--only", action="append", default=[],
+                    choices=sorted(CHECKS), help="run only these checks")
+    args = ap.parse_args()
+
+    selected = args.only or [c for c in CHECKS if c not in args.skip]
+    for name in selected:
+        CHECKS[name]()
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"peek_lint: {len(findings)} finding(s) in checks: "
+              f"{', '.join(selected)}", file=sys.stderr)
+        return 1
+    print(f"peek_lint: clean ({', '.join(selected)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
