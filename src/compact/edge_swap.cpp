@@ -89,10 +89,16 @@ eid_t edge_swap_compact(MutableCsr& g, const std::uint8_t* vertex_keep,
     remaining.fetch_add(fc, std::memory_order_relaxed);
   };
 
+  fault::CancelPoll poll(opts.cancel, /*stride=*/256);
   if (opts.parallel) {
+    if (poll.should_stop()) return kEdgeSwapCancelled;
     par::parallel_for_dynamic(vid_t{0}, n, body);
+    if (poll.should_stop()) return kEdgeSwapCancelled;
   } else {
-    for (vid_t v = 0; v < n; ++v) body(v);
+    for (vid_t v = 0; v < n; ++v) {
+      if (poll.should_stop()) return kEdgeSwapCancelled;
+      body(v);
+    }
   }
   PEEK_COUNT_ADD("compact.edge_swap.kept_edges", remaining.load());
   return remaining.load();

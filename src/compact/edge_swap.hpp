@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "compact/mutable_csr.hpp"
+#include "fault/cancel.hpp"
 
 namespace peek::compact {
 
@@ -15,12 +16,21 @@ using EdgeKeep = std::function<bool(vid_t src, vid_t dst, weight_t w)>;
 
 struct EdgeSwapOptions {
   bool parallel = true;
+  /// Cooperative cancellation: polled per row in the serial sweep and at the
+  /// sweep boundary in the parallel one (never inside the parallel region).
+  /// Null = never cancelled.
+  const fault::CancelToken* cancel = nullptr;
 };
+
+/// Sentinel return of edge_swap_compact when its CancelToken tripped: the
+/// MutableCsr is then only partially packed (rows either packed or untouched)
+/// and must be discarded by the caller.
+inline constexpr eid_t kEdgeSwapCancelled = -1;
 
 /// Marks vertices with `vertex_keep[v] == 0` dead, then packs every surviving
 /// vertex's rows (both orientations) so edges to dead endpoints — and edges
 /// rejected by `keep` — fall outside the valid range. Returns the number of
-/// valid forward edges remaining.
+/// valid forward edges remaining, or kEdgeSwapCancelled on cancellation.
 eid_t edge_swap_compact(MutableCsr& g, const std::uint8_t* vertex_keep,
                         const EdgeKeep& keep = nullptr,
                         const EdgeSwapOptions& opts = {});

@@ -1,16 +1,23 @@
 #include "compact/regeneration.hpp"
 
+#include <new>
+
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/prefix_sum.hpp"
 
 namespace peek::compact {
 
-RegeneratedGraph regenerate(const GraphView& view,
-                            const std::uint8_t* vertex_keep,
-                            const EdgeKeep& keep,
-                            const RegenerationOptions& opts) {
+namespace {
+
+RegeneratedGraph regenerate_impl(const GraphView& view,
+                                 const std::uint8_t* vertex_keep,
+                                 const EdgeKeep& keep,
+                                 const RegenerationOptions& opts) {
   PEEK_TIMER_SCOPE("compact.regenerate");
+  PEEK_FAULT_ALLOC("compact.regenerate.alloc");
+  fault::CancelPoll poll(opts.cancel, /*stride=*/1);
   const vid_t n_old = view.num_vertices();
 
   auto vertex_kept = [&](vid_t v) {
@@ -47,6 +54,12 @@ RegeneratedGraph regenerate(const GraphView& view,
   if (opts.parallel) par::parallel_for(vid_t{0}, n_old, fill_map);
   else for (vid_t v = 0; v < n_old; ++v) fill_map(v);
 
+  if (poll.should_stop()) {
+    RegeneratedGraph aborted;
+    aborted.status = poll.why();
+    return aborted;
+  }
+
   // Pass 2: surviving out-degree per kept vertex -> new row offsets.
   std::vector<std::int64_t> deg(static_cast<size_t>(n_new), 0);
   auto count_deg = [&](vid_t v) {
@@ -65,6 +78,12 @@ RegeneratedGraph regenerate(const GraphView& view,
       std::span<const std::int64_t>(deg),
       std::span<std::int64_t>(offsets.data(), static_cast<size_t>(n_new)));
   offsets[static_cast<size_t>(n_new)] = m_new;
+
+  if (poll.should_stop()) {
+    RegeneratedGraph aborted;
+    aborted.status = poll.why();
+    return aborted;
+  }
 
   // Pass 3: fill the new adjacency.
   std::vector<eid_t> row(offsets.begin(), offsets.end());
@@ -87,6 +106,23 @@ RegeneratedGraph regenerate(const GraphView& view,
   PEEK_COUNT_ADD("compact.regenerate.kept_edges", m_new);
   return {CsrGraph(std::move(row), std::move(col), std::move(wgt)),
           std::move(map)};
+}
+
+}  // namespace
+
+RegeneratedGraph regenerate(const GraphView& view,
+                            const std::uint8_t* vertex_keep,
+                            const EdgeKeep& keep,
+                            const RegenerationOptions& opts) {
+  try {
+    return regenerate_impl(view, vertex_keep, keep, opts);
+  } catch (const std::bad_alloc&) {
+    // Real or injected (fault::InjectedFault) allocation failure: the dense
+    // rebuild is the allocation-heaviest stage, so contain it here.
+    RegeneratedGraph r;
+    r.status = fault::Status::kResourceExhausted;
+    return r;
+  }
 }
 
 }  // namespace peek::compact

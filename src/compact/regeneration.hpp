@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "compact/edge_swap.hpp"
+#include "fault/cancel.hpp"
+#include "fault/status.hpp"
 
 namespace peek::compact {
 
@@ -21,11 +23,17 @@ struct VertexMap {
 
 struct RegenerationOptions {
   bool parallel = true;
+  /// Cooperative cancellation, polled at pass boundaries (never inside a
+  /// parallel region). Null = never cancelled.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 struct RegeneratedGraph {
   CsrGraph graph;
   VertexMap map;
+  /// kOk, or why compaction aborted (cancellation, deadline, real/injected
+  /// allocation failure). Non-kOk results carry an empty graph/map.
+  fault::Status::Code status = fault::Status::kOk;
 };
 
 /// Rebuilds the subgraph of `view` induced by `vertex_keep` (nullable = all

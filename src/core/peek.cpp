@@ -57,11 +57,16 @@ PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
     }
   };
 
+  // Why a cancelled stage stopped (kCancelled vs kDeadlineExceeded); the
+  // stages themselves report only that they stopped.
+  fault::CancelPoll poll(opts.cancel, /*stride=*/1);
+
   if (!opts.prune) {
     // Ablation "Base": the downstream algorithm on the untouched graph.
     const auto t0 = Clock::now();
     result.ksp = algo(sssp::BiView::of(g), s, t);
     result.ksp_seconds = seconds_since(t0);
+    result.status = result.ksp.status;
     result.kept_vertices = g.num_vertices();
     result.kept_edges = m_original;
     finalize();
@@ -75,10 +80,16 @@ PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
   po.parallel = opts.parallel;
   po.delta = opts.delta;
   po.tight_edge_prune = opts.tight_edge_prune;
+  po.cancel = opts.cancel;
   PruneResult pruned = k_upper_bound_prune(g, s, t, po);
   result.prune_seconds = seconds_since(t0);
   result.upper_bound = pruned.upper_bound;
   result.kept_vertices = pruned.kept_vertices;
+  if (pruned.status != fault::Status::kOk) {
+    result.status = pruned.status;
+    finalize();
+    return result;
+  }
   if (pruned.kept_vertices == 0) {  // t unreachable
     finalize();
     return result;
@@ -95,7 +106,15 @@ PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
     ksp::KspResult r = algo(view, cs, ct);
     result.ksp_seconds = seconds_since(t2);
     if (map) translate_paths(r, *map);
+    result.status = r.status;
     result.ksp = std::move(r);
+  };
+
+  // Compaction aborted mid-flight: classify the trip and bail with no paths.
+  auto abort_compact = [&](fault::Status::Code code) {
+    result.compact_seconds = seconds_since(t1);
+    result.status = code;
+    finalize();
   };
 
   switch (opts.compaction) {
@@ -109,18 +128,29 @@ PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
     }
     case PeekOptions::Compaction::kEdgeSwap: {
       compact::MutableCsr mc(g);
-      result.kept_edges = compact::edge_swap_compact(
-          mc, keep, edge_keep, {.parallel = opts.parallel});
+      const eid_t kept_edges = compact::edge_swap_compact(
+          mc, keep, edge_keep, {.parallel = opts.parallel, .cancel = opts.cancel});
       result.strategy_used = compact::Strategy::kEdgeSwap;
+      if (kept_edges == compact::kEdgeSwapCancelled) {
+        abort_compact(poll.should_stop() ? poll.why()
+                                         : fault::Status::kCancelled);
+        return result;
+      }
+      result.kept_edges = kept_edges;
       result.compact_seconds = seconds_since(t1);
       run_ksp(mc.biview(), s, t, nullptr);
       break;
     }
     case PeekOptions::Compaction::kRegeneration: {
-      auto regen = compact::regenerate(sssp::GraphView(g), keep, edge_keep,
-                                       {.parallel = opts.parallel});
-      result.kept_edges = regen.graph.num_edges();
+      auto regen = compact::regenerate(
+          sssp::GraphView(g), keep, edge_keep,
+          {.parallel = opts.parallel, .cancel = opts.cancel});
       result.strategy_used = compact::Strategy::kRegeneration;
+      if (regen.status != fault::Status::kOk) {
+        abort_compact(regen.status);
+        return result;
+      }
+      result.kept_edges = regen.graph.num_edges();
       result.compact_seconds = seconds_since(t1);
       const vid_t cs = regen.map.to_new(s), ct = regen.map.to_new(t);
       if (cs == kNoVertex || ct == kNoVertex) break;
@@ -135,16 +165,27 @@ PeekResult peek_with_algorithm(const graph::CsrGraph& g, vid_t s, vid_t t,
           compact::choose_strategy(m_r, m_original, opts.alpha);
       result.strategy_used = strat;
       if (strat == compact::Strategy::kRegeneration) {
-        auto regen = compact::regenerate(sssp::GraphView(g), keep, edge_keep,
-                                         {.parallel = opts.parallel});
+        auto regen = compact::regenerate(
+            sssp::GraphView(g), keep, edge_keep,
+            {.parallel = opts.parallel, .cancel = opts.cancel});
+        if (regen.status != fault::Status::kOk) {
+          abort_compact(regen.status);
+          return result;
+        }
         result.compact_seconds = seconds_since(t1);
         const vid_t cs = regen.map.to_new(s), ct = regen.map.to_new(t);
         if (cs == kNoVertex || ct == kNoVertex) break;
         run_ksp(sssp::BiView::of(regen.graph), cs, ct, &regen.map);
       } else {
         compact::MutableCsr mc(g);
-        compact::edge_swap_compact(mc, keep, edge_keep,
-                                   {.parallel = opts.parallel});
+        const eid_t kept_edges = compact::edge_swap_compact(
+            mc, keep, edge_keep,
+            {.parallel = opts.parallel, .cancel = opts.cancel});
+        if (kept_edges == compact::kEdgeSwapCancelled) {
+          abort_compact(poll.should_stop() ? poll.why()
+                                           : fault::Status::kCancelled);
+          return result;
+        }
         result.compact_seconds = seconds_since(t1);
         run_ksp(mc.biview(), s, t, nullptr);
       }
@@ -161,6 +202,7 @@ PeekResult peek_ksp(const graph::CsrGraph& g, vid_t s, vid_t t,
   ko.k = opts.k;
   ko.parallel = opts.parallel;
   ko.delta = opts.delta;
+  ko.cancel = opts.cancel;
   return peek_with_algorithm(
       g, s, t, opts, [&ko](const sssp::BiView& view, vid_t s2, vid_t t2) {
         return ksp::optyen_ksp(view, s2, t2, ko);

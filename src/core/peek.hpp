@@ -42,6 +42,10 @@ struct PeekOptions {
   /// default: the snapshot copies every registered metric under a mutex,
   /// which batch-mode hot paths should not pay per query.
   bool collect_metrics = false;
+
+  /// Cooperative cancellation, threaded through every stage (SSSPs, the
+  /// prune scan, compaction passes, KSP rounds). Null = never cancelled.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 struct PeekResult {
@@ -57,6 +61,12 @@ struct PeekResult {
   /// the whole process, not just this query). Populated only when
   /// PeekOptions::collect_metrics is set; empty in PEEK_OBS=OFF builds.
   std::optional<obs::MetricsSnapshot> metrics;
+  /// kOk, or why the pipeline stopped early. The well-defined partial result:
+  /// on kCancelled/kDeadlineExceeded `ksp.paths` holds the exact top-J (J<=K)
+  /// shortest paths accepted before the trip — possibly none if an earlier
+  /// stage was cut short; on kResourceExhausted the stage that failed to
+  /// allocate produced nothing.
+  fault::Status::Code status = fault::Status::kOk;
 
   double total_seconds() const {
     return prune_seconds + compact_seconds + ksp_seconds;

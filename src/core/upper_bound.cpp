@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/sort.hpp"
@@ -12,8 +13,10 @@
 
 namespace peek::core {
 
-PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
-                                const PruneOptions& opts) {
+namespace {
+
+PruneResult prune_impl(const CsrGraph& g, vid_t s, vid_t t,
+                       const PruneOptions& opts) {
   PruneResult r;
   const vid_t n = g.num_vertices();
   r.vertex_keep.assign(static_cast<size_t>(n), 0);
@@ -23,15 +26,23 @@ PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
   // tree may arrive precomputed from the serving layer's artifact cache.
   {
     PEEK_TIMER_SCOPE("prune.sssp");
+    PEEK_FAULT_ALLOC("prune.sssp.alloc");
     sssp::DeltaSteppingOptions ds;
     ds.delta = opts.delta;
+    ds.cancel = opts.cancel;
+    sssp::DijkstraOptions dj;
+    dj.cancel = opts.cancel;
     if (opts.reuse_from_source) {
       r.from_source = *opts.reuse_from_source;
       PEEK_COUNT_INC("prune.reused_trees");
     } else if (opts.parallel) {
       r.from_source = sssp::delta_stepping(sssp::GraphView(g), s, ds);
     } else {
-      r.from_source = sssp::dijkstra(sssp::GraphView(g), s);
+      r.from_source = sssp::dijkstra(sssp::GraphView(g), s, dj);
+    }
+    if (r.from_source.status != fault::Status::kOk) {
+      r.status = r.from_source.status;
+      return r;
     }
     if (opts.reuse_to_target) {
       r.to_target = *opts.reuse_to_target;
@@ -39,7 +50,11 @@ PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
     } else if (opts.parallel) {
       r.to_target = sssp::reverse_delta_stepping(g, t, ds);
     } else {
-      r.to_target = sssp::reverse_dijkstra(g, t);
+      r.to_target = sssp::reverse_dijkstra(g, t, dj);
+    }
+    if (r.to_target.status != fault::Status::kOk) {
+      r.status = r.to_target.status;
+      return r;
     }
   }
 
@@ -66,12 +81,18 @@ PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
   weight_t b = kInfDist;
   {
     PEEK_TIMER_SCOPE("prune.scan");
+    PEEK_FAULT_STALL("prune.scan.stall");
+    fault::CancelPoll poll(opts.cancel);
     const std::vector<vid_t> order = par::sort_permutation(dist);
     std::unordered_set<sssp::Path, sssp::PathHash> distinct;
     int valid = 0;
     std::int64_t non_simple = 0, duplicates = 0;
     for (vid_t v : order) {
       if (dist[v] == kInfDist) break;  // only unreachable remain
+      if (poll.should_stop()) {
+        r.status = poll.why();
+        return r;
+      }
       r.inspected_paths++;
       if (!sssp::combined_path_is_simple(r.from_source, r.to_target, s, v, t)) {
         non_simple++;
@@ -142,6 +163,21 @@ PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
     r.edge_keep = [b](vid_t, vid_t, weight_t w) { return w <= b; };
   }
   return r;
+}
+
+}  // namespace
+
+PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,
+                                const PruneOptions& opts) {
+  try {
+    return prune_impl(g, s, t, opts);
+  } catch (const std::bad_alloc&) {
+    // Real or injected (fault::InjectedFault) allocation failure: surface as
+    // a typed status instead of crashing the serving thread.
+    PruneResult r;
+    r.status = fault::Status::kResourceExhausted;
+    return r;
+  }
 }
 
 }  // namespace peek::core

@@ -10,6 +10,8 @@
 #pragma once
 
 #include "compact/edge_swap.hpp"
+#include "fault/cancel.hpp"
+#include "fault/status.hpp"
 #include "sssp/path.hpp"
 
 namespace peek::core {
@@ -34,6 +36,10 @@ struct PruneOptions {
   /// exact graph from this s / to this t.
   const sssp::SsspResult* reuse_from_source = nullptr;
   const sssp::SsspResult* reuse_to_target = nullptr;
+  /// Cooperative cancellation: threaded into both SSSPs and polled in the
+  /// Step 3 scan. A cancelled prune returns early with `status` set and no
+  /// usable keep mask. Null = never cancelled.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 struct PruneResult {
@@ -51,6 +57,9 @@ struct PruneResult {
   vid_t kept_vertices = 0;
   /// Paths inspected while identifying b: K valid ones + λ invalid/duplicate.
   int inspected_paths = 0;
+  /// kOk, or why the prune stopped early (cancellation, deadline, injected
+  /// allocation failure). Non-kOk results carry no usable keep mask.
+  fault::Status::Code status = fault::Status::kOk;
 };
 
 PruneResult k_upper_bound_prune(const CsrGraph& g, vid_t s, vid_t t,

@@ -3,6 +3,8 @@
 #include <exception>
 #include <thread>
 
+#include "fault/injector.hpp"
+
 namespace peek::dist {
 
 namespace detail {
@@ -15,6 +17,9 @@ CommState::CommState(int sz)
 }  // namespace detail
 
 void Comm::send_bytes(int dest, int tag, std::vector<std::byte> data) {
+  // Fires before the enqueue: a retried send can never be delivered twice.
+  if (PEEK_FAULT_FIRE("dist.comm.send"))
+    throw TransientError("injected transient send failure");
   auto& st = *state_;
   {
     std::lock_guard<std::mutex> lock(st.box_mutex[static_cast<size_t>(dest)]);

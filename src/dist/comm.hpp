@@ -17,6 +17,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "dist/retry.hpp"
+
 namespace peek::dist {
 
 namespace detail {
@@ -59,6 +61,8 @@ class Comm {
   int size() const { return state_->size; }
 
   /// Asynchronous point-to-point send (copies the payload; never blocks).
+  /// Throws TransientError when the `dist.comm.send` fault probe fires —
+  /// always BEFORE the message is enqueued, so a retry never duplicates it.
   void send_bytes(int dest, int tag, std::vector<std::byte> data);
   /// Blocking matched receive from (src, tag).
   std::vector<std::byte> recv_bytes(int src, int tag);
@@ -146,6 +150,39 @@ class Comm {
     std::vector<std::vector<T>> in(static_cast<size_t>(size()));
     for (int r = 0; r < size(); ++r) in[static_cast<size_t>(r)] = recv<T>(r, tag);
     return in;
+  }
+
+  /// all_to_all with every send wrapped in with_retry: a TransientError from
+  /// the transport (lost message, injected `dist.comm.send` fault) is retried
+  /// on the jittered exponential schedule instead of killing the rank. Sends
+  /// fail before enqueue, so retries are idempotent.
+  template <typename T>
+  std::vector<std::vector<T>> all_to_all_reliable(
+      const std::vector<std::vector<T>>& outboxes, int tag,
+      const RetryOptions& retry) {
+    for (int r = 0; r < size(); ++r) {
+      with_retry([&] { send(r, tag, outboxes[static_cast<size_t>(r)]); },
+                 retry);
+    }
+    std::vector<std::vector<T>> in(static_cast<size_t>(size()));
+    for (int r = 0; r < size(); ++r) in[static_cast<size_t>(r)] = recv<T>(r, tag);
+    return in;
+  }
+
+  /// allgatherv over retried point-to-point sends instead of the shared
+  /// slots: same result as allgatherv, but each rank's contribution travels
+  /// as size() messages that individually ride through transient send
+  /// failures. Used by the distributed KSP candidate exchange.
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv_reliable(const std::vector<T>& mine,
+                                                  int tag,
+                                                  const RetryOptions& retry) {
+    for (int r = 0; r < size(); ++r) {
+      with_retry([&] { send(r, tag, mine); }, retry);
+    }
+    std::vector<std::vector<T>> out(static_cast<size_t>(size()));
+    for (int r = 0; r < size(); ++r) out[static_cast<size_t>(r)] = recv<T>(r, tag);
+    return out;
   }
 
  private:

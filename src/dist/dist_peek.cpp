@@ -81,6 +81,7 @@ DistPeekResult dist_peek_ksp(Comm& comm, const graph::CsrGraph& g, vid_t s,
       make_local_reverse_graph(g, comm.rank(), comm.size());
   DistSsspOptions so;
   so.delta = opts.delta;
+  so.retry = opts.retry;
   DistSsspResult fwd_local = dist_delta_stepping(comm, fwd_slice, s, so);
   DistSsspResult rev_local = dist_delta_stepping(comm, rev_slice, t, so);
   result.edges_relaxed = comm.allreduce_sum(fwd_local.edges_relaxed) +
@@ -156,6 +157,7 @@ DistPeekResult dist_peek_ksp(Comm& comm, const graph::CsrGraph& g, vid_t s,
   CandidateSet cands;
   std::vector<std::uint8_t> mask(static_cast<size_t>(result.kept_vertices), 0);
 
+  int cand_tag = 0;  // mailboxes are drained by now; fresh tag space is safe
   while (static_cast<int>(accepted.size()) < opts.k) {
     const Candidate cur = accepted.back();
     const auto& p = cur.path.verts;
@@ -191,8 +193,9 @@ DistPeekResult dist_peek_ksp(Comm& comm, const graph::CsrGraph& g, vid_t s,
       encode_candidate(cand, my_ids, my_dists);
     }
 
-    auto all_cand_ids = comm.allgatherv(my_ids);
-    auto all_cand_dists = comm.allgatherv(my_dists);
+    auto all_cand_ids = comm.allgatherv_reliable(my_ids, cand_tag++, opts.retry);
+    auto all_cand_dists =
+        comm.allgatherv_reliable(my_dists, cand_tag++, opts.retry);
     for (int rk = 0; rk < comm.size(); ++rk) {
       for (Candidate& c : decode_candidates(all_cand_ids[static_cast<size_t>(rk)],
                                             all_cand_dists[static_cast<size_t>(rk)]))

@@ -14,6 +14,9 @@ struct DistPeekOptions {
   int k = 8;
   weight_t delta = 0;
   double alpha = 0.5;
+  /// Backoff schedule for the SSSP request exchanges and the candidate
+  /// exchange of the distributed KSP stage (dist/retry.hpp).
+  RetryOptions retry;
 };
 
 struct DistPeekResult {

@@ -115,7 +115,7 @@ DistSsspResult dist_delta_stepping(Comm& comm, const LocalGraph& lg,
       if (active == 0) break;
       settled.insert(settled.end(), frontier.begin(), frontier.end());
       generate(frontier, /*light=*/true, outbox);
-      auto inbound = comm.all_to_all(outbox, tag++);
+      auto inbound = comm.all_to_all_reliable(outbox, tag++, opts.retry);
       std::vector<vid_t> improved;
       apply(inbound, improved);
       current.clear();
@@ -128,7 +128,7 @@ DistSsspResult dist_delta_stepping(Comm& comm, const LocalGraph& lg,
 
     // Heavy edges once per settled vertex.
     generate(settled, /*light=*/false, outbox);
-    auto inbound = comm.all_to_all(outbox, tag++);
+    auto inbound = comm.all_to_all_reliable(outbox, tag++, opts.retry);
     std::vector<vid_t> improved;
     apply(inbound, improved);
     for (vid_t local : improved) push_bucket(local, r.dist[local]);

@@ -1,0 +1,79 @@
+// Retry-with-backoff for the message-passing layer: bounded attempts with
+// jittered exponential delay. The simulated transport never fails on its
+// own, but the fault injector's `dist.comm.send` probe throws TransientError
+// from Comm::send_bytes — this wrapper is what makes the distributed
+// algorithms ride through it, and is the shape production MPI/RPC transports
+// need. The delay schedule is a pure function of (options, attempt), and the
+// sleep is injectable, so tests assert the schedule deterministically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace peek::dist {
+
+/// A failure worth retrying (lost message, full mailbox, flaky link).
+/// Anything else propagates immediately.
+struct TransientError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct RetryOptions {
+  /// Total tries including the first; the last failure propagates.
+  int max_attempts = 4;
+  std::chrono::nanoseconds base_delay{1'000'000};  // 1 ms
+  double multiplier = 2.0;
+  /// Symmetric jitter fraction: delay *= 1 + jitter * u, u in [-1, 1)
+  /// derived deterministically from (seed, attempt).
+  double jitter = 0.1;
+  std::uint64_t seed = 1;
+  /// Injectable clock/sleep for tests; null = std::this_thread::sleep_for.
+  std::function<void(std::chrono::nanoseconds)> sleep;
+};
+
+/// The deterministic delay before retry number `attempt` (0-based: the delay
+/// after the first failure is attempt 0).
+inline std::chrono::nanoseconds backoff_delay(const RetryOptions& opts,
+                                              int attempt) {
+  double d = static_cast<double>(opts.base_delay.count());
+  for (int i = 0; i < attempt; ++i) d *= opts.multiplier;
+  // splitmix64 of (seed, attempt) -> u in [-1, 1).
+  std::uint64_t x = opts.seed + static_cast<std::uint64_t>(attempt) + 1;
+  x *= 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  const double u =
+      static_cast<double>(x >> 11) / static_cast<double>(1ull << 53) * 2.0 -
+      1.0;
+  d *= 1.0 + opts.jitter * u;
+  if (d < 0) d = 0;
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(d));
+}
+
+/// Runs `fn`, retrying on TransientError up to max_attempts with the
+/// backoff schedule above. The final TransientError propagates unchanged.
+template <typename F>
+auto with_retry(F&& fn, const RetryOptions& opts = {}) -> decltype(fn()) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const TransientError&) {
+      if (attempt + 1 >= opts.max_attempts) throw;
+      PEEK_COUNT_INC("dist.retry.attempts");
+      const auto delay = backoff_delay(opts, attempt);
+      if (opts.sleep) {
+        opts.sleep(delay);
+      } else {
+        std::this_thread::sleep_for(delay);
+      }
+    }
+  }
+}
+
+}  // namespace peek::dist

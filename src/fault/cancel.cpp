@@ -1,0 +1,75 @@
+#include "fault/cancel.hpp"
+
+namespace peek::fault {
+
+CancelToken CancelToken::cancellable() {
+  CancelToken t;
+  t.state_ = std::make_shared<State>();
+  return t;
+}
+
+CancelToken CancelToken::after(Clock::duration budget) {
+  return at(Clock::now() + budget);
+}
+
+CancelToken CancelToken::at(Clock::time_point deadline) {
+  CancelToken t;
+  t.state_ = std::make_shared<State>();
+  t.state_->has_deadline = true;
+  t.state_->deadline_at = deadline;
+  return t;
+}
+
+CancelToken CancelToken::linked(const CancelToken& parent,
+                                Clock::duration budget) {
+  CancelToken t = after(budget);
+  t.state_->parent = parent.state_;
+  return t;
+}
+
+void CancelToken::cancel() const {
+  if (state_) state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool CancelToken::state_cancelled_fast(const State& s) {
+  if (s.cancelled.load(std::memory_order_acquire) ||
+      s.expired.load(std::memory_order_relaxed))
+    return true;
+  return s.parent && state_cancelled_fast(*s.parent);
+}
+
+bool CancelToken::state_triggered(const State& s) {
+  if (s.cancelled.load(std::memory_order_acquire) ||
+      s.expired.load(std::memory_order_relaxed))
+    return true;
+  if (s.has_deadline && Clock::now() >= s.deadline_at) {
+    s.expired.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return s.parent && state_triggered(*s.parent);
+}
+
+bool CancelToken::cancelled_fast() const {
+  return state_ && state_cancelled_fast(*state_);
+}
+
+bool CancelToken::triggered() const {
+  return state_ && state_triggered(*state_);
+}
+
+Status::Code CancelToken::why() const {
+  if (!state_ || !state_triggered(*state_)) return Status::kOk;
+  // Explicit cancellation wins over expiry: walk the chain for a cancelled
+  // flag first, then attribute to the (necessarily expired) deadline.
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_acquire)) return Status::kCancelled;
+  }
+  return Status::kDeadlineExceeded;
+}
+
+std::optional<CancelToken::Clock::time_point> CancelToken::deadline() const {
+  if (state_ && state_->has_deadline) return state_->deadline_at;
+  return std::nullopt;
+}
+
+}  // namespace peek::fault

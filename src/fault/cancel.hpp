@@ -1,0 +1,122 @@
+// Cooperative cancellation for long-running kernels (DESIGN.md §9).
+//
+// A CancelToken is a shared handle over {manual cancel flag, optional
+// steady-clock deadline, optional parent token}. Kernels poll it at loop
+// granularity; a triggered token makes them stop early and report
+// Status::kCancelled / Status::kDeadlineExceeded with whatever well-defined
+// partial result the algorithm supports (SSSP: distances settled so far;
+// Yen-family engines: the exact top-J paths accepted before the trigger).
+//
+// Cost model: the fast path is two relaxed atomic loads (cancelled, expired)
+// per poll — no clock read. The deadline comparison costs a steady_clock
+// read, so hot loops go through CancelPoll, which checks the clock only
+// every `stride` polls (power of two, default 1024) and the flags every
+// time. A default-constructed token is null: polls are a nullptr test.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "fault/status.hpp"
+
+namespace peek::fault {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Null token: never triggers, polls are free.
+  CancelToken() = default;
+
+  /// A token that triggers only via cancel().
+  static CancelToken cancellable();
+  /// A token that triggers when `budget` elapses (or via cancel()).
+  static CancelToken after(Clock::duration budget);
+  /// A token that triggers at `deadline` (or via cancel()).
+  static CancelToken at(Clock::time_point deadline);
+  /// A token that triggers when `parent` triggers, when `budget` elapses,
+  /// or via cancel(). Used by the serving layer to combine a caller-supplied
+  /// token with the per-query deadline.
+  static CancelToken linked(const CancelToken& parent, Clock::duration budget);
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Manual trigger. Idempotent; safe from any thread.
+  void cancel() const;
+
+  /// Flags-only check: true once cancel() ran or a deadline expiry was
+  /// observed by some earlier triggered()/CancelPoll clock check. Never
+  /// reads the clock — may lag an expired-but-unobserved deadline.
+  bool cancelled_fast() const;
+
+  /// Full check including the steady-clock deadline comparison (sticky:
+  /// once expired, later polls take the flag fast path).
+  bool triggered() const;
+
+  /// Why the token triggered (kOk if it has not). Performs a full check.
+  Status::Code why() const;
+
+  /// This token's own deadline, if any (ignores the parent chain). The
+  /// serving layer uses it to bound condition-variable waits.
+  std::optional<Clock::time_point> deadline() const;
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    mutable std::atomic<bool> expired{false};  // sticky deadline observation
+    bool has_deadline = false;
+    Clock::time_point deadline_at{};
+    std::shared_ptr<const State> parent;
+  };
+
+  static bool state_cancelled_fast(const State& s);
+  static bool state_triggered(const State& s);
+
+  std::shared_ptr<State> state_;
+};
+
+/// Convenience alias for the common "budget from now" construction.
+struct Deadline {
+  static CancelToken after(CancelToken::Clock::duration budget) {
+    return CancelToken::after(budget);
+  }
+};
+
+/// Strided poller for hot loops: flags every call, clock every `stride`-th
+/// call (stride rounded up to a power of two). Not thread-safe — one per
+/// loop, by value.
+class CancelPoll {
+ public:
+  explicit CancelPoll(const CancelToken* token, std::uint32_t stride = 1024)
+      : token_(token && token->valid() ? token : nullptr) {
+    std::uint32_t m = 1;
+    while (m < stride) m <<= 1;
+    mask_ = m - 1;
+  }
+
+  /// True once the token has triggered. Sticky.
+  bool should_stop() {
+    if (stopped_) return true;
+    if (token_ == nullptr) return false;
+    if (token_->cancelled_fast() ||
+        ((++calls_ & mask_) == 0 && token_->triggered())) {
+      stopped_ = true;
+      why_ = token_->why();
+    }
+    return stopped_;
+  }
+
+  /// Trigger reason (kOk while should_stop() is false).
+  Status::Code why() const { return why_; }
+
+ private:
+  const CancelToken* token_ = nullptr;
+  std::uint32_t calls_ = 0;
+  std::uint32_t mask_ = 0;
+  bool stopped_ = false;
+  Status::Code why_ = Status::kOk;
+};
+
+}  // namespace peek::fault

@@ -1,0 +1,119 @@
+#include "fault/injector.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace peek::fault {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Exact-match membership in a comma-separated list (no spaces).
+bool filter_allows(const std::string& filter, const char* site) {
+  if (filter.empty()) return true;
+  const std::string needle(site);
+  size_t pos = 0;
+  while (pos <= filter.size()) {
+    const size_t comma = filter.find(',', pos);
+    const size_t end = comma == std::string::npos ? filter.size() : comma;
+    if (filter.compare(pos, end - pos, needle) == 0) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+Injector& Injector::global() {
+  static Injector instance;
+  return instance;
+}
+
+void Injector::configure(const InjectorConfig& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cfg_ = cfg;
+  sites_.clear();  // fresh hit indices: same seed => same firing sequence
+  enabled_.store(cfg.enabled, std::memory_order_relaxed);
+}
+
+void Injector::configure_from_env() {
+  const char* seed = std::getenv("PEEK_FAULT_SEED");
+  if (seed == nullptr || *seed == '\0') return;
+  InjectorConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = std::strtoull(seed, nullptr, 10);
+  cfg.rate_permille = 100;
+  if (const char* rate = std::getenv("PEEK_FAULT_RATE"))
+    cfg.rate_permille = static_cast<int>(std::strtol(rate, nullptr, 10));
+  if (const char* stall = std::getenv("PEEK_FAULT_STALL_MS"))
+    cfg.stall = std::chrono::milliseconds(std::strtol(stall, nullptr, 10));
+  if (const char* sites = std::getenv("PEEK_FAULT_SITES"))
+    cfg.site_filter = sites;
+  configure(cfg);
+}
+
+InjectorConfig Injector::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cfg_;
+}
+
+bool Injector::should_fire(const char* site) {
+  if (!enabled_.load(std::memory_order_relaxed)) return false;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!cfg_.enabled || !filter_allows(cfg_.site_filter, site)) return false;
+    SiteState& st = sites_[site];
+    const std::uint64_t h =
+        splitmix64(cfg_.seed ^ fnv1a(site) ^
+                   st.hits * 0x9e3779b97f4a7c15ull);
+    st.hits++;
+    fire = cfg_.rate_permille > 0 &&
+           h % 1000 < static_cast<std::uint64_t>(cfg_.rate_permille);
+    if (fire) st.fired++;
+  }
+  if (fire) PEEK_COUNT_INC("fault.injected");
+  return fire;
+}
+
+void Injector::stall_now() const {
+  std::chrono::milliseconds d{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d = cfg_.stall;
+  }
+  if (d.count() > 0) std::this_thread::sleep_for(d);
+}
+
+std::int64_t Injector::fired(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+std::int64_t Injector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& [_, st] : sites_) total += st.fired;
+  return total;
+}
+
+}  // namespace peek::fault

@@ -1,0 +1,113 @@
+// Deterministic fault injection (DESIGN.md §9). Named probe sites in the
+// pipeline ask the process-global Injector whether to fire; the decision is
+// a pure hash of (seed, site, per-site hit index), so a single-threaded run
+// with a fixed seed fires the exact same faults every time — the property
+// tests/test_fault.cpp and the CI seed sweep rely on.
+//
+// Three probe kinds:
+//   PEEK_FAULT_ALLOC(site)  throws InjectedFault (a std::bad_alloc) —
+//                           simulated allocation failure; kernels surface it
+//                           as Status::kResourceExhausted.
+//   PEEK_FAULT_STALL(site)  sleeps config.stall for an artificial kernel
+//                           stall — drives deadline-expiry coverage.
+//   PEEK_FAULT_FIRE(site)   returns bool; the site implements its own
+//                           corruption/transient failure (cache drops,
+//                           dist::TransientError sends).
+//
+// Disabled (the default) every probe is one relaxed atomic load. The site
+// name table in DESIGN.md §9 is lint-enforced by tools/peek_lint.py.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+
+namespace peek::fault {
+
+struct InjectorConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  /// Firing probability per probe, in permille (0..1000).
+  int rate_permille = 0;
+  /// Sleep duration of PEEK_FAULT_STALL probes.
+  std::chrono::milliseconds stall{0};
+  /// Comma-separated site allowlist; empty = every site may fire.
+  std::string site_filter;
+};
+
+/// Thrown by PEEK_FAULT_ALLOC probes. Derives from std::bad_alloc so code
+/// hardened against real allocation failure handles the injected kind for
+/// free; what() names the site.
+class InjectedFault : public std::bad_alloc {
+ public:
+  explicit InjectedFault(const char* site) : site_(site) {}
+  const char* what() const noexcept override { return site_; }
+  const char* site() const noexcept { return site_; }
+
+ private:
+  const char* site_;
+};
+
+class Injector {
+ public:
+  /// The process-global instance every probe consults.
+  static Injector& global();
+
+  void configure(const InjectorConfig& cfg);
+  /// PEEK_FAULT_SEED (presence enables, value seeds), PEEK_FAULT_RATE
+  /// (permille, default 100), PEEK_FAULT_STALL_MS (default 0),
+  /// PEEK_FAULT_SITES (comma allowlist). Called once from serving/test
+  /// entry points; harmless when the variables are unset.
+  void configure_from_env();
+  void disable() { configure(InjectorConfig{}); }
+
+  InjectorConfig config() const;
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Deterministic decision for one probe at `site`; bumps the per-site hit
+  /// index either way and the fired counters (plus the `fault.injected`
+  /// metric) when true.
+  bool should_fire(const char* site);
+  /// Sleep used by stall probes (config().stall).
+  void stall_now() const;
+
+  /// Probes that fired at `site` / in total since the last configure().
+  std::int64_t fired(const std::string& site) const;
+  std::int64_t total_fired() const;
+
+ private:
+  struct SiteState {
+    std::uint64_t hits = 0;
+    std::int64_t fired = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards cfg_ and sites_ (cold: probes are rare)
+  InjectorConfig cfg_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+};
+
+}  // namespace peek::fault
+
+// Probe macros. The site argument must be a string literal — the lint check
+// extracts it textually to enforce the DESIGN.md §9 site table.
+#define PEEK_FAULT_FIRE(site)                         \
+  (::peek::fault::Injector::global().enabled() &&     \
+   ::peek::fault::Injector::global().should_fire(site))
+
+#define PEEK_FAULT_ALLOC(site)                         \
+  do {                                                 \
+    if (PEEK_FAULT_FIRE(site))                         \
+      throw ::peek::fault::InjectedFault(site);        \
+  } while (0)
+
+#define PEEK_FAULT_STALL(site)                          \
+  do {                                                  \
+    if (PEEK_FAULT_FIRE(site))                          \
+      ::peek::fault::Injector::global().stall_now();    \
+  } while (0)

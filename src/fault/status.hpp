@@ -1,0 +1,52 @@
+// Typed failure model for the serving path (DESIGN.md §9). Every long-running
+// kernel reports how it ended through a Status::Code instead of crashing,
+// hanging, or silently returning a wrong path set; the serving layer wraps
+// the code with a human-readable message. Codes deliberately mirror the
+// familiar RPC vocabulary so operators can map them onto transport errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace peek::fault {
+
+/// A failure classification plus optional context. Cheap to copy when ok
+/// (empty message); kernels carry the bare Code and the serving layer
+/// attaches the message at the boundary.
+struct Status {
+  /// Unscoped on purpose: spellable as `Status::kDeadlineExceeded` while the
+  /// underlying type stays one byte for result structs.
+  enum Code : std::uint8_t {
+    kOk = 0,
+    kCancelled,          // caller's CancelToken was cancelled explicitly
+    kDeadlineExceeded,   // the token's steady-clock deadline passed
+    kOverloaded,         // admission control shed the query (load)
+    kInvalidArgument,    // s/t out of range, k <= 0, malformed input
+    kResourceExhausted,  // allocation failure (real or injected)
+    kInternal,           // unexpected exception escaping a kernel
+  };
+
+  Code code = kOk;
+  std::string message;
+
+  Status() = default;
+  Status(Code c, std::string msg = {}) : code(c), message(std::move(msg)) {}
+
+  bool ok() const { return code == kOk; }
+  bool operator==(Code c) const { return code == c; }
+};
+
+inline const char* to_string(Status::Code c) {
+  switch (c) {
+    case Status::kOk: return "ok";
+    case Status::kCancelled: return "cancelled";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kInvalidArgument: return "invalid_argument";
+    case Status::kResourceExhausted: return "resource_exhausted";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace peek::fault

@@ -1,38 +1,78 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <limits>
+#include <new>
 #include <sstream>
-#include <stdexcept>
 
+#include "fault/injector.hpp"
 #include "graph/builder.hpp"
 
 namespace peek::graph {
 
 namespace {
+
 constexpr std::uint64_t kMagic = 0x5045454b43535231ULL;  // "PEEKCSR1"
+
+constexpr long long kMaxVid = std::numeric_limits<vid_t>::max();
+
+/// Validates one parsed vertex id (still in parse width).
+vid_t checked_vid(long long id, const char* what, std::int64_t line) {
+  if (id < 0) throw IoError(std::string(what) + " id is negative", line);
+  if (id > kMaxVid) {
+    throw IoError(std::string(what) + " id overflows vid_t: " +
+                      std::to_string(id),
+                  line);
+  }
+  return static_cast<vid_t>(id);
 }
 
+/// Validates one parsed edge weight: NaN, infinities, and negatives would
+/// silently corrupt every distance comparison downstream.
+weight_t checked_weight(double w, std::int64_t line) {
+  if (std::isnan(w)) throw IoError("weight is NaN", line);
+  if (!std::isfinite(w)) throw IoError("weight is not finite", line);
+  if (w < 0) throw IoError("weight is negative", line);
+  return w;
+}
+
+}  // namespace
+
 CsrGraph read_edge_list(std::istream& in, vid_t n_hint) {
-  std::vector<CooEdge> edges;
-  vid_t max_id = n_hint > 0 ? n_hint - 1 : -1;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ls(line);
-    long long u, v;
-    double w = 1.0;
-    if (!(ls >> u >> v)) throw std::runtime_error("read_edge_list: bad line: " + line);
-    ls >> w;  // optional
-    edges.push_back({static_cast<vid_t>(u), static_cast<vid_t>(v), w});
-    max_id = std::max({max_id, static_cast<vid_t>(u), static_cast<vid_t>(v)});
+  try {
+    PEEK_FAULT_ALLOC("graph.io.alloc");
+    std::vector<CooEdge> edges;
+    vid_t max_id = n_hint > 0 ? n_hint - 1 : -1;
+    std::string line;
+    std::int64_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+      std::istringstream ls(line);
+      long long u, v;
+      double w = 1.0;
+      if (!(ls >> u >> v)) throw IoError("expected \"u v [w]\": " + line, lineno);
+      if (!(ls >> w)) {
+        if (!ls.eof()) throw IoError("malformed weight: " + line, lineno);
+        w = 1.0;  // absent weight (a failed extraction zeroes w since C++11)
+      }
+      const vid_t uu = checked_vid(u, "source", lineno);
+      const vid_t vv = checked_vid(v, "target", lineno);
+      edges.push_back({uu, vv, checked_weight(w, lineno)});
+      max_id = std::max({max_id, uu, vv});
+    }
+    if (in.bad()) throw IoError("read_edge_list: stream read failure");
+    return from_edges(max_id + 1, edges);
+  } catch (const std::bad_alloc&) {
+    throw IoError("read_edge_list: allocation failure while loading");
   }
-  return from_edges(max_id + 1, edges);
 }
 
 CsrGraph read_edge_list_file(const std::string& path, vid_t n_hint) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw IoError("cannot open " + path);
   return read_edge_list(in, n_hint);
 }
 
@@ -44,46 +84,72 @@ void write_edge_list(std::ostream& out, const CsrGraph& g) {
 
 void write_edge_list_file(const std::string& path, const CsrGraph& g) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path);
+  if (!out) throw IoError("cannot open " + path);
   write_edge_list(out, g);
 }
 
 CsrGraph read_dimacs(std::istream& in) {
-  std::string line;
-  vid_t n = 0;
-  std::vector<CooEdge> edges;
-  bool have_header = false;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == 'c') continue;
-    std::istringstream ls(line);
-    char tag;
-    ls >> tag;
-    if (tag == 'p') {
-      std::string kind;
-      long long nn, mm;
-      if (!(ls >> kind >> nn >> mm) || kind != "sp")
-        throw std::runtime_error("read_dimacs: bad problem line: " + line);
-      n = static_cast<vid_t>(nn);
-      edges.reserve(static_cast<size_t>(mm));
-      have_header = true;
-    } else if (tag == 'a') {
-      long long u, v;
-      double w;
-      if (!(ls >> u >> v >> w))
-        throw std::runtime_error("read_dimacs: bad arc line: " + line);
-      // DIMACS ids are 1-based.
-      edges.push_back({static_cast<vid_t>(u - 1), static_cast<vid_t>(v - 1), w});
-    } else {
-      throw std::runtime_error("read_dimacs: unknown line tag: " + line);
+  try {
+    PEEK_FAULT_ALLOC("graph.io.alloc");
+    std::string line;
+    vid_t n = 0;
+    long long declared_m = 0, seen_m = 0;
+    std::vector<CooEdge> edges;
+    bool have_header = false;
+    std::int64_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == 'c') continue;
+      std::istringstream ls(line);
+      char tag;
+      ls >> tag;
+      if (tag == 'p') {
+        if (have_header) throw IoError("duplicate 'p sp' line", lineno);
+        std::string kind;
+        long long nn, mm;
+        if (!(ls >> kind >> nn >> mm) || kind != "sp")
+          throw IoError("bad problem line: " + line, lineno);
+        if (nn < 0 || mm < 0)
+          throw IoError("negative n or m in problem line", lineno);
+        if (nn > kMaxVid)
+          throw IoError("vertex count overflows vid_t", lineno);
+        n = static_cast<vid_t>(nn);
+        declared_m = mm;
+        // Cap the speculative reserve: a corrupt header must not translate
+        // into an attempted multi-terabyte allocation before any arc is read.
+        edges.reserve(static_cast<size_t>(std::min(mm, 1LL << 20)));
+        have_header = true;
+      } else if (tag == 'a') {
+        if (!have_header)
+          throw IoError("arc line before 'p sp' header", lineno);
+        long long u, v;
+        double w;
+        if (!(ls >> u >> v >> w))
+          throw IoError("bad arc line: " + line, lineno);
+        // DIMACS ids are 1-based.
+        if (u < 1 || u > static_cast<long long>(n) || v < 1 ||
+            v > static_cast<long long>(n)) {
+          throw IoError("arc endpoint out of range [1, n]: " + line, lineno);
+        }
+        if (++seen_m > declared_m)
+          throw IoError("more arcs than the header declared", lineno);
+        edges.push_back({static_cast<vid_t>(u - 1), static_cast<vid_t>(v - 1),
+                         checked_weight(w, lineno)});
+      } else {
+        throw IoError("unknown line tag: " + line, lineno);
+      }
     }
+    if (in.bad()) throw IoError("read_dimacs: stream read failure");
+    if (!have_header) throw IoError("read_dimacs: missing 'p sp' line");
+    return from_edges(n, edges);
+  } catch (const std::bad_alloc&) {
+    throw IoError("read_dimacs: allocation failure while loading");
   }
-  if (!have_header) throw std::runtime_error("read_dimacs: missing 'p sp' line");
-  return from_edges(n, edges);
 }
 
 CsrGraph read_dimacs_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw IoError("cannot open " + path);
   return read_dimacs(in);
 }
 
@@ -98,7 +164,7 @@ void write_dimacs(std::ostream& out, const CsrGraph& g) {
 
 void write_dimacs_file(const std::string& path, const CsrGraph& g) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path);
+  if (!out) throw IoError("cannot open " + path);
   write_dimacs(out, g);
 }
 
@@ -120,32 +186,58 @@ void write_binary(std::ostream& out, const CsrGraph& g) {
 CsrGraph read_binary(std::istream& in) {
   auto get = [&in](void* p, size_t bytes) {
     in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
-    if (!in) throw std::runtime_error("read_binary: truncated stream");
+    if (!in) throw IoError("read_binary: truncated stream");
   };
-  std::uint64_t magic;
-  std::int64_t n, m;
-  get(&magic, sizeof magic);
-  if (magic != kMagic) throw std::runtime_error("read_binary: bad magic");
-  get(&n, sizeof n);
-  get(&m, sizeof m);
-  std::vector<eid_t> row(static_cast<size_t>(n) + 1);
-  std::vector<vid_t> col(static_cast<size_t>(m));
-  std::vector<weight_t> wgt(static_cast<size_t>(m));
-  get(row.data(), sizeof(eid_t) * row.size());
-  get(col.data(), sizeof(vid_t) * col.size());
-  get(wgt.data(), sizeof(weight_t) * wgt.size());
-  return CsrGraph(std::move(row), std::move(col), std::move(wgt));
+  try {
+    PEEK_FAULT_ALLOC("graph.io.alloc");
+    std::uint64_t magic;
+    std::int64_t n, m;
+    get(&magic, sizeof magic);
+    if (magic != kMagic) throw IoError("read_binary: bad magic");
+    get(&n, sizeof n);
+    get(&m, sizeof m);
+    // A corrupt or adversarial header must fail as a typed error, not as a
+    // sign-wrapped multi-exabyte allocation.
+    if (n < 0 || m < 0) throw IoError("read_binary: negative n or m");
+    if (n > kMaxVid) throw IoError("read_binary: vertex count overflows vid_t");
+    std::vector<eid_t> row(static_cast<size_t>(n) + 1);
+    std::vector<vid_t> col(static_cast<size_t>(m));
+    std::vector<weight_t> wgt(static_cast<size_t>(m));
+    get(row.data(), sizeof(eid_t) * row.size());
+    get(col.data(), sizeof(vid_t) * col.size());
+    get(wgt.data(), sizeof(weight_t) * wgt.size());
+    // Structural validation: offsets must walk 0 -> m monotonically and
+    // every target id must be in range, or downstream traversals would read
+    // out of bounds.
+    if (row.front() != 0 || row.back() != m)
+      throw IoError("read_binary: row offsets do not span [0, m]");
+    for (size_t i = 1; i < row.size(); ++i) {
+      if (row[i] < row[i - 1])
+        throw IoError("read_binary: row offsets are not monotone");
+    }
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (col[i] < 0 || static_cast<std::int64_t>(col[i]) >= n)
+        throw IoError("read_binary: edge target out of range");
+    }
+    for (size_t i = 0; i < wgt.size(); ++i) {
+      if (std::isnan(wgt[i]) || !std::isfinite(wgt[i]) || wgt[i] < 0)
+        throw IoError("read_binary: invalid edge weight");
+    }
+    return CsrGraph(std::move(row), std::move(col), std::move(wgt));
+  } catch (const std::bad_alloc&) {
+    throw IoError("read_binary: allocation failure while loading");
+  }
 }
 
 void write_binary_file(const std::string& path, const CsrGraph& g) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open " + path);
+  if (!out) throw IoError("cannot open " + path);
   write_binary(out, g);
 }
 
 CsrGraph read_binary_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw IoError("cannot open " + path);
   return read_binary(in);
 }
 

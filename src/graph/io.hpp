@@ -2,15 +2,36 @@
 // comments), and a fast binary format for caching generated benchmark graphs.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/csr.hpp"
 
 namespace peek::graph {
 
+/// Typed parse/validation failure raised by every reader below: malformed
+/// lines, out-of-range or negative vertex ids, NaN/negative/non-finite
+/// weights, inconsistent headers, truncated or corrupt binary payloads, and
+/// allocation failure while loading. what() carries the offending line
+/// number ("line N: ...") when the input is line-oriented.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what, std::int64_t line = 0)
+      : std::runtime_error(
+            line > 0 ? "line " + std::to_string(line) + ": " + what : what),
+        line_(line) {}
+
+  /// 1-based line of the offending input, 0 when not line-oriented.
+  std::int64_t line() const noexcept { return line_; }
+
+ private:
+  std::int64_t line_;
+};
+
 /// Parses "u v [w]" lines; missing weights default to 1. Vertex count is
-/// 1 + max id unless `n_hint` is larger.
+/// 1 + max id unless `n_hint` is larger. Throws IoError on malformed input.
 CsrGraph read_edge_list(std::istream& in, vid_t n_hint = 0);
 CsrGraph read_edge_list_file(const std::string& path, vid_t n_hint = 0);
 

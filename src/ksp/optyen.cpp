@@ -73,12 +73,23 @@ KspResult optyen_ksp(const BiView& g, vid_t s, vid_t t, const KspOptions& opts) 
     if (opts.parallel) {
       sssp::DeltaSteppingOptions ds;
       ds.delta = opts.delta;
+      ds.cancel = opts.cancel;
       rtree = sssp::delta_stepping(g.rev, t, ds);
     } else {
-      rtree = sssp::dijkstra(g.rev, t);
+      sssp::DijkstraOptions dj;
+      dj.cancel = opts.cancel;
+      rtree = sssp::dijkstra(g.rev, t, dj);
     }
   }
   sssp_calls.fetch_add(1);
+  if (rtree.status != fault::Status::kOk) {
+    // A partial reverse tree overestimates distances, which would poison both
+    // the shortcut bound and its feasibility walk — stop before any path.
+    KspResult result;
+    result.status = rtree.status;
+    result.stats.sssp_calls = 1;
+    return result;
+  }
 
   detail::DeviationSolver solver = [&](const DeviationContext& ctx) {
     sssp::Path fast = tree_shortcut(g.fwd, rtree, t, ctx);
@@ -94,13 +105,19 @@ KspResult optyen_ksp(const BiView& g, vid_t s, vid_t t, const KspOptions& opts) 
       ds.bans = bans;
       ds.delta = opts.delta;
       ds.parallel = ctx.position == 0 && ctx.prefix.size() == 1;
+      ds.cancel = opts.cancel;
       auto r = sssp::delta_stepping(g.fwd, ctx.deviation_vertex, ds);
+      // A cancelled SSSP may hold an overestimating (non-shortest) suffix;
+      // discard it — the engine notices the tripped token at the round edge.
+      if (r.status != fault::Status::kOk) return sssp::Path{};
       return sssp::path_from_parents(r, ctx.deviation_vertex, t);
     }
     sssp::DijkstraOptions dj;
     dj.target = t;
     dj.bans = bans;
+    dj.cancel = opts.cancel;
     auto r = sssp::dijkstra(g.fwd, ctx.deviation_vertex, dj);
+    if (r.status != fault::Status::kOk) return sssp::Path{};
     return sssp::path_from_parents(r, ctx.deviation_vertex, t);
   };
 

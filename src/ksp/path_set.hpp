@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fault/cancel.hpp"
 #include "sssp/path.hpp"
 
 namespace peek::ksp {
@@ -58,6 +59,11 @@ struct KspStats {
 struct KspResult {
   std::vector<Path> paths;  // at most K, sorted by (dist, lexicographic)
   KspStats stats;
+  /// kOk, or kCancelled/kDeadlineExceeded when a CancelToken stopped the run
+  /// mid-flight. On a non-kOk status `paths` still holds the exact top-J
+  /// shortest paths for some J < K (rounds are only abandoned BEFORE the
+  /// pop that would accept a path built from incomplete deviations).
+  fault::Status::Code status = fault::Status::kOk;
 };
 
 struct KspOptions {
@@ -69,6 +75,9 @@ struct KspOptions {
   bool parallel = false;
   /// Δ-stepping bucket width when parallel (<=0 auto).
   weight_t delta = 0;
+  /// Cooperative cancellation: checked at round boundaries and threaded into
+  /// every deviation SSSP. Null = never cancelled.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 }  // namespace peek::ksp

@@ -22,17 +22,21 @@ KspStream::KspStream(const sssp::BiView& g, vid_t s, vid_t t,
   have_rtree_ = true;
 }
 
-void KspStream::expand_deviations(const Candidate& cur) {
+bool KspStream::expand_deviations(const Candidate& cur,
+                                  const fault::CancelToken* cancel) {
   const auto& p = cur.path.verts;
   const int len = static_cast<int>(p.size());
   const auto cum = detail::cumulative_distances(g_.fwd, p);
+  fault::CancelPoll poll(cancel, /*stride=*/1);
   for (int i = cur.dev_index; i < len - 1; ++i) {
+    if (poll.should_stop()) return false;
     const vid_t v = p[static_cast<size_t>(i)];
     for (int j = 0; j < i; ++j) mask_[p[static_cast<size_t>(j)]] = 1;
     const auto banned = detail::banned_edges_at(g_.fwd, accepted_, p, i);
     std::vector<vid_t> prefix(p.begin(), p.begin() + i + 1);
     detail::DeviationContext ctx{prefix, v, cum[static_cast<size_t>(i)],
                                  mask_.data(), banned, i};
+    bool cut_short = false;
     sssp::Path suffix = detail::optyen_tree_shortcut(g_.fwd, rtree_, t_, ctx);
     if (!suffix.empty()) {
       stats_.tree_shortcuts++;
@@ -41,10 +45,14 @@ void KspStream::expand_deviations(const Candidate& cur) {
       sssp::DijkstraOptions dj;
       dj.target = t_;
       dj.bans = {mask_.data(), &banned};
+      dj.cancel = cancel;
       auto r = sssp::dijkstra(g_.fwd, v, dj);
-      suffix = sssp::path_from_parents(r, v, t_);
+      // Discard a cancelled SSSP's suffix — it may not be shortest.
+      cut_short = r.status != fault::Status::kOk;
+      if (!cut_short) suffix = sssp::path_from_parents(r, v, t_);
     }
     for (int j = 0; j < i; ++j) mask_[p[static_cast<size_t>(j)]] = 0;
+    if (cut_short) return false;
     if (suffix.empty()) continue;
     Candidate cand;
     cand.dev_index = i;
@@ -55,16 +63,24 @@ void KspStream::expand_deviations(const Candidate& cur) {
     if (cands_.push(std::move(cand.path), cand.dev_index))
       stats_.candidates_generated++;
   }
+  return true;
 }
 
-std::optional<sssp::Path> KspStream::next() {
+std::optional<sssp::Path> KspStream::next(const fault::CancelToken* cancel) {
   if (exhausted_) return std::nullopt;
   if (!primed_) {
-    primed_ = true;
     if (!have_rtree_) {
-      rtree_ = sssp::dijkstra(g_.rev, t_);
+      sssp::DijkstraOptions dj;
+      dj.cancel = cancel;
+      auto r = sssp::dijkstra(g_.rev, t_, dj);
       stats_.sssp_calls++;
+      // A cancelled priming SSSP leaves no usable tree: stay unprimed so a
+      // later un-cancelled call redoes it, and do NOT flag exhaustion.
+      if (r.status != fault::Status::kOk) return std::nullopt;
+      rtree_ = std::move(r);
+      have_rtree_ = true;
     }
+    primed_ = true;
     sssp::Path first = sssp::path_from_reverse_parents(rtree_, s_, t_);
     if (first.empty()) {
       exhausted_ = true;
@@ -74,8 +90,10 @@ std::optional<sssp::Path> KspStream::next() {
     produced_.push_back(first);
     return first;
   }
-  // Deviations of the most recent path are expanded lazily, exactly once.
-  expand_deviations(accepted_.back());
+  // Deviations of the most recent path are expanded lazily — exactly once on
+  // the un-cancelled fast path; a cancelled round is re-run in full by the
+  // next call (the pool's seen-set absorbs the repeated pushes).
+  if (!expand_deviations(accepted_.back(), cancel)) return std::nullopt;
   auto cand = cands_.pop_min();
   if (!cand) {
     exhausted_ = true;

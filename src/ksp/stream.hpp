@@ -34,15 +34,26 @@ class KspStream {
   KspStream(const sssp::BiView& g, vid_t s, vid_t t, sssp::SsspResult rtree);
 
   /// The next shortest simple path, or nullopt when the path space is
-  /// exhausted. The i-th successful call returns the i-th shortest path.
-  std::optional<sssp::Path> next();
+  /// exhausted — or when `cancel` tripped mid-deviation. The i-th successful
+  /// call returns the i-th shortest path. A cancelled call leaves the stream
+  /// valid and NOT exhausted (check exhausted() to tell the cases apart): any
+  /// partially-expanded round is simply re-run by the next un-cancelled call,
+  /// with the candidate pool deduplicating repeated pushes.
+  std::optional<sssp::Path> next(const fault::CancelToken* cancel = nullptr);
+
+  /// True when the path space is genuinely dry (nullopt from next() without
+  /// a tripped token). Never set by cancellation.
+  bool exhausted() const { return exhausted_; }
 
   /// Paths produced so far.
   const std::vector<sssp::Path>& produced() const { return produced_; }
   const KspStats& stats() const { return stats_; }
 
  private:
-  void expand_deviations(const Candidate& cur);
+  /// Returns false when `cancel` tripped before the round finished — some
+  /// deviations may be missing, so the caller must not pop a candidate.
+  bool expand_deviations(const Candidate& cur,
+                         const fault::CancelToken* cancel);
 
   sssp::BiView g_;
   vid_t s_, t_;

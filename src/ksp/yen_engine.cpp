@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -39,13 +40,22 @@ KspResult run_yen_engine(const GraphView& fwd, vid_t s, vid_t t,
   if (s < 0 || s >= n || t < 0 || t >= n || opts.k <= 0) return result;
   if (!fwd.vertex_alive(s) || !fwd.vertex_alive(t)) return result;
 
+  // Round-boundary cancellation: checked before each accepted-path round and
+  // again before the pop that would accept a candidate, so `result.paths` is
+  // always the exact top-J prefix of the answer (stride 1 — rounds are rare
+  // next to the SSSP work inside them).
+  fault::CancelPoll poll(opts.cancel, /*stride=*/1);
+
   // The shortest path: solver with the trivial prefix {s} and no bans.
   std::vector<std::uint8_t> zero_mask(static_cast<size_t>(n), 0);
   const std::unordered_set<eid_t> no_edges;
   std::vector<vid_t> trivial_prefix{s};
   sssp::Path first =
       solver({trivial_prefix, s, 0, zero_mask.data(), no_edges, 0});
-  if (first.empty()) return result;
+  if (first.empty()) {
+    if (poll.should_stop()) result.status = poll.why();
+    return result;
+  }
 
   std::vector<Candidate> accepted;
   accepted.push_back({std::move(first), 0});
@@ -58,6 +68,10 @@ KspResult run_yen_engine(const GraphView& fwd, vid_t s, vid_t t,
       static_cast<size_t>(nt), std::vector<std::uint8_t>(static_cast<size_t>(n), 0));
 
   while (static_cast<int>(accepted.size()) < opts.k) {
+    if (poll.should_stop()) {
+      result.status = poll.why();
+      break;
+    }
     const Candidate cur = accepted.back();  // copy: accepted may reallocate
     const auto& p = cur.path.verts;
     const int len = static_cast<int>(p.size());
@@ -69,6 +83,7 @@ KspResult run_yen_engine(const GraphView& fwd, vid_t s, vid_t t,
     // serially into the candidate pool (its hash set is not thread-safe).
     std::vector<std::vector<Candidate>> found(static_cast<size_t>(nt));
     auto deviate = [&](int i) {
+      PEEK_FAULT_STALL("ksp.deviation.stall");
       const vid_t v = p[static_cast<size_t>(i)];
       // In serial mode thread_id() may still be nonzero (this engine can run
       // inside an outer parallel region, e.g. a parallel batch); always use
@@ -103,6 +118,14 @@ KspResult run_yen_engine(const GraphView& fwd, vid_t s, vid_t t,
       par::parallel_for_dynamic(cur.dev_index, len - 1, deviate, 1);
     } else {
       for (int i = cur.dev_index; i < len - 1; ++i) deviate(i);
+    }
+    // A tripped token means some deviation SSSPs in this round may have been
+    // cut short (their suffixes were discarded) — the pool could be missing a
+    // shorter candidate. Abandon BEFORE the pop so accepted paths stay the
+    // exact top-J.
+    if (poll.should_stop()) {
+      result.status = poll.why();
+      break;
     }
     for (auto& bucket : found) {
       for (Candidate& c : bucket) cands.push(std::move(c.path), c.dev_index);

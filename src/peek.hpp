@@ -8,6 +8,11 @@
 // convenience entry point for applications.
 #pragma once
 
+// Fault model: typed statuses, cooperative cancellation, fault injection.
+#include "fault/cancel.hpp"    // IWYU pragma: export
+#include "fault/injector.hpp"  // IWYU pragma: export
+#include "fault/status.hpp"    // IWYU pragma: export
+
 // Graph substrate.
 #include "graph/builder.hpp"     // IWYU pragma: export
 #include "graph/csr.hpp"         // IWYU pragma: export
@@ -49,6 +54,10 @@
 
 // Dynamic-graph comparator and the distributed runtime.
 #include "dist/dist_peek.hpp"    // IWYU pragma: export
+#include "dist/retry.hpp"        // IWYU pragma: export
 #include "dist/sample_sort.hpp"  // IWYU pragma: export
 #include "dyn/dynamic_graph.hpp" // IWYU pragma: export
 #include "dyn/dynamic_sssp.hpp"  // IWYU pragma: export
+
+// Query serving.
+#include "serve/query_engine.hpp"  // IWYU pragma: export

@@ -23,14 +23,23 @@ void to_original_ids(sssp::Path& p, const compact::VertexMap& map) {
 }  // namespace
 
 QueryEngine::QueryEngine(const graph::CsrGraph& g, const ServeOptions& opts)
-    : static_graph_(&g), opts_(opts), cache_(opts.cache) {}
+    : static_graph_(&g), opts_(opts), cache_(opts.cache) {
+  if (opts_.injector) fault::Injector::global().configure(*opts_.injector);
+}
 
 QueryEngine::QueryEngine(const dyn::DynamicGraph& dg, const ServeOptions& opts)
-    : dyn_graph_(&dg), opts_(opts), cache_(opts.cache) {}
+    : dyn_graph_(&dg), opts_(opts), cache_(opts.cache) {
+  if (opts_.injector) fault::Injector::global().configure(*opts_.injector);
+}
 
 void QueryEngine::invalidate() {
   generation_.fetch_add(1, std::memory_order_acq_rel);
   PEEK_COUNT_INC("serve.invalidations");
+}
+
+size_t QueryEngine::inflight_entries() {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_.size();
 }
 
 int QueryEngine::budget_for(int k) const {
@@ -59,7 +68,8 @@ std::shared_ptr<const graph::CsrGraph> QueryEngine::active_graph() {
 }
 
 bool QueryEngine::serve_from_snapshot(PrunedSnapshot& snap, int k,
-                                      ServeResult& out) {
+                                      ServeResult& out,
+                                      const fault::CancelToken* cancel) {
   std::lock_guard<std::mutex> lock(snap.mu);
   if (static_cast<int>(snap.paths.size()) < k && !snap.exhausted) {
     if (snap.k_budget < k) return false;  // needs a wider pruning bound
@@ -68,8 +78,16 @@ bool QueryEngine::serve_from_snapshot(PrunedSnapshot& snap, int k,
     // graph runs out before k_budget, the bound was infinite (Lemma 4.2)
     // and the pruned graph holds every s->t path there is.
     while (static_cast<int>(snap.paths.size()) < k) {
-      auto p = snap.stream ? snap.stream->next() : std::nullopt;
+      auto p = snap.stream ? snap.stream->next(cancel) : std::nullopt;
       if (!p) {
+        if (snap.stream && !snap.stream->exhausted()) {
+          // Cancelled mid-extension: the stream stays live (a later
+          // un-cancelled query resumes it) and this query answers partially.
+          fault::CancelPoll poll(cancel, /*stride=*/1);
+          out.status.code = poll.should_stop() ? poll.why()
+                                               : fault::Status::kCancelled;
+          break;
+        }
         snap.exhausted = true;
         snap.stream.reset();
         break;
@@ -87,14 +105,45 @@ bool QueryEngine::serve_from_snapshot(PrunedSnapshot& snap, int k,
   return true;
 }
 
+bool QueryEngine::serve_degraded(vid_t s, vid_t t, int k, std::uint64_t gen,
+                                 ServeResult& out) {
+  if (!opts_.degraded_serving || !opts_.cache_snapshots) return false;
+  auto snap = cache_.get_snapshot(s, t, gen);
+  if (!snap) return false;
+  std::lock_guard<std::mutex> lock(snap->mu);
+  // Already-materialized paths only — a shed query must not touch the graph.
+  // An exhausted snapshot's paths are complete, so even an empty list is a
+  // definitive (unreachable) answer then.
+  if (snap->paths.empty() && !snap->exhausted) return false;
+  const size_t take = std::min<size_t>(static_cast<size_t>(k),
+                                       snap->paths.size());
+  out.paths.assign(snap->paths.begin(), snap->paths.begin() + take);
+  out.upper_bound = snap->upper_bound;
+  out.snapshot_hit = true;
+  out.degraded = true;
+  PEEK_COUNT_INC("serve.degraded");
+  return true;
+}
+
 std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
     const graph::CsrGraph& g, vid_t s, vid_t t, int k_budget,
-    std::uint64_t generation, ServeResult& out) {
+    std::uint64_t generation, ServeResult& out,
+    const fault::CancelToken* cancel) {
   PEEK_TIMER_SCOPE("serve.compute");
   std::shared_ptr<const sssp::SsspResult> fwd, rev;
   if (opts_.cache_trees) {
     fwd = cache_.get_tree(ArtifactKind::kForwardTree, s, generation);
     rev = cache_.get_tree(ArtifactKind::kReverseTree, t, generation);
+    // Corruption probes: a hit flagged corrupt is dropped on the floor and
+    // recomputed — the fresh artifact overwrites the cache entry.
+    if (fwd && PEEK_FAULT_FIRE("serve.tree.corrupt")) {
+      fwd = nullptr;
+      PEEK_COUNT_INC("serve.cache.corruption_drops");
+    }
+    if (rev && PEEK_FAULT_FIRE("serve.tree.corrupt")) {
+      rev = nullptr;
+      PEEK_COUNT_INC("serve.cache.corruption_drops");
+    }
   }
   out.fwd_tree_hit = fwd != nullptr;
   out.rev_tree_hit = rev != nullptr;
@@ -106,7 +155,12 @@ std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
   po.tight_edge_prune = opts_.peek.tight_edge_prune;
   po.reuse_from_source = fwd.get();
   po.reuse_to_target = rev.get();
+  po.cancel = cancel;
   core::PruneResult pruned = core::k_upper_bound_prune(g, s, t, po);
+  if (pruned.status != fault::Status::kOk) {
+    out.status = {pruned.status, "prune aborted"};
+    return nullptr;  // partial artifacts are never cached
+  }
 
   if (opts_.cache_trees) {
     if (!fwd) {
@@ -131,9 +185,13 @@ std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
     return snap;
   }
 
-  auto regen =
-      compact::regenerate(sssp::GraphView(g), pruned.vertex_keep.data(),
-                          pruned.edge_keep, {.parallel = opts_.peek.parallel});
+  auto regen = compact::regenerate(
+      sssp::GraphView(g), pruned.vertex_keep.data(), pruned.edge_keep,
+      {.parallel = opts_.peek.parallel, .cancel = cancel});
+  if (regen.status != fault::Status::kOk) {
+    out.status = {regen.status, "compaction aborted"};
+    return nullptr;
+  }
   const vid_t cs = regen.map.to_new(s), ct = regen.map.to_new(t);
   if (cs == kNoVertex || ct == kNoVertex) {  // defensive: s/t are kept
     snap->exhausted = true;
@@ -167,7 +225,8 @@ std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
   return snap;
 }
 
-ServeResult QueryEngine::query(vid_t s, vid_t t, int k) {
+ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
+                               const QueryOptions& qopts) {
   const auto t0 = std::chrono::steady_clock::now();
   ServeResult out;
   PEEK_COUNT_INC("serve.queries");
@@ -177,8 +236,55 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k) {
   const std::uint64_t gen = generation();
   if (k <= 0 || s < 0 || s >= g->num_vertices() || t < 0 ||
       t >= g->num_vertices()) {
+    out.status = {fault::Status::kInvalidArgument,
+                  "query requires 0 <= s,t < n and k > 0"};
+    PEEK_COUNT_INC("serve.invalid_arguments");
     out.seconds = seconds_since(t0);
     return out;
+  }
+
+  // Per-query deadline (query's own, else the engine default), combined with
+  // the caller's token: either trip cancels the whole pipeline mid-flight.
+  fault::CancelToken deadline_token;
+  const fault::CancelToken* cancel =
+      qopts.cancel != nullptr && qopts.cancel->valid() ? qopts.cancel : nullptr;
+  const auto budget =
+      qopts.deadline.count() > 0 ? qopts.deadline : opts_.default_deadline;
+  if (budget.count() > 0) {
+    deadline_token = cancel != nullptr
+                         ? fault::CancelToken::linked(*cancel, budget)
+                         : fault::CancelToken::after(budget);
+    cancel = &deadline_token;
+  }
+
+  // Admission control: bounded in-flight occupancy with load shedding. The
+  // slot is RAII-released on every exit path below.
+  struct Slot {
+    std::atomic<int>* counter = nullptr;
+    ~Slot() {
+      if (counter) counter->fetch_sub(1, std::memory_order_acq_rel);
+    }
+  } slot;
+  if (opts_.max_inflight > 0) {
+    bool admitted = false;
+    int cur = admitted_.load(std::memory_order_relaxed);
+    while (cur < opts_.max_inflight) {
+      if (admitted_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acq_rel)) {
+        admitted = true;
+        break;
+      }
+    }
+    if (!admitted) {
+      PEEK_COUNT_INC("serve.shed");
+      if (!serve_degraded(s, t, k, gen, out)) {
+        out.status = {fault::Status::kOverloaded,
+                      "in-flight limit reached and no cached answer"};
+      }
+      out.seconds = seconds_since(t0);
+      return out;
+    }
+    slot.counter = &admitted_;
   }
 
   if (cache_.byte_budget() == 0 ||
@@ -186,11 +292,16 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k) {
     // Memory-pressure / cache-off degradation: plain uncached PeeK.
     core::PeekOptions po = opts_.peek;
     po.k = k;
+    po.cancel = cancel;
     auto r = core::peek_ksp(*g, s, t, po);
     out.paths = std::move(r.ksp.paths);
     out.upper_bound = r.upper_bound;
+    out.status.code = r.status;
     out.uncached = true;
     PEEK_COUNT_INC("serve.uncached_fallbacks");
+    if (out.status.code == fault::Status::kDeadlineExceeded) {
+      PEEK_COUNT_INC("serve.deadline_exceeded");
+    }
     out.seconds = seconds_since(t0);
     return out;
   }
@@ -199,7 +310,11 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k) {
   for (;;) {
     if (opts_.cache_snapshots) {
       if (auto snap = cache_.get_snapshot(s, t, gen)) {
-        if (serve_from_snapshot(*snap, k, out)) {
+        if (PEEK_FAULT_FIRE("serve.snapshot.corrupt")) {
+          // Corruption probe: drop the hit, recompute below; the fresh
+          // snapshot replaces the doubted entry.
+          PEEK_COUNT_INC("serve.cache.corruption_drops");
+        } else if (serve_from_snapshot(*snap, k, out, cancel)) {
           out.snapshot_hit = true;
           PEEK_COUNT_INC("serve.snapshot_hits");
           break;
@@ -209,8 +324,17 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k) {
       }
     }
 
-    // Admission: coalesce with an identical in-flight computation, or claim
-    // ownership of this (s, t).
+    // Don't claim (or wait for) work with a tripped token.
+    {
+      fault::CancelPoll poll(cancel, /*stride=*/1);
+      if (poll.should_stop()) {
+        out.status.code = poll.why();
+        break;
+      }
+    }
+
+    // Coalesce with an identical in-flight computation, or claim ownership
+    // of this (s, t).
     std::shared_ptr<Inflight> inf;
     bool owner = false;
     {
@@ -227,37 +351,60 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k) {
     }
 
     if (!owner) {
+      bool published = false;
       {
         std::unique_lock<std::mutex> lock(inf->mu);
-        inf->cv.wait(lock, [&] { return inf->done; });
+        for (;;) {
+          if (inf->done) {
+            published = true;
+            break;
+          }
+          if (cancel != nullptr) {
+            fault::CancelPoll poll(cancel, /*stride=*/1);
+            if (poll.should_stop()) {
+              out.status.code = poll.why();
+              break;
+            }
+            // Bounded waits so a tripped deadline (or parent cancel) is
+            // noticed without the owner having to finish first.
+            if (auto dl = cancel->deadline()) {
+              inf->cv.wait_until(lock, *dl);
+            } else {
+              inf->cv.wait_for(lock, std::chrono::milliseconds(5));
+            }
+          } else {
+            inf->cv.wait(lock, [&] { return inf->done; });
+            published = true;
+            break;
+          }
+        }
       }
+      if (!published) break;  // cancelled while coalesced; status already set
       out.coalesced = true;
       PEEK_COUNT_INC("serve.coalesced_waits");
-      if (inf->snap && serve_from_snapshot(*inf->snap, k, out)) break;
-      continue;  // the published budget was too small for our K — retry
+      if (inf->snap && serve_from_snapshot(*inf->snap, k, out, cancel)) break;
+      continue;  // owner failed / was cancelled, or its budget was too small
     }
 
     PEEK_COUNT_INC("serve.snapshot_misses");
     std::shared_ptr<PrunedSnapshot> snap;
     try {
-      snap = compute_snapshot(*g, s, t, inf->k_budget, gen, out);
-    } catch (...) {
-      // Never leave waiters hanging or the key claimed.
-      {
-        std::lock_guard<std::mutex> lock(inflight_mu_);
-        inflight_.erase(key);
-      }
-      {
-        std::lock_guard<std::mutex> lock(inf->mu);
-        inf->done = true;
-      }
-      inf->cv.notify_all();
-      throw;
+      snap = compute_snapshot(*g, s, t, inf->k_budget, gen, out, cancel);
+    } catch (const std::bad_alloc& e) {
+      // Real or injected allocation failure outside the hardened kernels
+      // (e.g. while copying a tree into the cache).
+      out.status = {fault::Status::kResourceExhausted, e.what()};
+    } catch (const std::exception& e) {
+      out.status = {fault::Status::kInternal, e.what()};
     }
-    serve_from_snapshot(*snap, k, out);
-    if (opts_.cache_snapshots) {
-      if (!cache_.put_snapshot(s, t, snap, gen)) out.uncached = true;
+    if (snap) {
+      serve_from_snapshot(*snap, k, out, cancel);
+      if (opts_.cache_snapshots) {
+        if (!cache_.put_snapshot(s, t, snap, gen)) out.uncached = true;
+      }
     }
+    // Publish (null on failure: waiters retry on their own token) and always
+    // release the key — cancelled or not, no in-flight entry may leak.
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
       inflight_.erase(key);
@@ -271,6 +418,9 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k) {
     break;
   }
 
+  if (out.status.code == fault::Status::kDeadlineExceeded) {
+    PEEK_COUNT_INC("serve.deadline_exceeded");
+  }
   out.seconds = seconds_since(t0);
   return out;
 }

@@ -29,12 +29,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "core/peek.hpp"
 #include "dyn/dynamic_graph.hpp"
+#include "fault/injector.hpp"
 #include "serve/artifact_cache.hpp"
 
 namespace peek::serve {
@@ -50,18 +53,48 @@ struct ServeOptions {
   int k_budget_floor = 32;
   bool cache_trees = true;
   bool cache_snapshots = true;
+  /// Deadline applied to queries that do not pass their own (<=0 = none).
+  /// A tripped deadline returns Status::kDeadlineExceeded with the best
+  /// <=K paths accepted before the trip.
+  std::chrono::milliseconds default_deadline{0};
+  /// Admission control: at most this many queries inside query() at once
+  /// (<=0 = unbounded). Queries beyond the bound are shed: answered from
+  /// already-materialized cached paths in degraded mode when possible,
+  /// otherwise rejected with Status::kOverloaded. Zero graph work either way.
+  int max_inflight = 0;
+  /// Allow shed queries to fall back to degraded cached answers (possibly
+  /// fewer than K paths). Off = always Status::kOverloaded when shedding.
+  bool degraded_serving = true;
+  /// When set, the constructor installs this fault-injection configuration
+  /// into fault::Injector::global() (tests/CI; see DESIGN.md §9).
+  std::optional<fault::InjectorConfig> injector;
+};
+
+/// Per-query knobs of QueryEngine::query.
+struct QueryOptions {
+  /// This query's deadline (<=0 = ServeOptions::default_deadline).
+  std::chrono::milliseconds deadline{0};
+  /// Caller-owned cancellation handle, combined with the deadline. Must
+  /// outlive the query() call. Null = deadline only.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// One served query: the paths plus where the work was (not) spent.
 struct ServeResult {
   std::vector<sssp::Path> paths;  // original ids, sorted (dist, then lex)
   weight_t upper_bound = kInfDist;  // pruning bound of the answering snapshot
+  /// kOk, or the typed reason the query came back short: kInvalidArgument
+  /// (bad s/t/k), kOverloaded (shed, no degraded answer), kDeadlineExceeded /
+  /// kCancelled (partial: `paths` holds the exact top-J accepted in time),
+  /// kResourceExhausted (allocation failure, real or injected), kInternal.
+  fault::Status status;
   bool snapshot_hit = false;  // answered from a cached (s, t) snapshot
   bool extended = false;      // the snapshot's stream pulled extra paths
   bool coalesced = false;     // waited on an identical in-flight query
   bool fwd_tree_hit = false;  // pruning reused the cached forward tree
   bool rev_tree_hit = false;  // pruning reused the cached reverse tree
   bool uncached = false;      // served via plain PeeK (budget 0 / oversize)
+  bool degraded = false;      // shed query answered from cached paths only
   double seconds = 0;         // wall time of this query() call
 };
 
@@ -79,8 +112,10 @@ class QueryEngine {
 
   /// The K shortest simple paths from s to t (identical to
   /// core::peek_ksp(g, s, t, {.k = k, ...}).ksp.paths — see
-  /// tests/test_serve.cpp for the bit-identity property).
-  ServeResult query(vid_t s, vid_t t, int k);
+  /// tests/test_serve.cpp for the bit-identity property). Never throws for
+  /// admission, deadline, or injected-fault reasons: every such outcome is a
+  /// typed ServeResult::status.
+  ServeResult query(vid_t s, vid_t t, int k, const QueryOptions& qopts = {});
 
   /// Manual cache invalidation (e.g. out-of-band graph edits): bumps the
   /// generation so every cached artifact becomes stale.
@@ -91,6 +126,14 @@ class QueryEngine {
   }
   ArtifactCache& cache() { return cache_; }
   const ServeOptions& options() const { return opts_; }
+
+  /// Coalescing-map entries currently claimed (test hook: must drain to zero
+  /// once no query() is running, cancelled or not).
+  size_t inflight_entries();
+  /// Queries currently inside query() (admission-control occupancy).
+  int admitted_now() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Inflight {
@@ -103,15 +146,25 @@ class QueryEngine {
 
   /// The CSR to serve this query from (re-snapshots a dynamic source).
   std::shared_ptr<const graph::CsrGraph> active_graph();
-  /// Full pipeline on a miss; fills the tree-hit flags of `out`.
+  /// Full pipeline on a miss; fills the tree-hit flags of `out`. Returns
+  /// null with out.status set when the pipeline was cancelled or failed —
+  /// such partial artifacts are never cached.
   std::shared_ptr<PrunedSnapshot> compute_snapshot(const graph::CsrGraph& g,
                                                    vid_t s, vid_t t,
                                                    int k_budget,
                                                    std::uint64_t generation,
-                                                   ServeResult& out);
+                                                   ServeResult& out,
+                                                   const fault::CancelToken* cancel);
   /// Serves `k` paths out of `snap` (extending its stream if needed); false
   /// when the snapshot's budget is too small for `k` (caller recomputes).
-  bool serve_from_snapshot(PrunedSnapshot& snap, int k, ServeResult& out);
+  /// A tripped `cancel` returns true with the paths materialized so far and
+  /// out.status set — the snapshot stays valid and un-exhausted.
+  bool serve_from_snapshot(PrunedSnapshot& snap, int k, ServeResult& out,
+                           const fault::CancelToken* cancel);
+  /// Shed-path degraded answer: cached already-produced paths only, no graph
+  /// work. False when nothing usable is cached.
+  bool serve_degraded(vid_t s, vid_t t, int k, std::uint64_t gen,
+                      ServeResult& out);
   int budget_for(int k) const;
 
   const graph::CsrGraph* static_graph_ = nullptr;
@@ -122,6 +175,7 @@ class QueryEngine {
 
   ServeOptions opts_;
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> admitted_{0};  // admission-control occupancy
   ArtifactCache cache_;
 
   std::mutex inflight_mu_;

@@ -97,7 +97,9 @@ SsspResult delta_stepping(const GraphView& view, vid_t source,
   };
 
   PEEK_COUNT_INC("sssp.delta.runs");
-  for (size_t bi = 0; bi < buckets.size(); ++bi) {
+  fault::CancelPoll poll(opts.cancel, /*stride=*/16);
+  for (size_t bi = 0; bi < buckets.size() && r.status == fault::Status::kOk;
+       ++bi) {
     // Early exit: every future settle is >= bi*delta.
     if (opts.target != kNoVertex &&
         dist[opts.target].load(std::memory_order_relaxed) <=
@@ -108,6 +110,10 @@ SsspResult delta_stepping(const GraphView& view, vid_t source,
     current.swap(buckets[bi]);
     if (!current.empty()) PEEK_COUNT_INC("sssp.delta.buckets");
     while (!current.empty()) {
+      if (poll.should_stop()) {
+        r.status = poll.why();
+        break;
+      }
       PEEK_COUNT_INC("sssp.delta.light_phases");
       // Keep only vertices whose distance still maps to this bucket.
       std::vector<vid_t> frontier;
@@ -141,6 +147,7 @@ SsspResult delta_stepping(const GraphView& view, vid_t source,
 
   for (vid_t v = 0; v < n; ++v)
     r.dist[v] = dist[v].load(std::memory_order_relaxed);
+  if (r.status != fault::Status::kOk) return r;  // partial: skip the O(m) sweep
 
   // Parent reconstruction: one deterministic O(m) sweep. For every alive edge
   // u->v that is tight (dist[u] + w == dist[v]) keep the smallest such u.

@@ -17,6 +17,9 @@ struct DeltaSteppingOptions {
                              // exceeds dist[target]
   Bans bans;
   bool parallel = true;  // false = exact same algorithm, serial loops
+  /// Cooperative cancellation, polled at bucket/phase boundaries (the
+  /// fork/join grain — never inside a parallel region). Null = never.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// SSSP from `source` over `view`. Distances match Dijkstra bit-for-bit on

@@ -30,6 +30,7 @@ SsspResult dijkstra(const GraphView& view, vid_t source,
 
   // Hot loop: counts accumulate in locals, one sharded add on exit.
   std::int64_t settled = 0, relaxed = 0, improved = 0;
+  fault::CancelPoll poll(opts.cancel);
   MinHeap heap;
   r.dist[source] = 0;
   heap.push({0, source});
@@ -37,6 +38,10 @@ SsspResult dijkstra(const GraphView& view, vid_t source,
     const auto [d, u] = heap.top();
     heap.pop();
     if (d > r.dist[u]) continue;  // stale lazy-deleted entry
+    if (poll.should_stop()) {
+      r.status = poll.why();
+      break;
+    }
     settled++;
     if (u == opts.target) break;
     for (eid_t e = view.edge_begin(u); e < view.edge_end(u); ++e) {
@@ -60,9 +65,10 @@ SsspResult dijkstra(const GraphView& view, vid_t source,
   return r;
 }
 
-SsspResult reverse_dijkstra(const CsrGraph& g, vid_t target) {
+SsspResult reverse_dijkstra(const CsrGraph& g, vid_t target,
+                            const DijkstraOptions& opts) {
   GraphView rev(g.reverse());
-  return dijkstra(rev, target);
+  return dijkstra(rev, target, opts);
 }
 
 weight_t shortest_distance(const CsrGraph& g, vid_t s, vid_t t) {

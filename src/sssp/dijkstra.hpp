@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fault/cancel.hpp"
 #include "sssp/view.hpp"
 
 namespace peek::sssp {
@@ -15,6 +16,11 @@ namespace peek::sssp {
 struct SsspResult {
   std::vector<weight_t> dist;   // kInfDist when unreachable
   std::vector<vid_t> parent;    // kNoVertex for source / unreachable
+  /// kOk, or kCancelled/kDeadlineExceeded when a CancelToken stopped the run
+  /// early — dist/parent then hold a valid partial tree (settled prefix);
+  /// unsettled vertices may carry overestimates. Consumers must not treat a
+  /// non-kOk tree as shortest.
+  fault::Status::Code status = fault::Status::kOk;
 };
 
 /// Temporary exclusions applied on top of a GraphView.
@@ -32,6 +38,9 @@ struct DijkstraOptions {
   /// Stop as soon as this vertex is settled (kNoVertex = settle everything).
   vid_t target = kNoVertex;
   Bans bans;
+  /// Cooperative cancellation, polled once per settled vertex (clock reads
+  /// strided — see fault/cancel.hpp). Null = never cancelled.
+  const fault::CancelToken* cancel = nullptr;
 };
 
 /// Full SSSP from `source` over `view`.
@@ -41,7 +50,8 @@ SsspResult dijkstra(const GraphView& view, vid_t source,
 /// SSSP on the reverse graph: result.dist[v] is the shortest distance from v
 /// TO `target` in the original orientation; parent[v] is v's successor on
 /// that path (the reverse shortest-path tree of §4.1 / OptYen).
-SsspResult reverse_dijkstra(const CsrGraph& g, vid_t target);
+SsspResult reverse_dijkstra(const CsrGraph& g, vid_t target,
+                            const DijkstraOptions& opts = {});
 
 /// Shortest s->t distance only (early-exit convenience).
 weight_t shortest_distance(const CsrGraph& g, vid_t s, vid_t t);

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "test_util.hpp"
 
@@ -122,6 +126,156 @@ TEST(DimacsIo, RoundTrip) {
   EXPECT_EQ(back.num_edges(), g.num_edges());
   for (vid_t v = 0; v < g.num_vertices(); ++v)
     EXPECT_EQ(back.degree(v), g.degree(v));
+}
+
+// ---- Hardening: malformed input must surface as IoError, never UB. ----
+
+TEST(EdgeListIo, RejectsNegativeIds) {
+  std::istringstream in("0 1 1.0\n-3 2 1.0\n");
+  EXPECT_THROW(read_edge_list(in), IoError);
+}
+
+TEST(EdgeListIo, RejectsIdOverflow) {
+  // 2^40 does not fit vid_t (int32): must be a typed error, not a silent
+  // truncating cast.
+  std::istringstream in("1099511627776 0 1.0\n");
+  EXPECT_THROW(read_edge_list(in), IoError);
+}
+
+TEST(EdgeListIo, RejectsNanAndNegativeWeights) {
+  std::istringstream nan_in("0 1 nan\n");
+  EXPECT_THROW(read_edge_list(nan_in), IoError);
+  std::istringstream neg_in("0 1 -2.0\n");
+  EXPECT_THROW(read_edge_list(neg_in), IoError);
+  std::istringstream inf_in("0 1 inf\n");
+  EXPECT_THROW(read_edge_list(inf_in), IoError);
+}
+
+TEST(EdgeListIo, RejectsMalformedWeightToken) {
+  std::istringstream in("0 1 heavy\n");
+  EXPECT_THROW(read_edge_list(in), IoError);
+}
+
+TEST(EdgeListIo, ErrorCarriesLineContext) {
+  std::istringstream in("0 1 1.0\n1 2 1.0\n2 -9 1.0\n");
+  try {
+    read_edge_list(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(DimacsIo, RejectsNegativeHeaderCounts) {
+  std::istringstream in("p sp -4 2\n");
+  EXPECT_THROW(read_dimacs(in), IoError);
+  std::istringstream in2("p sp 4 -2\n");
+  EXPECT_THROW(read_dimacs(in2), IoError);
+}
+
+TEST(DimacsIo, RejectsOutOfRangeArcEndpoint) {
+  std::istringstream in("p sp 3 1\na 1 7 1.0\n");
+  EXPECT_THROW(read_dimacs(in), IoError);
+  std::istringstream in2("p sp 3 1\na 0 2 1.0\n");  // ids are 1-based
+  EXPECT_THROW(read_dimacs(in2), IoError);
+}
+
+TEST(DimacsIo, RejectsMoreArcsThanDeclared) {
+  std::istringstream in("p sp 3 1\na 1 2 1.0\na 2 3 1.0\n");
+  EXPECT_THROW(read_dimacs(in), IoError);
+}
+
+TEST(DimacsIo, RejectsDuplicateHeader) {
+  std::istringstream in("p sp 3 1\np sp 3 1\na 1 2 1.0\n");
+  EXPECT_THROW(read_dimacs(in), IoError);
+}
+
+namespace {
+/// Serializes a hand-crafted binary header + payload.
+std::stringstream binary_stream(std::int64_t n, std::int64_t m,
+                                const std::vector<eid_t>& row,
+                                const std::vector<vid_t>& col,
+                                const std::vector<weight_t>& wgt) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  const std::uint64_t magic = 0x5045454b43535231ULL;
+  buf.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  buf.write(reinterpret_cast<const char*>(&n), sizeof n);
+  buf.write(reinterpret_cast<const char*>(&m), sizeof m);
+  auto put = [&buf](const auto& v) {
+    buf.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(v[0])));
+  };
+  put(row);
+  put(col);
+  put(wgt);
+  return buf;
+}
+}  // namespace
+
+TEST(BinaryIo, RejectsNegativeCounts) {
+  // A sign-flipped header must not turn into a huge size_t allocation.
+  auto buf = binary_stream(-1, 0, {}, {}, {});
+  EXPECT_THROW(read_binary(buf), IoError);
+  auto buf2 = binary_stream(2, -5, {}, {}, {});
+  EXPECT_THROW(read_binary(buf2), IoError);
+}
+
+TEST(BinaryIo, RejectsNonMonotoneRowOffsets) {
+  auto buf = binary_stream(2, 2, {0, 2, 1}, {0, 1}, {1.0, 1.0});
+  EXPECT_THROW(read_binary(buf), IoError);
+}
+
+TEST(BinaryIo, RejectsRowOffsetsNotSpanningEdges) {
+  auto buf = binary_stream(2, 2, {0, 1, 1}, {0, 1}, {1.0, 1.0});
+  EXPECT_THROW(read_binary(buf), IoError);
+}
+
+TEST(BinaryIo, RejectsOutOfRangeTarget) {
+  auto buf = binary_stream(2, 2, {0, 1, 2}, {1, 9}, {1.0, 1.0});
+  EXPECT_THROW(read_binary(buf), IoError);
+}
+
+TEST(BinaryIo, RejectsCorruptWeights) {
+  auto buf = binary_stream(2, 1, {0, 1, 1}, {1},
+                           {std::numeric_limits<weight_t>::quiet_NaN()});
+  EXPECT_THROW(read_binary(buf), IoError);
+  auto buf2 = binary_stream(2, 1, {0, 1, 1}, {1}, {-3.0});
+  EXPECT_THROW(read_binary(buf2), IoError);
+}
+
+// Fuzz-style: deterministic pseudo-random byte soup must parse or throw
+// IoError — never crash, hang, or return a structurally invalid graph.
+TEST(IoFuzz, RandomBytesNeverCrash) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes(static_cast<size_t>(next() % 256), '\0');
+    for (auto& c : bytes) {
+      // Bias toward printable digits/space so text parsers get past line 1.
+      const auto r = next();
+      c = static_cast<char>(r % 4 == 0 ? ' ' : '0' + r % 75);
+    }
+    for (int reader = 0; reader < 3; ++reader) {
+      std::stringstream in(bytes,
+                           std::ios::in | std::ios::out | std::ios::binary);
+      try {
+        CsrGraph g = reader == 0   ? read_edge_list(in)
+                     : reader == 1 ? read_dimacs(in)
+                                   : read_binary(in);
+        // Parsed: spot-check structural sanity.
+        EXPECT_GE(g.num_vertices(), 0);
+        EXPECT_GE(g.num_edges(), 0);
+      } catch (const IoError&) {
+        // Typed rejection is the expected outcome for garbage.
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <numeric>
 #include <random>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "check/invariants.hpp"
+#include "fault/cancel.hpp"
 #include "core/batch.hpp"
 #include "core/peek.hpp"
 #include "graph/csr.hpp"
@@ -405,6 +407,90 @@ TEST(RaceStressQueryEngine, EvictionChurnWithSnapshotValidation) {
       }
     }
   });
+}
+
+TEST(RaceStressQueryEngine, MidFlightCancellationLeavesNoDebris) {
+  // Cancelled, deadline-capped, and normal queries interleave on the same
+  // engine. The contract under TSan: no race, no leaked in-flight entry, and
+  // every answer — partial or complete — is an exact prefix of the fresh
+  // core::peek_ksp result for its pair.
+  const auto g = test::random_graph(400, 3600, 123);
+  std::vector<std::pair<vid_t, vid_t>> pool;
+  for (vid_t i = 0; i < 8; ++i)
+    pool.emplace_back(i, static_cast<vid_t>(350 + i % 6));
+  constexpr int kMaxK = 6;
+  const auto ref = reference_answers(g, pool, kMaxK);
+
+  const auto expect_exact_prefix = [](const std::vector<sssp::Path>& got,
+                                      const std::vector<sssp::Path>& want) {
+    ASSERT_LE(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].verts, want[i].verts) << "path " << i;
+      ASSERT_EQ(got[i].dist, want[i].dist) << "path " << i;
+    }
+  };
+
+  serve::ServeOptions so;
+  so.k_budget_floor = kMaxK;
+  serve::QueryEngine engine(g, so);
+
+  run_threads([&](int w) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(w) * 91 + 17);
+    std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+    for (int i = 0; i < 18; ++i) {
+      const auto [s, t] = pool[pick(rng)];
+      const auto& want = ref.at({s, t});
+      switch (i % 3) {
+        case 0: {  // un-cancelled: must stay bit-identical under the storm
+          const auto out = engine.query(s, t, kMaxK);
+          ASSERT_TRUE(out.status.ok());
+          expect_prefix_of(out.paths, want, kMaxK);
+          break;
+        }
+        case 1: {  // token cancelled from a second thread mid-flight
+          auto tok = fault::CancelToken::cancellable();
+          std::thread killer([&tok] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            tok.cancel();
+          });
+          serve::QueryOptions qo;
+          qo.cancel = &tok;
+          const auto out = engine.query(s, t, kMaxK, qo);
+          killer.join();
+          if (out.status.ok()) {
+            expect_prefix_of(out.paths, want, kMaxK);
+          } else {
+            ASSERT_EQ(out.status.code, fault::Status::kCancelled);
+            expect_exact_prefix(out.paths, want);
+          }
+          break;
+        }
+        default: {  // microscopic deadline: typed trip, exact partial answer
+          serve::QueryOptions qo;
+          qo.deadline = std::chrono::milliseconds(1);
+          const auto out = engine.query(s, t, kMaxK, qo);
+          if (out.status.ok()) {
+            expect_prefix_of(out.paths, want, kMaxK);
+          } else {
+            ASSERT_EQ(out.status.code, fault::Status::kDeadlineExceeded);
+            expect_exact_prefix(out.paths, want);
+          }
+          break;
+        }
+      }
+    }
+  });
+
+  // No debris: the coalescing map drained and every admission slot returned.
+  EXPECT_EQ(engine.inflight_entries(), 0u);
+  EXPECT_EQ(engine.admitted_now(), 0);
+  // The cache survived the cancellation storm: every pair still answers
+  // exactly on a quiet engine.
+  for (const auto& [key, want] : ref) {
+    const auto out = engine.query(key.first, key.second, kMaxK);
+    ASSERT_TRUE(out.status.ok());
+    expect_prefix_of(out.paths, want, kMaxK);
+  }
 }
 
 TEST(RaceStressQueryEngine, ParallelPipelineUnderConcurrentCallers) {

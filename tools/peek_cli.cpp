@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <map>
 #include <optional>
 #include <string>
@@ -17,6 +18,7 @@
 #include <algorithm>
 
 #include "core/batch.hpp"
+#include "fault/injector.hpp"
 #include "core/shortest_k_group.hpp"
 #include "serve/query_engine.hpp"
 #include "graph/generators.hpp"
@@ -74,6 +76,10 @@ void usage() {
       "  --pool P                   distinct (s,t) pairs in the pool (16)\n"
       "  --zipf THETA               Zipf skew across the pool (0.99)\n"
       "  --cache-mb M               artifact-cache byte budget (256)\n"
+      "  --deadline-ms D            per-query deadline; tripped queries\n"
+      "                             return their partial paths (0 = none)\n"
+      "  --max-inflight Q           admission bound; excess queries are shed\n"
+      "                             to degraded cached answers (0 = off)\n"
       "\n"
       "algorithm:\n"
       "  --algo {peek|yen|nc|optyen|sb|sbstar|pnc|pncstar}  (default peek)\n"
@@ -161,6 +167,12 @@ int run_serve(const graph::CsrGraph& g, const Args& args, int k,
   so.peek.parallel = parallel;
   so.cache.byte_budget =
       static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;
+  so.default_deadline =
+      std::chrono::milliseconds(args.get_int("deadline-ms", 0));
+  so.max_inflight = static_cast<int>(args.get_int("max-inflight", 0));
+  // PEEK_FAULT_SEED & friends: deterministic fault injection from the shell
+  // (DESIGN.md §9). Inert when the variables are unset.
+  fault::Injector::global().configure_from_env();
   serve::QueryEngine engine(g, so);
 
   const auto pool = sample_reachable_pairs(g, pool_size, seed);
@@ -177,6 +189,7 @@ int run_serve(const graph::CsrGraph& g, const Args& args, int k,
   std::vector<double> lat;
   lat.reserve(static_cast<size_t>(n_queries));
   int hits = 0, tree_hits = 0, extensions = 0;
+  int deadline_trips = 0, degraded = 0, faulted = 0;
   for (int q = 0; q < n_queries; ++q) {
     const size_t rank = static_cast<size_t>(
         std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) - cdf.begin());
@@ -186,6 +199,12 @@ int run_serve(const graph::CsrGraph& g, const Args& args, int k,
     hits += r.snapshot_hit ? 1 : 0;
     tree_hits += (r.fwd_tree_hit || r.rev_tree_hit) ? 1 : 0;
     extensions += r.extended ? 1 : 0;
+    deadline_trips += r.status == fault::Status::kDeadlineExceeded ? 1 : 0;
+    degraded += r.degraded ? 1 : 0;
+    faulted += (!r.status.ok() &&
+                r.status.code != fault::Status::kDeadlineExceeded)
+                   ? 1
+                   : 0;
   }
   std::sort(lat.begin(), lat.end());
   auto pct = [&](double p) {
@@ -196,11 +215,13 @@ int run_serve(const graph::CsrGraph& g, const Args& args, int k,
   std::printf(
       "served %d queries (pool %zu, zipf %.2f, k %d)\n"
       "snapshot hits %d (%.1f%%), tree-assisted misses %d, extensions %d\n"
+      "deadline trips %d, degraded answers %d, other faults %d\n"
       "latency p50 %.6fs  p90 %.6fs  p99 %.6fs\n"
       "cache: %zu entries, %.1f MiB used, %lld evictions\n",
       n_queries, pool.size(), theta, k, hits,
-      100.0 * hits / std::max(1, n_queries), tree_hits, extensions, pct(0.50),
-      pct(0.90), pct(0.99), cs.entries, double(cs.bytes_used) / double(1 << 20),
+      100.0 * hits / std::max(1, n_queries), tree_hits, extensions,
+      deadline_trips, degraded, faulted, pct(0.50), pct(0.90), pct(0.99),
+      cs.entries, double(cs.bytes_used) / double(1 << 20),
       static_cast<long long>(cs.evictions));
   return 0;
 }

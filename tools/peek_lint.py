@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""PeeK repo-specific lint. Four checks, all rooted in invariants generic
+"""PeeK repo-specific lint. Five checks, all rooted in invariants generic
 tools cannot know:
 
-  metrics    every metric name the library emits (PEEK_COUNT_* / PEEK_GAUGE_SET
-             / PEEK_TIMER_SCOPE hooks and direct registry calls) appears in the
-             README "Observability" tables — and vice versa, so the documented
-             contract never drifts from the code.
-  atomics    in the hot-loop subsystems (src/sssp, src/parallel) every atomic
-             access names an explicit std::memory_order; a deliberate
-             sequentially-consistent access needs a `// seq_cst:` comment
-             justifying why the fences are worth it.
-  headers    every public header under src/ compiles standalone (catches
-             missing includes that happen to work due to include order).
-  asserts    no assert() in library code — PEEK_DCHECK (src/check/
-             invariants.hpp) is the project macro: it reports expression,
-             file:line and an optional reason, and compiles out under NDEBUG
-             without odr-using its arguments.
+  metrics      every metric name the library emits (PEEK_COUNT_* /
+               PEEK_GAUGE_SET / PEEK_TIMER_SCOPE hooks and direct registry
+               calls) appears in the README "Observability" tables — and vice
+               versa, so the documented contract never drifts from the code.
+  atomics      in the hot-loop subsystems (src/sssp, src/parallel) every atomic
+               access names an explicit std::memory_order; a deliberate
+               sequentially-consistent access needs a `// seq_cst:` comment
+               justifying why the fences are worth it.
+  headers      every public header under src/ compiles standalone (catches
+               missing includes that happen to work due to include order).
+  asserts      no assert() in library code — PEEK_DCHECK (src/check/
+               invariants.hpp) is the project macro: it reports expression,
+               file:line and an optional reason, and compiles out under NDEBUG
+               without odr-using its arguments.
+  fault_sites  every PEEK_FAULT_{ALLOC,STALL,FIRE} probe site in src/ is
+               listed in the DESIGN.md §9 site table (between the
+               fault-site-table-begin/end markers) and vice versa, so the
+               fault-injection surface stays documented.
 
 Exit status 0 = clean. Any finding prints `file:line: [check] message` and
 exits 1. Run from anywhere; paths resolve relative to the repo root.
@@ -180,11 +184,58 @@ def check_asserts():
                             "PEEK_DCHECK_MSG from check/invariants.hpp")
 
 
+# ----------------------------------------------------------- fault sites
+
+# Probe macro with its mandatory string-literal site argument. The macro
+# *definitions* in fault/injector.hpp pass the bare parameter `site`, so the
+# literal requirement keeps them out of scope automatically.
+PROBE_RE = re.compile(r'PEEK_FAULT_(?:ALLOC|STALL|FIRE)\s*\(\s*"([^"]+)"')
+SITE_TABLE_BEGIN = "<!-- fault-site-table-begin -->"
+SITE_TABLE_END = "<!-- fault-site-table-end -->"
+SITE_ROW_RE = re.compile(r'^\|\s*`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`\s*\|')
+
+
+def check_fault_sites():
+    used = {}  # site -> (path, line_no) of first probe
+    for path in source_files(SRC):
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                for m in PROBE_RE.finditer(line):
+                    used.setdefault(m.group(1), (path, line_no))
+
+    design = os.path.join(REPO, "DESIGN.md")
+    documented = {}
+    in_table = False
+    with open(design, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            if SITE_TABLE_BEGIN in line:
+                in_table = True
+                continue
+            if SITE_TABLE_END in line:
+                in_table = False
+                continue
+            if in_table:
+                m = SITE_ROW_RE.match(line.strip())
+                if m:
+                    documented.setdefault(m.group(1), line_no)
+
+    for name in sorted(set(used) - set(documented)):
+        path, line_no = used[name]
+        finding(path, line_no, "fault_sites",
+                f"fault-injection site `{name}` is probed here but missing "
+                "from the DESIGN.md §9 site table")
+    for name in sorted(set(documented) - set(used)):
+        finding(design, documented[name], "fault_sites",
+                f"site `{name}` is documented but no PEEK_FAULT_* probe in "
+                "src/ uses it — stale table row?")
+
+
 CHECKS = {
     "metrics": check_metrics,
     "atomics": check_atomics,
     "headers": check_headers,
     "asserts": check_asserts,
+    "fault_sites": check_fault_sites,
 }
 
 
