@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "fault/injector.hpp"
 #include "graph/builder.hpp"
 #include "ksp/optyen.hpp"
 #include "ksp/yen_engine.hpp"
+#include "obs/metrics.hpp"
+#include "recover/artifacts.hpp"
+#include "recover/manager.hpp"
 #include "sssp/dijkstra.hpp"
 
 namespace peek::dist {
@@ -66,6 +70,75 @@ weight_t find_upper_bound(const SsspResult& fwd, const SsspResult& rev,
     if (++valid == k) return d;
   }
   return kInfDist;
+}
+
+/// Loads + validates this rank's checkpoint. False on any of: file missing
+/// or corrupt (corrupt-but-checksummed decode failures are quarantined),
+/// checkpoint for a different (graph, s, t, k, comm shape) — staleness, not
+/// corruption — or compacted vertex ids out of range for this run.
+bool load_rank_checkpoint(const std::string& path, std::uint64_t fp, vid_t s,
+                          vid_t t, int k, int ranks, int rank, vid_t n_compact,
+                          recover::DistCheckpoint& out) {
+  recover::ParseResult pr = recover::load_snapshot_file(path);
+  if (pr.status.code != fault::Status::kOk) return false;
+  fault::Status st = recover::decode_dist_checkpoint(pr.snap, out);
+  if (st.code != fault::Status::kOk) {
+    recover::quarantine_file(path, st);
+    return false;
+  }
+  if (out.fingerprint != fp || out.s != s || out.t != t || out.k != k ||
+      out.ranks != ranks || out.rank != rank || out.accepted.empty())
+    return false;
+  const auto in_range = [n_compact](const std::vector<sssp::Path>& ps) {
+    for (const auto& p : ps)
+      for (vid_t v : p.verts)
+        if (v < 0 || v >= n_compact) return false;
+    return true;
+  };
+  return in_range(out.accepted) && in_range(out.pending) && in_range(out.seen);
+}
+
+/// Replaces the live stage-4 state with a checkpoint's.
+void apply_checkpoint(recover::DistCheckpoint&& c,
+                      std::vector<Candidate>& accepted, CandidateSet& cands,
+                      int& cand_tag) {
+  accepted.clear();
+  for (size_t i = 0; i < c.accepted.size(); ++i)
+    accepted.push_back({std::move(c.accepted[i]), c.accepted_dev[i]});
+  std::vector<Candidate> pending;
+  pending.reserve(c.pending.size());
+  for (size_t i = 0; i < c.pending.size(); ++i)
+    pending.push_back({std::move(c.pending[i]), c.pending_dev[i]});
+  cands.restore(std::move(pending), std::move(c.seen));
+  cand_tag = c.cand_tag;
+}
+
+/// Atomically publishes this rank's stage-4 state. A failed write is counted
+/// (recover.write_failures) but never fails the query — the next round
+/// simply re-checkpoints.
+void write_rank_checkpoint(const std::string& path, std::uint64_t fp, vid_t s,
+                           vid_t t, int k, int ranks, int rank, int cand_tag,
+                           const std::vector<Candidate>& accepted,
+                           const CandidateSet& cands) {
+  recover::DistCheckpoint c;
+  c.fingerprint = fp;
+  c.s = s;
+  c.t = t;
+  c.k = k;
+  c.ranks = ranks;
+  c.rank = rank;
+  c.cand_tag = cand_tag;
+  for (const Candidate& a : accepted) {
+    c.accepted.push_back(a.path);
+    c.accepted_dev.push_back(a.dev_index);
+  }
+  for (const Candidate& p : cands.pending()) {
+    c.pending.push_back(p.path);
+    c.pending_dev.push_back(p.dev_index);
+  }
+  c.seen = cands.seen_paths();
+  const std::vector<std::byte> image = recover::encode_dist_checkpoint(c);
+  recover::write_file_atomic(path, image.data(), image.size());
 }
 
 }  // namespace
@@ -158,7 +231,49 @@ DistPeekResult dist_peek_ksp(Comm& comm, const graph::CsrGraph& g, vid_t s,
   std::vector<std::uint8_t> mask(static_cast<size_t>(result.kept_vertices), 0);
 
   int cand_tag = 0;  // mailboxes are drained by now; fresh tag space is safe
+
+  // Checkpoint/restart (DESIGN.md §10). Resume is all-or-nothing: every rank
+  // must hold a checkpoint for this exact (graph, s, t, k) at the same round,
+  // because the replicated-state loop below is a sequence of collectives —
+  // ranks entering it at different rounds would exchange mismatched tags.
+  const bool ckpt = !opts.checkpoint_dir.empty();
+  std::uint64_t fp = 0;
+  std::string ckpt_path;
+  if (ckpt) {
+    fp = recover::graph_fingerprint(g);
+    recover::RecoveryManager mgr(opts.checkpoint_dir);
+    mgr.ensure_dir();  // idempotent; safe for every rank to call
+    ckpt_path = mgr.path_for("rank_" + std::to_string(comm.rank()) + ".ckpt");
+    recover::DistCheckpoint c;
+    int my_round = 0;
+    if (load_rank_checkpoint(ckpt_path, fp, s, t, opts.k, comm.size(),
+                             comm.rank(), result.kept_vertices, c))
+      my_round = static_cast<int>(c.accepted.size());
+    const auto rounds = comm.allgather(my_round);
+    const bool agree =
+        my_round > 0 && std::all_of(rounds.begin(), rounds.end(),
+                                    [&](int r) { return r == my_round; });
+    if (agree) {
+      apply_checkpoint(std::move(c), accepted, cands, cand_tag);
+      PEEK_COUNT_INC("dist.rank_restarts");
+    }
+    write_rank_checkpoint(ckpt_path, fp, s, t, opts.k, comm.size(),
+                          comm.rank(), cand_tag, accepted, cands);
+  }
+
   while (static_cast<int>(accepted.size()) < opts.k) {
+    if (ckpt && PEEK_FAULT_FIRE("dist.rank_fail")) {
+      // Simulated rank crash at a round boundary: drop the live state and
+      // rebuild it from the checkpoint written at the end of the previous
+      // round. The checkpoint always equals the state just dropped, so the
+      // restart is invisible to the other ranks (no re-sync needed).
+      recover::DistCheckpoint c;
+      if (load_rank_checkpoint(ckpt_path, fp, s, t, opts.k, comm.size(),
+                               comm.rank(), result.kept_vertices, c)) {
+        apply_checkpoint(std::move(c), accepted, cands, cand_tag);
+        PEEK_COUNT_INC("dist.rank_restarts");
+      }
+    }
     const Candidate cur = accepted.back();
     const auto& p = cur.path.verts;
     const int len = static_cast<int>(p.size());
@@ -204,6 +319,9 @@ DistPeekResult dist_peek_ksp(Comm& comm, const graph::CsrGraph& g, vid_t s,
     auto next = cands.pop_min();
     if (!next) break;
     accepted.push_back(std::move(*next));
+    if (ckpt)
+      write_rank_checkpoint(ckpt_path, fp, s, t, opts.k, comm.size(),
+                            comm.rank(), cand_tag, accepted, cands);
   }
 
   // Translate back to original ids.

@@ -17,6 +17,16 @@ struct DistPeekOptions {
   /// Backoff schedule for the SSSP request exchanges and the candidate
   /// exchange of the distributed KSP stage (dist/retry.hpp).
   RetryOptions retry;
+  /// Crash-safe stage-4 checkpointing (DESIGN.md §10): when non-empty, each
+  /// rank atomically writes `rank_<r>.ckpt` here after every accepted round,
+  /// and at stage-4 start the ranks resume from their checkpoints when all
+  /// of them hold one for the same (graph, s, t, k) at the same round. The
+  /// `dist.rank_fail` fault probe simulates a rank crash at a round boundary:
+  /// the rank drops its live state and rebuilds it from its checkpoint
+  /// (counted in dist.rank_restarts), invisibly to its peers because the
+  /// replicated state is re-checkpointed every round. Empty = no
+  /// checkpointing.
+  std::string checkpoint_dir;
 };
 
 struct DistPeekResult {

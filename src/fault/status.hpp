@@ -24,6 +24,7 @@ struct Status {
     kInvalidArgument,    // s/t out of range, k <= 0, malformed input
     kResourceExhausted,  // allocation failure (real or injected)
     kInternal,           // unexpected exception escaping a kernel
+    kDataLoss,           // corrupt/truncated on-disk snapshot (recover/)
   };
 
   Code code = kOk;
@@ -45,6 +46,7 @@ inline const char* to_string(Status::Code c) {
     case Status::kInvalidArgument: return "invalid_argument";
     case Status::kResourceExhausted: return "resource_exhausted";
     case Status::kInternal: return "internal";
+    case Status::kDataLoss: return "data_loss";
   }
   return "unknown";
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <new>
@@ -9,12 +10,20 @@
 
 #include "fault/injector.hpp"
 #include "graph/builder.hpp"
+#include "recover/artifacts.hpp"
+#include "recover/snapshot.hpp"
 
 namespace peek::graph {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x5045454b43535231ULL;  // "PEEKCSR1"
+
+/// Rethrows an IoError from a stream-level reader with the file path
+/// attached, preserving its line/offset context.
+[[noreturn]] void rethrow_with_path(const IoError& e, const std::string& path) {
+  throw IoError(e.raw(), path, e.offset(), e.line());
+}
 
 constexpr long long kMaxVid = std::numeric_limits<vid_t>::max();
 
@@ -72,8 +81,12 @@ CsrGraph read_edge_list(std::istream& in, vid_t n_hint) {
 
 CsrGraph read_edge_list_file(const std::string& path, vid_t n_hint) {
   std::ifstream in(path);
-  if (!in) throw IoError("cannot open " + path);
-  return read_edge_list(in, n_hint);
+  if (!in) throw IoError("cannot open", path, -1);
+  try {
+    return read_edge_list(in, n_hint);
+  } catch (const IoError& e) {
+    rethrow_with_path(e, path);
+  }
 }
 
 void write_edge_list(std::ostream& out, const CsrGraph& g) {
@@ -149,8 +162,12 @@ CsrGraph read_dimacs(std::istream& in) {
 
 CsrGraph read_dimacs_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw IoError("cannot open " + path);
-  return read_dimacs(in);
+  if (!in) throw IoError("cannot open", path, -1);
+  try {
+    return read_dimacs(in);
+  } catch (const IoError& e) {
+    rethrow_with_path(e, path);
+  }
 }
 
 void write_dimacs(std::ostream& out, const CsrGraph& g) {
@@ -168,7 +185,110 @@ void write_dimacs_file(const std::string& path, const CsrGraph& g) {
   write_dimacs(out, g);
 }
 
+namespace {
+
+/// Reads the whole remaining stream into a buffer — both binary formats are
+/// parsed from memory so every error can name an exact byte offset.
+std::vector<std::byte> slurp(std::istream& in, const std::string& path) {
+  std::vector<std::byte> buf;
+  char chunk[1 << 16];
+  for (;;) {
+    in.read(chunk, sizeof chunk);
+    const std::streamsize got = in.gcount();
+    if (got > 0) {
+      const auto* b = reinterpret_cast<const std::byte*>(chunk);
+      buf.insert(buf.end(), b, b + got);
+    }
+    if (!in) break;
+  }
+  if (in.bad()) throw IoError("stream read failure", path, -1);
+  return buf;
+}
+
+/// Legacy "PEEKCSR1" payload: u64 magic, i64 n, i64 m, then raw host-layout
+/// row/col/weight arrays. No checksums — structural validation is the only
+/// defense, so it is exhaustive, and every failure names its byte offset.
+CsrGraph parse_legacy_binary(const std::byte* data, std::size_t size,
+                             const std::string& path) {
+  std::size_t pos = 0;
+  auto get = [&](void* p, std::size_t bytes) {
+    if (size - pos < bytes)
+      throw IoError("truncated stream", path, static_cast<std::int64_t>(size));
+    std::memcpy(p, data + pos, bytes);
+    pos += bytes;
+  };
+  std::uint64_t magic;
+  std::int64_t n, m;
+  get(&magic, sizeof magic);
+  if (magic != kMagic) throw IoError("bad magic", path, 0);
+  get(&n, sizeof n);
+  get(&m, sizeof m);
+  // A corrupt or adversarial header must fail as a typed error, not as a
+  // sign-wrapped multi-exabyte allocation.
+  if (n < 0 || m < 0) throw IoError("negative n or m", path, 8);
+  if (n > kMaxVid) throw IoError("vertex count overflows vid_t", path, 8);
+  const std::size_t row_start = pos;
+  std::vector<eid_t> row(static_cast<size_t>(n) + 1);
+  std::vector<vid_t> col(static_cast<size_t>(m));
+  std::vector<weight_t> wgt(static_cast<size_t>(m));
+  get(row.data(), sizeof(eid_t) * row.size());
+  const std::size_t col_start = pos;
+  get(col.data(), sizeof(vid_t) * col.size());
+  const std::size_t wgt_start = pos;
+  get(wgt.data(), sizeof(weight_t) * wgt.size());
+  if (pos != size)
+    throw IoError("trailing bytes after payload", path,
+                  static_cast<std::int64_t>(pos));
+  // Structural validation: offsets must walk 0 -> m monotonically and every
+  // target id must be in range, or downstream traversals would read out of
+  // bounds.
+  if (row.front() != 0 || row.back() != m)
+    throw IoError("row offsets do not span [0, m]", path,
+                  static_cast<std::int64_t>(row_start));
+  for (size_t i = 1; i < row.size(); ++i) {
+    if (row[i] < row[i - 1])
+      throw IoError("row offsets are not monotone", path,
+                    static_cast<std::int64_t>(row_start + i * sizeof(eid_t)));
+  }
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col[i] < 0 || static_cast<std::int64_t>(col[i]) >= n)
+      throw IoError("edge target out of range", path,
+                    static_cast<std::int64_t>(col_start + i * sizeof(vid_t)));
+  }
+  for (size_t i = 0; i < wgt.size(); ++i) {
+    if (std::isnan(wgt[i]) || !std::isfinite(wgt[i]) || wgt[i] < 0)
+      throw IoError("invalid edge weight", path,
+                    static_cast<std::int64_t>(wgt_start + i * sizeof(weight_t)));
+  }
+  return CsrGraph(std::move(row), std::move(col), std::move(wgt));
+}
+
+/// v2 "PEEKSNP2" payload: checksummed snapshot container holding a kCsrGraph
+/// artifact (recover/artifacts.hpp).
+CsrGraph parse_v2_binary(const std::byte* data, std::size_t size,
+                         const std::string& path) {
+  recover::ParseResult r = recover::parse_snapshot(data, size);
+  if (!r.status.ok())
+    throw IoError(r.status.message, path,
+                  static_cast<std::int64_t>(r.error_offset));
+  CsrGraph g;
+  fault::Status st = recover::decode_graph(r.snap, g);
+  if (!st.ok()) throw IoError(st.message, path, -1);
+  return g;
+}
+
+constexpr char kV2Magic[8] = {'P', 'E', 'E', 'K', 'S', 'N', 'P', '2'};
+
+}  // namespace
+
 void write_binary(std::ostream& out, const CsrGraph& g) {
+  const std::vector<std::byte> image = recover::encode_graph(g);
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out) throw IoError("stream write failure");
+}
+
+void write_binary_legacy(std::ostream& out, const CsrGraph& g) {
   auto put = [&out](const void* p, size_t bytes) {
     out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
   };
@@ -181,64 +301,33 @@ void write_binary(std::ostream& out, const CsrGraph& g) {
   put(g.row_offsets().data(), sizeof(eid_t) * (static_cast<size_t>(n) + 1));
   put(g.col().data(), sizeof(vid_t) * static_cast<size_t>(m));
   put(g.weights().data(), sizeof(weight_t) * static_cast<size_t>(m));
+  if (!out) throw IoError("stream write failure");
 }
 
-CsrGraph read_binary(std::istream& in) {
-  auto get = [&in](void* p, size_t bytes) {
-    in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
-    if (!in) throw IoError("read_binary: truncated stream");
-  };
+CsrGraph read_binary(std::istream& in, const std::string& path) {
   try {
     PEEK_FAULT_ALLOC("graph.io.alloc");
-    std::uint64_t magic;
-    std::int64_t n, m;
-    get(&magic, sizeof magic);
-    if (magic != kMagic) throw IoError("read_binary: bad magic");
-    get(&n, sizeof n);
-    get(&m, sizeof m);
-    // A corrupt or adversarial header must fail as a typed error, not as a
-    // sign-wrapped multi-exabyte allocation.
-    if (n < 0 || m < 0) throw IoError("read_binary: negative n or m");
-    if (n > kMaxVid) throw IoError("read_binary: vertex count overflows vid_t");
-    std::vector<eid_t> row(static_cast<size_t>(n) + 1);
-    std::vector<vid_t> col(static_cast<size_t>(m));
-    std::vector<weight_t> wgt(static_cast<size_t>(m));
-    get(row.data(), sizeof(eid_t) * row.size());
-    get(col.data(), sizeof(vid_t) * col.size());
-    get(wgt.data(), sizeof(weight_t) * wgt.size());
-    // Structural validation: offsets must walk 0 -> m monotonically and
-    // every target id must be in range, or downstream traversals would read
-    // out of bounds.
-    if (row.front() != 0 || row.back() != m)
-      throw IoError("read_binary: row offsets do not span [0, m]");
-    for (size_t i = 1; i < row.size(); ++i) {
-      if (row[i] < row[i - 1])
-        throw IoError("read_binary: row offsets are not monotone");
-    }
-    for (size_t i = 0; i < col.size(); ++i) {
-      if (col[i] < 0 || static_cast<std::int64_t>(col[i]) >= n)
-        throw IoError("read_binary: edge target out of range");
-    }
-    for (size_t i = 0; i < wgt.size(); ++i) {
-      if (std::isnan(wgt[i]) || !std::isfinite(wgt[i]) || wgt[i] < 0)
-        throw IoError("read_binary: invalid edge weight");
-    }
-    return CsrGraph(std::move(row), std::move(col), std::move(wgt));
+    const std::vector<std::byte> buf = slurp(in, path);
+    if (buf.size() >= sizeof kV2Magic &&
+        std::memcmp(buf.data(), kV2Magic, sizeof kV2Magic) == 0)
+      return parse_v2_binary(buf.data(), buf.size(), path);
+    return parse_legacy_binary(buf.data(), buf.size(), path);
   } catch (const std::bad_alloc&) {
-    throw IoError("read_binary: allocation failure while loading");
+    throw IoError("allocation failure while loading", path, -1);
   }
 }
 
 void write_binary_file(const std::string& path, const CsrGraph& g) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw IoError("cannot open " + path);
-  write_binary(out, g);
+  const std::vector<std::byte> image = recover::encode_graph(g);
+  const fault::Status st =
+      recover::write_file_atomic(path, image.data(), image.size());
+  if (!st.ok()) throw IoError(st.message);
 }
 
 CsrGraph read_binary_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open " + path);
-  return read_binary(in);
+  if (!in) throw IoError("cannot open", path, -1);
+  return read_binary(in, path);
 }
 
 }  // namespace peek::graph

@@ -1,5 +1,14 @@
 // Graph serialization: whitespace edge-list text ("u v w" per line, '#'/'%'
-// comments), and a fast binary format for caching generated benchmark graphs.
+// comments), DIMACS .gr, and a checksummed binary format for caching
+// generated benchmark graphs.
+//
+// Binary graphs are written in snapshot container format v2
+// (recover/snapshot.hpp): "PEEKSNP2" magic, per-section xxhash64 checksums,
+// explicit little-endian encoding — a bit flip or truncation anywhere is a
+// typed IoError naming the failing byte offset, never silently wrong data.
+// The legacy "PEEKCSR1" format (raw host-layout arrays, no checksums) is
+// still *read* transparently; write_binary_legacy() exists so compat tests
+// can produce it.
 #pragma once
 
 #include <cstdint>
@@ -14,19 +23,51 @@ namespace peek::graph {
 /// Typed parse/validation failure raised by every reader below: malformed
 /// lines, out-of-range or negative vertex ids, NaN/negative/non-finite
 /// weights, inconsistent headers, truncated or corrupt binary payloads, and
-/// allocation failure while loading. what() carries the offending line
-/// number ("line N: ...") when the input is line-oriented.
+/// allocation failure while loading. what() composes every piece of context
+/// the reader had: "<path>: line N: ..." for line-oriented input,
+/// "<path>: byte N: ..." for binary input. The file-level readers always
+/// supply the path; the stream-level readers supply it when given one.
 class IoError : public std::runtime_error {
  public:
   explicit IoError(const std::string& what, std::int64_t line = 0)
-      : std::runtime_error(
-            line > 0 ? "line " + std::to_string(line) + ": " + what : what),
+      : IoError(what, std::string(), -1, line) {}
+
+  IoError(const std::string& what, std::string path, std::int64_t offset,
+          std::int64_t line = 0)
+      : std::runtime_error(compose(what, path, offset, line)),
+        raw_(what),
+        path_(std::move(path)),
+        offset_(offset),
         line_(line) {}
+
+  /// The message without path/line/offset prefixes (for re-wrapping).
+  const std::string& raw() const noexcept { return raw_; }
+
+  /// File the error came from; empty for bare-stream parsing.
+  const std::string& path() const noexcept { return path_; }
+
+  /// Byte offset of the offending input, -1 when not byte-oriented.
+  std::int64_t offset() const noexcept { return offset_; }
 
   /// 1-based line of the offending input, 0 when not line-oriented.
   std::int64_t line() const noexcept { return line_; }
 
  private:
+  static std::string compose(const std::string& what, const std::string& path,
+                             std::int64_t offset, std::int64_t line) {
+    std::string msg;
+    if (!path.empty()) msg += path + ": ";
+    if (line > 0)
+      msg += "line " + std::to_string(line) + ": ";
+    else if (offset >= 0)
+      msg += "byte " + std::to_string(offset) + ": ";
+    msg += what;
+    return msg;
+  }
+
+  std::string raw_;
+  std::string path_;
+  std::int64_t offset_;
   std::int64_t line_;
 };
 
@@ -47,10 +88,23 @@ CsrGraph read_dimacs_file(const std::string& path);
 void write_dimacs(std::ostream& out, const CsrGraph& g);
 void write_dimacs_file(const std::string& path, const CsrGraph& g);
 
-/// Binary round-trip (magic + sizes + raw arrays, little-endian host layout).
+/// Writes the v2 checksummed container (see file comment).
 void write_binary(std::ostream& out, const CsrGraph& g);
-CsrGraph read_binary(std::istream& in);
+
+/// Reads either binary format, dispatching on the magic: v2 "PEEKSNP2"
+/// (checksummed) or legacy "PEEKCSR1" (validated structurally only). Both
+/// reject trailing bytes after the payload. `path` is diagnostic context
+/// for IoError only.
+CsrGraph read_binary(std::istream& in, const std::string& path = {});
+
+/// write_binary via atomic durable publish (tmp + fsync + rename): a crash
+/// mid-write leaves the previous file intact, never a torn one.
 void write_binary_file(const std::string& path, const CsrGraph& g);
 CsrGraph read_binary_file(const std::string& path);
+
+/// Legacy "PEEKCSR1" writer (raw host-layout arrays, no checksums). Kept
+/// only so read-compat tests can produce genuine v1 files; new code should
+/// never call it.
+void write_binary_legacy(std::ostream& out, const CsrGraph& g);
 
 }  // namespace peek::graph

@@ -12,6 +12,20 @@ bool CandidateSet::push(Path path, int dev_index) {
   return true;
 }
 
+std::vector<Path> CandidateSet::seen_paths() const {
+  std::vector<Path> out(seen_.begin(), seen_.end());
+  std::sort(out.begin(), out.end(), PathLess{});
+  return out;
+}
+
+void CandidateSet::restore(std::vector<Candidate> pending,
+                           std::vector<Path> seen) {
+  heap_ = std::move(pending);
+  std::make_heap(heap_.begin(), heap_.end(), Greater{});
+  seen_.clear();
+  for (Path& p : seen) seen_.insert(std::move(p));
+}
+
 std::optional<Candidate> CandidateSet::pop_min() {
   if (heap_.empty()) return std::nullopt;
   std::pop_heap(heap_.begin(), heap_.end(), Greater{});

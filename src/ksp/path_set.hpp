@@ -38,6 +38,17 @@ class CandidateSet {
   size_t size() const { return heap_.size(); }
   size_t total_generated() const { return seen_.size(); }
 
+  /// Checkpoint support (recover/): the live candidates in internal heap
+  /// order. pop_min's output sequence depends only on the comparator (a total
+  /// order), so any valid heap over the same multiset replays identically.
+  const std::vector<Candidate>& pending() const { return heap_; }
+  /// Every vertex sequence ever inserted, sorted (PathLess) so checkpoint
+  /// images are deterministic.
+  std::vector<Path> seen_paths() const;
+  /// Replaces the current contents from a checkpoint: `pending` becomes the
+  /// heap (re-heapified), `seen` the dedup set. `seen` must cover `pending`.
+  void restore(std::vector<Candidate> pending, std::vector<Path> seen);
+
  private:
   struct Greater {
     bool operator()(const Candidate& a, const Candidate& b) const {

@@ -49,6 +49,14 @@ class KspStream {
   const std::vector<sssp::Path>& produced() const { return produced_; }
   const KspStats& stats() const { return stats_; }
 
+  /// The reverse shortest-path tree deviations are answered from, for
+  /// persistence (recover/): a restored stream warm-started with this exact
+  /// tree replays byte-identical tie-breaks. Valid only when
+  /// has_reverse_tree() — i.e. after warm-start construction or the first
+  /// successful next().
+  const sssp::SsspResult& reverse_tree() const { return rtree_; }
+  bool has_reverse_tree() const { return have_rtree_ || primed_; }
+
  private:
   /// Returns false when `cancel` tripped before the round finished — some
   /// deviations may be missing, so the caller must not pop a candidate.

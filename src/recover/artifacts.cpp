@@ -1,0 +1,513 @@
+#include "recover/artifacts.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace peek::recover {
+
+namespace {
+
+// Section ids, scoped per artifact kind. Stable on-disk values.
+enum SectionId : std::uint32_t {
+  kSecMeta = 1,       // scalars: dimensions, roots, flags, fingerprint
+  kSecRowOffsets = 2, // graph row offsets (i64 each)
+  kSecCols = 3,       // graph columns (u32 each)
+  kSecWeights = 4,    // graph weights (f64 each)
+  kSecDist = 5,       // tree distances (f64 each)
+  kSecParent = 6,     // tree parents (u32 each, two's complement)
+  kSecOldToNew = 7,   // vertex map (u32 each)
+  kSecNewToOld = 8,
+  kSecPaths = 9,      // path list
+  kSecPending = 10,   // checkpoint candidate heap
+  kSecSeen = 11,      // checkpoint dedup set
+};
+
+fault::Status data_loss(const std::string& why) {
+  return {fault::Status::kDataLoss, why};
+}
+
+void put_vid(std::vector<std::byte>& out, vid_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+bool get_vid(Cursor& cur, vid_t& v) {
+  std::uint32_t u;
+  if (!cur.get_u32(u)) return false;
+  v = static_cast<vid_t>(u);
+  return true;
+}
+
+/// Finite, positive, plausible path/edge distance. Persisted artifacts come
+/// from validated pipelines, so NaN or negative here means corruption that
+/// slipped past the checksum writer (i.e. a buggy or hostile writer).
+bool plausible_weight(weight_t w) {
+  return !std::isnan(w) && w >= 0.0;
+}
+
+const Section* need(const Snapshot& snap, std::uint32_t id) {
+  return snap.find(id);
+}
+
+// Decodes a u64-count-prefixed array with a per-element reader. Returns false
+// on any short read or if the count is implausible for the bytes available.
+template <typename T, typename GetFn>
+bool get_array(Cursor& cur, std::vector<T>& out, std::size_t elem_bytes,
+               GetFn get) {
+  std::uint64_t count = 0;
+  if (!cur.get_u64(count)) return false;
+  if (elem_bytes != 0 && count > cur.remaining() / elem_bytes) return false;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    T v{};
+    if (!get(cur, v)) return false;
+    out.push_back(v);
+  }
+  return true;
+}
+
+bool get_vid_vec(Cursor& cur, std::vector<vid_t>& out) {
+  return get_array<vid_t>(cur, out, 4,
+                          [](Cursor& c, vid_t& v) { return get_vid(c, v); });
+}
+
+bool get_f64_vec(Cursor& cur, std::vector<double>& out) {
+  return get_array<double>(
+      cur, out, 8, [](Cursor& c, double& v) { return c.get_f64(v); });
+}
+
+bool get_eid_vec(Cursor& cur, std::vector<eid_t>& out) {
+  return get_array<eid_t>(cur, out, 8, [](Cursor& c, eid_t& v) {
+    std::int64_t x;
+    if (!c.get_i64(x)) return false;
+    v = x;
+    return true;
+  });
+}
+
+void put_vid_vec(std::vector<std::byte>& out, const std::vector<vid_t>& v) {
+  put_u64(out, v.size());
+  for (vid_t x : v) put_vid(out, x);
+}
+
+void put_f64_vec(std::vector<std::byte>& out, const std::vector<double>& v) {
+  put_u64(out, v.size());
+  for (double x : v) put_f64(out, x);
+}
+
+void put_eid_vec(std::vector<std::byte>& out, const std::vector<eid_t>& v) {
+  put_u64(out, v.size());
+  for (eid_t x : v) put_i64(out, x);
+}
+
+void put_int_vec(std::vector<std::byte>& out, const std::vector<int>& v) {
+  put_u64(out, v.size());
+  for (int x : v) put_u32(out, static_cast<std::uint32_t>(x));
+}
+
+bool get_int_vec(Cursor& cur, std::vector<int>& out) {
+  return get_array<int>(cur, out, 4, [](Cursor& c, int& v) {
+    std::uint32_t u;
+    if (!c.get_u32(u)) return false;
+    v = static_cast<int>(u);
+    return true;
+  });
+}
+
+/// Structural CSR validation shared by graph decode paths: lengths agree,
+/// offsets monotone from 0 to m, targets in range, weights finite & >= 0.
+fault::Status validate_csr_arrays(const std::vector<eid_t>& row,
+                                  const std::vector<vid_t>& col,
+                                  const std::vector<weight_t>& wgt) {
+  if (row.empty()) return data_loss("csr: empty row-offset array");
+  const std::size_t n = row.size() - 1;
+  if (n > static_cast<std::size_t>(std::numeric_limits<vid_t>::max()))
+    return data_loss("csr: vertex count overflows vid_t");
+  if (col.size() != wgt.size())
+    return data_loss("csr: column/weight array length mismatch");
+  if (row.front() != 0) return data_loss("csr: row offsets do not start at 0");
+  if (row.back() != static_cast<eid_t>(col.size()))
+    return data_loss("csr: row offsets do not end at edge count");
+  for (std::size_t i = 1; i < row.size(); ++i)
+    if (row[i] < row[i - 1])
+      return data_loss("csr: non-monotone row offset at vertex " +
+                       std::to_string(i - 1));
+  for (std::size_t e = 0; e < col.size(); ++e) {
+    if (col[e] < 0 || static_cast<std::size_t>(col[e]) >= n)
+      return data_loss("csr: edge target out of range at edge " +
+                       std::to_string(e));
+    if (!plausible_weight(wgt[e]) || wgt[e] == kInfDist)
+      return data_loss("csr: implausible edge weight at edge " +
+                       std::to_string(e));
+  }
+  return {};
+}
+
+/// Tree arrays against a known vertex count: dist/parent sized n, parents in
+/// [-1, n), distances finite-or-inf and non-negative.
+fault::Status validate_tree_arrays(const sssp::SsspResult& t, std::size_t n) {
+  if (t.dist.size() != n || t.parent.size() != n)
+    return data_loss("tree: array length does not match vertex count");
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!plausible_weight(t.dist[v]))
+      return data_loss("tree: implausible distance at vertex " +
+                       std::to_string(v));
+    if (t.parent[v] != kNoVertex &&
+        (t.parent[v] < 0 || static_cast<std::size_t>(t.parent[v]) >= n))
+      return data_loss("tree: parent out of range at vertex " +
+                       std::to_string(v));
+  }
+  return {};
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const graph::CsrGraph& g) {
+  // Hash the logical content, not memory: explicit LE bytes so fingerprints
+  // are stable across hosts and across this library's own versions.
+  std::vector<std::byte> buf;
+  buf.reserve(24 + static_cast<std::size_t>(g.num_vertices() + 1) * 8 +
+              static_cast<std::size_t>(g.num_edges()) * 12);
+  put_u32(buf, static_cast<std::uint32_t>(g.num_vertices()));
+  put_u64(buf, static_cast<std::uint64_t>(g.num_edges()));
+  for (eid_t r : g.row_offsets()) put_i64(buf, r);
+  for (vid_t c : g.col()) put_vid(buf, c);
+  for (weight_t w : g.weights()) put_f64(buf, w);
+  return xxhash64(buf.data(), buf.size(), /*seed=*/0x5045454bULL);
+}
+
+void put_paths(std::vector<std::byte>& out,
+               const std::vector<sssp::Path>& ps) {
+  put_u64(out, ps.size());
+  for (const sssp::Path& p : ps) {
+    put_f64(out, p.dist);
+    put_vid_vec(out, p.verts);
+  }
+}
+
+bool get_paths(Cursor& cur, std::vector<sssp::Path>& out) {
+  std::uint64_t count = 0;
+  if (!cur.get_u64(count)) return false;
+  // Each path is at least dist (8) + vert count (8).
+  if (count > cur.remaining() / 16) return false;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sssp::Path p;
+    if (!cur.get_f64(p.dist)) return false;
+    if (!get_vid_vec(cur, p.verts)) return false;
+    if (!plausible_weight(p.dist)) return false;
+    out.push_back(std::move(p));
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------- graph
+
+namespace {
+
+void encode_graph_sections(SnapshotWriter& w, const graph::CsrGraph& g) {
+  std::vector<std::byte>& row = w.add_section(kSecRowOffsets);
+  put_eid_vec(row, {g.row_offsets().begin(), g.row_offsets().end()});
+  std::vector<std::byte>& col = w.add_section(kSecCols);
+  put_vid_vec(col, {g.col().begin(), g.col().end()});
+  std::vector<std::byte>& wgt = w.add_section(kSecWeights);
+  put_f64_vec(wgt, {g.weights().begin(), g.weights().end()});
+}
+
+fault::Status decode_graph_sections(const Snapshot& snap,
+                                    graph::CsrGraph& out) {
+  const Section* row_s = need(snap, kSecRowOffsets);
+  const Section* col_s = need(snap, kSecCols);
+  const Section* wgt_s = need(snap, kSecWeights);
+  if (!row_s || !col_s || !wgt_s)
+    return data_loss("graph: missing CSR section");
+
+  std::vector<eid_t> row;
+  std::vector<vid_t> col;
+  std::vector<weight_t> wgt;
+  Cursor rc(row_s->bytes);
+  if (!get_eid_vec(rc, row) || rc.remaining() != 0)
+    return data_loss("graph: malformed row-offset section");
+  Cursor cc(col_s->bytes);
+  if (!get_vid_vec(cc, col) || cc.remaining() != 0)
+    return data_loss("graph: malformed column section");
+  Cursor wc(wgt_s->bytes);
+  if (!get_f64_vec(wc, wgt) || wc.remaining() != 0)
+    return data_loss("graph: malformed weight section");
+
+  fault::Status st = validate_csr_arrays(row, col, wgt);
+  if (!st.ok()) return st;
+  out = graph::CsrGraph(std::move(row), std::move(col), std::move(wgt));
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_graph(const graph::CsrGraph& g) {
+  SnapshotWriter w(kCsrGraph);
+  std::vector<std::byte>& meta = w.add_section(kSecMeta);
+  put_u32(meta, static_cast<std::uint32_t>(g.num_vertices()));
+  put_u64(meta, static_cast<std::uint64_t>(g.num_edges()));
+  encode_graph_sections(w, g);
+  return w.serialize();
+}
+
+fault::Status decode_graph(const Snapshot& snap, graph::CsrGraph& out) {
+  if (snap.kind != kCsrGraph)
+    return data_loss("graph: snapshot kind is not kCsrGraph");
+  const Section* meta = need(snap, kSecMeta);
+  if (!meta) return data_loss("graph: missing meta section");
+  Cursor mc(meta->bytes);
+  std::uint32_t n = 0;
+  std::uint64_t m = 0;
+  if (!mc.get_u32(n) || !mc.get_u64(m) || mc.remaining() != 0)
+    return data_loss("graph: malformed meta section");
+
+  graph::CsrGraph g;
+  fault::Status st = decode_graph_sections(snap, g);
+  if (!st.ok()) return st;
+  if (static_cast<std::uint32_t>(g.num_vertices()) != n ||
+      static_cast<std::uint64_t>(g.num_edges()) != m)
+    return data_loss("graph: meta dimensions disagree with CSR arrays");
+  out = std::move(g);
+  return {};
+}
+
+// --------------------------------------------------------------- SSSP tree
+
+std::vector<std::byte> encode_tree(const TreeArtifact& a) {
+  SnapshotWriter w(kSsspTree);
+  std::vector<std::byte>& meta = w.add_section(kSecMeta);
+  put_u64(meta, a.fingerprint);
+  put_vid(meta, a.root);
+  put_u32(meta, a.reverse ? 1u : 0u);
+  put_u32(meta, static_cast<std::uint32_t>(a.tree.status));
+  std::vector<std::byte>& dist = w.add_section(kSecDist);
+  put_f64_vec(dist, a.tree.dist);
+  std::vector<std::byte>& par = w.add_section(kSecParent);
+  put_vid_vec(par, a.tree.parent);
+  return w.serialize();
+}
+
+fault::Status decode_tree(const Snapshot& snap, TreeArtifact& out) {
+  if (snap.kind != kSsspTree)
+    return data_loss("tree: snapshot kind is not kSsspTree");
+  const Section* meta = need(snap, kSecMeta);
+  const Section* dist = need(snap, kSecDist);
+  const Section* par = need(snap, kSecParent);
+  if (!meta || !dist || !par) return data_loss("tree: missing section");
+
+  TreeArtifact a;
+  Cursor mc(meta->bytes);
+  std::uint32_t rev = 0, status = 0;
+  if (!mc.get_u64(a.fingerprint) || !get_vid(mc, a.root) ||
+      !mc.get_u32(rev) || !mc.get_u32(status) || mc.remaining() != 0)
+    return data_loss("tree: malformed meta section");
+  a.reverse = rev != 0;
+  // Only complete trees are worth persisting; a partial (cancelled) tree on
+  // disk means the writer was broken.
+  if (status != static_cast<std::uint32_t>(fault::Status::kOk))
+    return data_loss("tree: persisted tree has non-ok status");
+  a.tree.status = fault::Status::kOk;
+
+  Cursor dc(dist->bytes);
+  if (!get_f64_vec(dc, a.tree.dist) || dc.remaining() != 0)
+    return data_loss("tree: malformed distance section");
+  Cursor pc(par->bytes);
+  if (!get_vid_vec(pc, a.tree.parent) || pc.remaining() != 0)
+    return data_loss("tree: malformed parent section");
+
+  fault::Status st = validate_tree_arrays(a.tree, a.tree.dist.size());
+  if (!st.ok()) return st;
+  if (a.root < 0 || static_cast<std::size_t>(a.root) >= a.tree.dist.size())
+    return data_loss("tree: root vertex out of range");
+  out = std::move(a);
+  return {};
+}
+
+// ---------------------------------------------------- pruned (s,t) snapshot
+
+std::vector<std::byte> encode_pruned_snapshot(const PrunedSnapshotArtifact& a) {
+  SnapshotWriter w(kPrunedSnapshot);
+  std::vector<std::byte>& meta = w.add_section(kSecMeta);
+  put_u64(meta, a.fingerprint);
+  put_vid(meta, a.s);
+  put_vid(meta, a.t);
+  put_u32(meta, static_cast<std::uint32_t>(a.k_budget));
+  put_f64(meta, a.upper_bound);
+  std::uint32_t flags = 0;
+  if (a.exhausted) flags |= 1u;
+  if (a.reachable) flags |= 2u;
+  if (a.has_rtree) flags |= 4u;
+  put_u32(meta, flags);
+
+  if (a.reachable) {
+    encode_graph_sections(w, a.graph);
+    std::vector<std::byte>& o2n = w.add_section(kSecOldToNew);
+    put_vid_vec(o2n, a.map.old_to_new);
+    std::vector<std::byte>& n2o = w.add_section(kSecNewToOld);
+    put_vid_vec(n2o, a.map.new_to_old);
+    if (a.has_rtree) {
+      std::vector<std::byte>& dist = w.add_section(kSecDist);
+      put_f64_vec(dist, a.rtree.dist);
+      std::vector<std::byte>& par = w.add_section(kSecParent);
+      put_vid_vec(par, a.rtree.parent);
+    }
+  }
+  std::vector<std::byte>& paths = w.add_section(kSecPaths);
+  put_paths(paths, a.paths);
+  return w.serialize();
+}
+
+fault::Status decode_pruned_snapshot(const Snapshot& snap,
+                                     PrunedSnapshotArtifact& out) {
+  if (snap.kind != kPrunedSnapshot)
+    return data_loss("snapshot: kind is not kPrunedSnapshot");
+  const Section* meta = need(snap, kSecMeta);
+  if (!meta) return data_loss("snapshot: missing meta section");
+
+  PrunedSnapshotArtifact a;
+  Cursor mc(meta->bytes);
+  std::uint32_t k = 0, flags = 0;
+  if (!mc.get_u64(a.fingerprint) || !get_vid(mc, a.s) || !get_vid(mc, a.t) ||
+      !mc.get_u32(k) || !mc.get_f64(a.upper_bound) || !mc.get_u32(flags) ||
+      mc.remaining() != 0)
+    return data_loss("snapshot: malformed meta section");
+  a.k_budget = static_cast<int>(k);
+  a.exhausted = (flags & 1u) != 0;
+  a.reachable = (flags & 2u) != 0;
+  a.has_rtree = (flags & 4u) != 0;
+  if (a.k_budget <= 0) return data_loss("snapshot: non-positive k budget");
+  if (a.s < 0 || a.t < 0) return data_loss("snapshot: negative endpoint id");
+  if (std::isnan(a.upper_bound) || a.upper_bound < 0.0)
+    return data_loss("snapshot: implausible upper bound");
+
+  if (a.reachable) {
+    fault::Status st = decode_graph_sections(snap, a.graph);
+    if (!st.ok()) return st;
+    const Section* o2n = need(snap, kSecOldToNew);
+    const Section* n2o = need(snap, kSecNewToOld);
+    if (!o2n || !n2o) return data_loss("snapshot: missing vertex-map section");
+    Cursor oc(o2n->bytes);
+    if (!get_vid_vec(oc, a.map.old_to_new) || oc.remaining() != 0)
+      return data_loss("snapshot: malformed old-to-new section");
+    Cursor nc(n2o->bytes);
+    if (!get_vid_vec(nc, a.map.new_to_old) || nc.remaining() != 0)
+      return data_loss("snapshot: malformed new-to-old section");
+    const std::size_t n_new = static_cast<std::size_t>(a.graph.num_vertices());
+    if (a.map.new_to_old.size() != n_new)
+      return data_loss("snapshot: vertex map disagrees with compacted graph");
+    const std::size_t n_old = a.map.old_to_new.size();
+    for (std::size_t i = 0; i < n_new; ++i) {
+      const vid_t o = a.map.new_to_old[i];
+      if (o < 0 || static_cast<std::size_t>(o) >= n_old ||
+          a.map.old_to_new[static_cast<std::size_t>(o)] !=
+              static_cast<vid_t>(i))
+        return data_loss("snapshot: vertex map is not a partial bijection");
+    }
+    for (std::size_t i = 0; i < n_old; ++i) {
+      const vid_t nn = a.map.old_to_new[i];
+      if (nn != kNoVertex &&
+          (nn < 0 || static_cast<std::size_t>(nn) >= n_new))
+        return data_loss("snapshot: old-to-new id out of range");
+    }
+    if (static_cast<std::size_t>(a.s) >= n_old ||
+        static_cast<std::size_t>(a.t) >= n_old)
+      return data_loss("snapshot: endpoint outside original id space");
+    if (a.has_rtree) {
+      const Section* dist = need(snap, kSecDist);
+      const Section* par = need(snap, kSecParent);
+      if (!dist || !par) return data_loss("snapshot: missing rtree section");
+      Cursor dc(dist->bytes);
+      if (!get_f64_vec(dc, a.rtree.dist) || dc.remaining() != 0)
+        return data_loss("snapshot: malformed rtree distance section");
+      Cursor pc(par->bytes);
+      if (!get_vid_vec(pc, a.rtree.parent) || pc.remaining() != 0)
+        return data_loss("snapshot: malformed rtree parent section");
+      fault::Status ts = validate_tree_arrays(a.rtree, n_new);
+      if (!ts.ok()) return ts;
+    }
+  } else if (a.has_rtree) {
+    return data_loss("snapshot: rtree flagged on an unreachable snapshot");
+  }
+
+  const Section* paths = need(snap, kSecPaths);
+  if (!paths) return data_loss("snapshot: missing path section");
+  Cursor pc(paths->bytes);
+  if (!get_paths(pc, a.paths) || pc.remaining() != 0)
+    return data_loss("snapshot: malformed path section");
+  if (a.paths.size() > static_cast<std::size_t>(a.k_budget))
+    return data_loss("snapshot: more paths than the k budget allows");
+  out = std::move(a);
+  return {};
+}
+
+// ----------------------------------------------------- dist rank checkpoint
+
+std::vector<std::byte> encode_dist_checkpoint(const DistCheckpoint& c) {
+  SnapshotWriter w(kDistCheckpoint);
+  std::vector<std::byte>& meta = w.add_section(kSecMeta);
+  put_u64(meta, c.fingerprint);
+  put_vid(meta, c.s);
+  put_vid(meta, c.t);
+  put_u32(meta, static_cast<std::uint32_t>(c.k));
+  put_u32(meta, static_cast<std::uint32_t>(c.ranks));
+  put_u32(meta, static_cast<std::uint32_t>(c.rank));
+  put_u32(meta, static_cast<std::uint32_t>(c.cand_tag));
+  std::vector<std::byte>& acc = w.add_section(kSecPaths);
+  put_paths(acc, c.accepted);
+  put_int_vec(acc, c.accepted_dev);
+  std::vector<std::byte>& pend = w.add_section(kSecPending);
+  put_paths(pend, c.pending);
+  put_int_vec(pend, c.pending_dev);
+  std::vector<std::byte>& seen = w.add_section(kSecSeen);
+  put_paths(seen, c.seen);
+  return w.serialize();
+}
+
+fault::Status decode_dist_checkpoint(const Snapshot& snap,
+                                     DistCheckpoint& out) {
+  if (snap.kind != kDistCheckpoint)
+    return data_loss("checkpoint: kind is not kDistCheckpoint");
+  const Section* meta = need(snap, kSecMeta);
+  const Section* acc = need(snap, kSecPaths);
+  const Section* pend = need(snap, kSecPending);
+  const Section* seen = need(snap, kSecSeen);
+  if (!meta || !acc || !pend || !seen)
+    return data_loss("checkpoint: missing section");
+
+  DistCheckpoint c;
+  Cursor mc(meta->bytes);
+  std::uint32_t k = 0, ranks = 0, rank = 0, tag = 0;
+  if (!mc.get_u64(c.fingerprint) || !get_vid(mc, c.s) || !get_vid(mc, c.t) ||
+      !mc.get_u32(k) || !mc.get_u32(ranks) || !mc.get_u32(rank) ||
+      !mc.get_u32(tag) || mc.remaining() != 0)
+    return data_loss("checkpoint: malformed meta section");
+  c.k = static_cast<int>(k);
+  c.ranks = static_cast<int>(ranks);
+  c.rank = static_cast<int>(rank);
+  c.cand_tag = static_cast<int>(tag);
+  if (c.k <= 0 || c.ranks <= 0 || c.rank < 0 || c.rank >= c.ranks)
+    return data_loss("checkpoint: implausible k/ranks/rank");
+  if (c.s < 0 || c.t < 0) return data_loss("checkpoint: negative endpoint");
+
+  Cursor ac(acc->bytes);
+  if (!get_paths(ac, c.accepted) || !get_int_vec(ac, c.accepted_dev) ||
+      ac.remaining() != 0 || c.accepted_dev.size() != c.accepted.size())
+    return data_loss("checkpoint: malformed accepted section");
+  Cursor pc(pend->bytes);
+  if (!get_paths(pc, c.pending) || !get_int_vec(pc, c.pending_dev) ||
+      pc.remaining() != 0 || c.pending_dev.size() != c.pending.size())
+    return data_loss("checkpoint: malformed pending section");
+  Cursor sc(seen->bytes);
+  if (!get_paths(sc, c.seen) || sc.remaining() != 0)
+    return data_loss("checkpoint: malformed seen section");
+  if (c.accepted.size() > static_cast<std::size_t>(c.k))
+    return data_loss("checkpoint: more accepted paths than k");
+  out = std::move(c);
+  return {};
+}
+
+}  // namespace peek::recover

@@ -1,0 +1,122 @@
+// Typed artifact codecs over the snapshot container (recover/snapshot.hpp).
+//
+// Each persistable artifact — CSR graph, SSSP tree, pruned (s,t) serving
+// snapshot, distributed-KSP rank checkpoint — gets an encode_* that packs it
+// into checksummed sections and a decode_* that rebuilds it from an
+// already-validated Snapshot. Decoders re-validate *semantics* on top of the
+// container's checksums (array lengths agree, row offsets monotone, vertex
+// ids in range): a checksum proves the bytes survived the disk, not that the
+// writer was sane or that the file matches the graph now being served.
+//
+// Artifacts that only make sense against one specific graph (trees,
+// snapshots, checkpoints) embed a `graph_fingerprint` of that graph; loaders
+// compare it before trusting anything. A mismatch is *staleness*, not
+// corruption — callers skip the file instead of quarantining it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compact/regeneration.hpp"
+#include "graph/csr.hpp"
+#include "recover/snapshot.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/path.hpp"
+
+namespace peek::serve {
+struct PrunedSnapshot;  // serve/artifact_cache.hpp
+}
+
+namespace peek::recover {
+
+/// Payload kind tags (snapshot header field). Stable on-disk values.
+enum ArtifactId : std::uint32_t {
+  kCsrGraph = 1,
+  kSsspTree = 2,
+  kPrunedSnapshot = 3,
+  kDistCheckpoint = 4,
+};
+
+/// Content hash of a graph (n, m, and all three CSR arrays). Two graphs with
+/// equal structure and weights fingerprint equally regardless of provenance.
+std::uint64_t graph_fingerprint(const graph::CsrGraph& g);
+
+// -------------------------------------------------------------------- graph
+
+/// Serializes `g` as a kCsrGraph snapshot image.
+std::vector<std::byte> encode_graph(const graph::CsrGraph& g);
+
+/// Rebuilds a graph from a validated kCsrGraph snapshot. kDataLoss when the
+/// sections are missing or semantically inconsistent.
+fault::Status decode_graph(const Snapshot& snap, graph::CsrGraph& out);
+
+// ---------------------------------------------------------------- SSSP tree
+
+/// A persisted SSSP tree: which graph it belongs to, which root, which
+/// direction, plus the tree arrays themselves.
+struct TreeArtifact {
+  std::uint64_t fingerprint = 0;  // graph_fingerprint of the owning graph
+  vid_t root = kNoVertex;
+  bool reverse = false;  // true = reverse_dijkstra tree (keyed on target)
+  sssp::SsspResult tree;
+};
+
+std::vector<std::byte> encode_tree(const TreeArtifact& a);
+fault::Status decode_tree(const Snapshot& snap, TreeArtifact& out);
+
+// ----------------------------------------------------- pruned (s,t) snapshot
+
+/// A persisted serve::PrunedSnapshot, including the reverse tree its
+/// KspStream was warm-started with so a restored stream deviates with the
+/// exact same tie-breaks as the original.
+struct PrunedSnapshotArtifact {
+  std::uint64_t fingerprint = 0;  // fingerprint of the ORIGINAL graph
+  vid_t s = kNoVertex, t = kNoVertex;  // original ids
+  int k_budget = 0;
+  weight_t upper_bound = kInfDist;
+  bool exhausted = false;
+  bool reachable = false;  // false = cached negative answer (no graph)
+  graph::CsrGraph graph;   // compacted subgraph (valid when reachable)
+  compact::VertexMap map;
+  std::vector<sssp::Path> paths;  // original ids
+  /// Reverse tree over the compacted graph, when the live stream had one
+  /// (primed). Empty dist/parent when absent.
+  bool has_rtree = false;
+  sssp::SsspResult rtree;
+};
+
+std::vector<std::byte> encode_pruned_snapshot(const PrunedSnapshotArtifact& a);
+fault::Status decode_pruned_snapshot(const Snapshot& snap,
+                                     PrunedSnapshotArtifact& out);
+
+// ------------------------------------------------------- dist rank checkpoint
+
+/// Per-rank stage-4 state of dist::DistPeek, written after every accepted
+/// round. All ranks run the replicated-state algorithm, so one rank's
+/// checkpoint is enough to resume that rank deterministically.
+struct DistCheckpoint {
+  std::uint64_t fingerprint = 0;
+  vid_t s = kNoVertex, t = kNoVertex;
+  int k = 0;
+  int ranks = 0;
+  int rank = 0;
+  int cand_tag = 0;  // next allgather tag (kept in lockstep across ranks)
+  std::vector<sssp::Path> accepted;      // globally accepted so far, in order
+  std::vector<int> accepted_dev;         // deviation index per accepted path
+  std::vector<sssp::Path> pending;       // candidate heap contents
+  std::vector<int> pending_dev;
+  std::vector<sssp::Path> seen;          // dedup set (sorted for determinism)
+};
+
+std::vector<std::byte> encode_dist_checkpoint(const DistCheckpoint& c);
+fault::Status decode_dist_checkpoint(const Snapshot& snap, DistCheckpoint& out);
+
+// ------------------------------------------------------------------ helpers
+
+/// Section codec for a Path list (shared by snapshot + checkpoint codecs).
+void put_paths(std::vector<std::byte>& out, const std::vector<sssp::Path>& ps);
+bool get_paths(Cursor& cur, std::vector<sssp::Path>& out);
+
+}  // namespace peek::recover

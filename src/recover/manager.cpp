@@ -1,0 +1,93 @@
+#include "recover/manager.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/metrics.hpp"
+
+namespace peek::recover {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string_view sv(suffix);
+  return s.size() >= sv.size() &&
+         s.compare(s.size() - sv.size(), sv.size(), sv) == 0;
+}
+
+}  // namespace
+
+fault::Status RecoveryManager::ensure_dir() const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    return {fault::Status::kInternal,
+            dir_ + ": cannot create snapshot directory: " + ec.message()};
+  return {};
+}
+
+std::string RecoveryManager::path_for(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::vector<LoadedFile> RecoveryManager::scan(ScanReport* report) const {
+  ScanReport local;
+  ScanReport& rep = report ? *report : local;
+  std::vector<LoadedFile> out;
+
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return out;  // missing/unreadable dir = nothing to restore
+
+  // Two passes over a stable listing: directory iteration order is
+  // filesystem-dependent, and quarantine renames mutate the directory.
+  std::vector<std::string> names;
+  for (const fs::directory_entry& e : it) {
+    std::error_code tec;
+    if (!e.is_regular_file(tec) || tec) continue;
+    names.push_back(e.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+
+  for (const std::string& name : names) {
+    const std::string path = path_for(name);
+    if (ends_with(name, ".tmp")) {
+      std::error_code rec;
+      fs::remove(path, rec);
+      if (!rec) ++rep.swept_tmp;
+      continue;
+    }
+    // Quarantine output and its sidecar are terminal states, not snapshots.
+    if (ends_with(name, ".corrupt") || ends_with(name, ".reason")) continue;
+
+    std::error_code sec;
+    const std::uintmax_t size = fs::file_size(path, sec);
+    ParseResult r = load_snapshot_file(path);
+    if (!r.status.ok()) {
+      rep.errors.push_back(path + ": " + r.status.message);
+      // Only proven corruption is exiled. A transient failure (e.g. an
+      // allocation giving out mid-load) leaves the file for the next scan.
+      if (r.status.code == fault::Status::kDataLoss) {
+        quarantine_file(path, r.status);
+        ++rep.quarantined;
+      }
+      continue;
+    }
+    LoadedFile f;
+    f.path = path;
+    f.name = name;
+    f.bytes = sec ? 0 : static_cast<std::size_t>(size);
+    f.snap = std::move(r.snap);
+    ++rep.loaded;
+    PEEK_COUNT_INC("recover.snapshots_loaded");
+    PEEK_COUNT_ADD("recover.bytes_restored",
+                   static_cast<std::int64_t>(f.bytes));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace peek::recover

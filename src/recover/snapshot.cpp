@@ -1,0 +1,464 @@
+#include "recover/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+
+namespace peek::recover {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'E', 'E', 'K', 'S', 'N', 'P', '2'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::size_t kHeaderBytes = 24;   // magic + version + kind + count + pad
+constexpr std::size_t kTableEntryBytes = 32;
+/// Hard cap on sections: a corrupt count must not drive a huge table read.
+constexpr std::uint32_t kMaxSections = 64;
+
+// The message stays prefix-free (the offset lives in `error_offset`) so
+// wrappers — load_snapshot_file, graph::IoError — can compose their own
+// "<path>: byte N:" context without doubling it.
+ParseResult fail_at(std::size_t offset, const std::string& why) {
+  ParseResult r;
+  r.status = {fault::Status::kDataLoss, why};
+  r.error_offset = offset;
+  return r;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ encoding
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffu));
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffu));
+}
+
+void put_i64(std::vector<std::byte>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::vector<std::byte>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_bytes(std::vector<std::byte>& out, const void* p, std::size_t n) {
+  // resize+memcpy instead of insert(range): GCC 12's -Wstringop-overflow
+  // false-fires on the inlined range-insert when n is not provably nonzero.
+  if (n == 0) return;
+  const std::size_t old = out.size();
+  out.resize(old + n);
+  std::memcpy(out.data() + old, p, n);
+}
+
+bool Cursor::get_bytes(void* dst, std::size_t n) {
+  if (remaining() < n) return false;
+  std::memcpy(dst, data + pos, n);
+  pos += n;
+  return true;
+}
+
+bool Cursor::skip(std::size_t n) {
+  if (remaining() < n) return false;
+  pos += n;
+  return true;
+}
+
+bool Cursor::get_u32(std::uint32_t& v) {
+  if (remaining() < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  pos += 4;
+  return true;
+}
+
+bool Cursor::get_u64(std::uint64_t& v) {
+  if (remaining() < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  pos += 8;
+  return true;
+}
+
+bool Cursor::get_i64(std::int64_t& v) {
+  std::uint64_t u;
+  if (!get_u64(u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool Cursor::get_f64(double& v) {
+  std::uint64_t bits;
+  if (!get_u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof v);
+  return true;
+}
+
+// ------------------------------------------------------------------- xxhash64
+
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t read_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint32_t read_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t xxh_round(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kPrime2;
+  acc = rotl64(acc, 31);
+  return acc * kPrime1;
+}
+
+inline std::uint64_t xxh_merge_round(std::uint64_t acc, std::uint64_t val) {
+  acc ^= xxh_round(0, val);
+  return acc * kPrime1 + kPrime4;
+}
+
+}  // namespace
+
+std::uint64_t xxhash64(const void* data, std::size_t len, std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::uint8_t* const end = p + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    const std::uint8_t* const limit = end - 32;
+    do {
+      v1 = xxh_round(v1, read_le64(p));
+      v2 = xxh_round(v2, read_le64(p + 8));
+      v3 = xxh_round(v3, read_le64(p + 16));
+      v4 = xxh_round(v4, read_le64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = xxh_merge_round(h, v1);
+    h = xxh_merge_round(h, v2);
+    h = xxh_merge_round(h, v3);
+    h = xxh_merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= xxh_round(0, read_le64(p));
+    h = rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read_le32(p)) * kPrime1;
+    h = rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+    h = rotl64(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+// ------------------------------------------------------------------ container
+
+const Section* Snapshot::find(std::uint32_t id) const {
+  for (const Section& s : sections)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+std::vector<std::byte>& SnapshotWriter::add_section(std::uint32_t id) {
+  sections_.push_back(Section{id, {}});
+  return sections_.back().bytes;
+}
+
+std::vector<std::byte> SnapshotWriter::serialize() const {
+  const std::size_t table_end =
+      kHeaderBytes + sections_.size() * kTableEntryBytes;
+  const std::size_t payload_start = table_end + 8;  // + header hash
+
+  std::vector<std::byte> out;
+  std::size_t total = payload_start;
+  for (const Section& s : sections_) total += s.bytes.size();
+  out.reserve(total);
+
+  put_bytes(out, kMagic, sizeof kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, kind_);
+  put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  put_u32(out, 0);  // reserved
+
+  std::size_t offset = payload_start;
+  for (const Section& s : sections_) {
+    put_u32(out, s.id);
+    put_u32(out, 0);  // reserved
+    put_u64(out, static_cast<std::uint64_t>(offset));
+    put_u64(out, static_cast<std::uint64_t>(s.bytes.size()));
+    put_u64(out, xxhash64(s.bytes.data(), s.bytes.size()));
+    offset += s.bytes.size();
+  }
+  put_u64(out, xxhash64(out.data(), table_end));
+  for (const Section& s : sections_)
+    put_bytes(out, s.bytes.data(), s.bytes.size());
+  return out;
+}
+
+fault::Status SnapshotWriter::write_file(const std::string& path) const {
+  std::vector<std::byte> image;
+  try {
+    PEEK_FAULT_ALLOC("recover.write.alloc");
+    image = serialize();
+  } catch (const std::bad_alloc& e) {
+    PEEK_COUNT_INC("recover.write_failures");
+    return {fault::Status::kResourceExhausted, e.what()};
+  }
+  return write_file_atomic(path, image.data(), image.size());
+}
+
+ParseResult parse_snapshot(const std::byte* data, std::size_t size) {
+  if (size < kHeaderBytes + 8) return fail_at(size, "truncated header");
+  if (std::memcmp(data, kMagic, sizeof kMagic) != 0)
+    return fail_at(0, "bad magic (not a PEEKSNP2 snapshot)");
+
+  Cursor cur(data, size);
+  cur.skip(sizeof kMagic);
+  std::uint32_t version = 0, kind = 0, count = 0, reserved = 0;
+  cur.get_u32(version);
+  cur.get_u32(kind);
+  cur.get_u32(count);
+  cur.get_u32(reserved);
+  if (version != kVersion)
+    return fail_at(8, "unsupported format version " + std::to_string(version));
+  if (count > kMaxSections)
+    return fail_at(16, "implausible section count " + std::to_string(count));
+
+  const std::size_t table_end = kHeaderBytes + count * kTableEntryBytes;
+  const std::size_t payload_start = table_end + 8;
+  if (size < payload_start) return fail_at(size, "truncated section table");
+
+  // Header+table integrity first: a bit flip in an offset/length field must
+  // not steer the payload validation, let alone a decoder.
+  std::uint64_t stored_header_hash = 0;
+  {
+    Cursor hc(data, size);
+    hc.pos = table_end;
+    hc.get_u64(stored_header_hash);
+  }
+  if (xxhash64(data, table_end) != stored_header_hash)
+    return fail_at(table_end, "header/table checksum mismatch");
+
+  ParseResult r;
+  r.snap.kind = kind;
+  std::size_t expect_offset = payload_start;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t entry_off = kHeaderBytes + i * kTableEntryBytes;
+    Cursor ec(data, size);
+    ec.pos = entry_off;
+    std::uint32_t id = 0, pad = 0;
+    std::uint64_t off = 0, len = 0, hash = 0;
+    ec.get_u32(id);
+    ec.get_u32(pad);
+    ec.get_u64(off);
+    ec.get_u64(len);
+    ec.get_u64(hash);
+    // Packed-contiguous layout is part of the format: any gap or overlap is
+    // corruption even if the checksums still match.
+    if (off != expect_offset)
+      return fail_at(entry_off, "section " + std::to_string(id) +
+                                    " offset out of sequence");
+    if (len > size - off)
+      return fail_at(entry_off, "section " + std::to_string(id) +
+                                    " extends past end of file");
+    if (xxhash64(data + off, static_cast<std::size_t>(len)) != hash)
+      return fail_at(static_cast<std::size_t>(off),
+                     "section " + std::to_string(id) + " checksum mismatch");
+    Section s;
+    s.id = id;
+    s.bytes.assign(data + off, data + off + len);
+    r.snap.sections.push_back(std::move(s));
+    expect_offset = static_cast<std::size_t>(off + len);
+  }
+  if (expect_offset != size)
+    return fail_at(expect_offset, "trailing bytes after last section");
+  return r;
+}
+
+ParseResult load_snapshot_file(const std::string& path) {
+  std::vector<std::byte> bytes;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+      ParseResult r;
+      r.status = {fault::Status::kDataLoss, path + ": cannot open"};
+      return r;
+    }
+    const std::streamoff n = in.tellg();
+    in.seekg(0);
+    try {
+      PEEK_FAULT_ALLOC("recover.read.alloc");
+      bytes.resize(static_cast<std::size_t>(n));
+    } catch (const std::bad_alloc& e) {
+      ParseResult r;
+      r.status = {fault::Status::kResourceExhausted, path + ": " + e.what()};
+      return r;
+    }
+    if (n > 0) in.read(reinterpret_cast<char*>(bytes.data()), n);
+    if (!in) {
+      ParseResult r;
+      r.status = {fault::Status::kDataLoss, path + ": short read"};
+      return r;
+    }
+  }
+  ParseResult r = parse_snapshot(bytes.data(), bytes.size());
+  if (!r.status.ok())
+    r.status.message = path + ": byte " + std::to_string(r.error_offset) +
+                       ": " + r.status.message;
+  return r;
+}
+
+namespace {
+
+fault::Status write_file_atomic_impl(const std::string& path,
+                                     const std::byte* data, std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    return {fault::Status::kInternal,
+            tmp + ": open failed: " + std::strerror(errno)};
+
+  // Injected mid-write kill: stop after a prefix and return without cleanup,
+  // leaving exactly the torn tmp file a real crash would. The published
+  // `path` is untouched; the recovery scan sweeps the orphan.
+  std::size_t to_write = size;
+  const bool torn = PEEK_FAULT_FIRE("recover.write.tear");
+  if (torn) to_write = size / 2;
+
+  std::size_t done = 0;
+  while (done < to_write) {
+    const ssize_t n = ::write(fd, reinterpret_cast<const char*>(data) + done,
+                              to_write - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return {fault::Status::kInternal, tmp + ": write failed: " + err};
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (torn) {
+    ::close(fd);
+    return {fault::Status::kInternal,
+            tmp + ": injected mid-write kill (torn tmp file left behind)"};
+  }
+
+  if (PEEK_FAULT_FIRE("recover.write.fsync")) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return {fault::Status::kInternal, tmp + ": injected fsync failure"};
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return {fault::Status::kInternal, tmp + ": fsync failed: " + err};
+  }
+  ::close(fd);
+
+  if (PEEK_FAULT_FIRE("recover.write.rename")) {
+    ::unlink(tmp.c_str());
+    return {fault::Status::kInternal,
+            path + ": injected rename failure (previous file intact)"};
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return {fault::Status::kInternal, path + ": rename failed: " + err};
+  }
+
+  // Make the rename itself durable. Best effort: the data is already safe
+  // under either name; a crash here at worst resurrects the old file name.
+  const std::string::size_type slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return {};
+}
+
+}  // namespace
+
+fault::Status write_file_atomic(const std::string& path, const std::byte* data,
+                                std::size_t size) {
+  const fault::Status st = write_file_atomic_impl(path, data, size);
+  if (st.ok()) {
+    PEEK_COUNT_INC("recover.snapshots_written");
+  } else {
+    PEEK_COUNT_INC("recover.write_failures");
+  }
+  return st;
+}
+
+fault::Status quarantine_file(const std::string& path,
+                              const fault::Status& why) {
+  const std::string dest = path + ".corrupt";
+  if (::rename(path.c_str(), dest.c_str()) != 0)
+    return {fault::Status::kInternal,
+            path + ": quarantine rename failed: " + std::strerror(errno)};
+  {
+    std::ofstream reason(dest + ".reason");
+    reason << to_string(why.code) << ": " << why.message << "\n";
+  }
+  PEEK_COUNT_INC("recover.quarantined");
+  return {};
+}
+
+}  // namespace peek::recover

@@ -1,0 +1,156 @@
+// Crash-safe snapshot container format v2 (DESIGN.md §10).
+//
+// Every artifact this system persists — binary graphs, spilled SSSP trees,
+// pruned (s,t) snapshots, distributed-KSP rank checkpoints — shares one
+// on-disk container: an explicit little-endian header, a section table with
+// one xxhash64 checksum per section, a checksum over the header+table
+// themselves, and packed payloads. A reader can therefore prove, byte
+// offset in hand, *which* part of a file is damaged: a truncated tail, a
+// bit-flipped payload, a torn section table — each is a typed
+// `fault::Status::kDataLoss` with the failing offset, never an exception
+// from deep inside a deserializer and never silently wrong data.
+//
+// Writes follow the classic atomic-publish discipline (ARIES-style
+// write-ahead thinking applied to whole-file snapshots): serialize to
+// `path + ".tmp"`, fsync the file, rename over `path`, fsync the directory.
+// A crash at any step leaves either the old file or the new file, plus at
+// worst a stale `*.tmp` the recovery scan sweeps. Each step carries a
+// deterministic fault probe (`recover.write.*`, DESIGN.md §9) so the chaos
+// suite can kill the writer mid-flight on demand.
+//
+// Layout (all integers little-endian, regardless of host):
+//
+//   [0,8)    magic "PEEKSNP2"
+//   [8,12)   format version (= 2)
+//   [12,16)  payload kind (recover/artifacts.hpp enum)
+//   [16,20)  section count S
+//   [20,24)  reserved (0)
+//   [24,..)  S section-table entries, 32 bytes each:
+//              u32 id, u32 reserved, u64 offset, u64 length, u64 xxhash64
+//   [..,+8)  u64 xxhash64 over everything above (header + table)
+//   [..,end) payloads, packed contiguously in table order
+//
+// The reader rejects gaps between sections and trailing bytes after the
+// last one, so the only bytes a valid file can contain are checksummed ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/status.hpp"
+
+namespace peek::recover {
+
+// ---------------------------------------------------------------- encoding
+
+/// Appends one value to `out` in explicit little-endian byte order. The
+/// byte-at-a-time form is deliberate: the format must not depend on host
+/// endianness or struct layout.
+void put_u32(std::vector<std::byte>& out, std::uint32_t v);
+void put_u64(std::vector<std::byte>& out, std::uint64_t v);
+void put_i64(std::vector<std::byte>& out, std::int64_t v);
+void put_f64(std::vector<std::byte>& out, double v);
+void put_bytes(std::vector<std::byte>& out, const void* p, std::size_t n);
+
+/// Bounds-checked little-endian reader over a byte span. Every `get_*`
+/// returns false (without advancing) when fewer bytes remain than requested
+/// — decoders built on it can be fed arbitrary corrupt input and must
+/// still terminate with a typed error.
+struct Cursor {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+
+  Cursor() = default;
+  Cursor(const std::byte* d, std::size_t n) : data(d), size(n) {}
+  explicit Cursor(const std::vector<std::byte>& v)
+      : data(v.data()), size(v.size()) {}
+
+  std::size_t remaining() const { return size - pos; }
+  bool get_u32(std::uint32_t& v);
+  bool get_u64(std::uint64_t& v);
+  bool get_i64(std::int64_t& v);
+  bool get_f64(double& v);
+  bool get_bytes(void* dst, std::size_t n);
+  bool skip(std::size_t n);
+};
+
+/// XXH64 (Yann Collet's xxHash, 64-bit variant) — the per-section checksum.
+/// Implemented from scratch; validated against the published test vectors
+/// in tests/test_recover.cpp.
+std::uint64_t xxhash64(const void* data, std::size_t len,
+                       std::uint64_t seed = 0);
+
+// --------------------------------------------------------------- container
+
+/// One named payload inside a snapshot file.
+struct Section {
+  std::uint32_t id = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// A fully validated snapshot: every section's checksum has been verified
+/// before the caller sees any byte of it.
+struct Snapshot {
+  std::uint32_t kind = 0;
+  std::vector<Section> sections;
+
+  /// First section with `id`, or null.
+  const Section* find(std::uint32_t id) const;
+};
+
+/// Outcome of parsing one snapshot image. On failure `status` is
+/// kDataLoss (corrupt/truncated bytes) with a human-readable reason and
+/// `error_offset` names the first byte the validator rejected.
+struct ParseResult {
+  fault::Status status;
+  std::size_t error_offset = 0;
+  Snapshot snap;
+};
+
+/// Builds and serializes one snapshot image.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::uint32_t payload_kind) : kind_(payload_kind) {}
+
+  /// Starts a new section and returns its buffer; append with put_*.
+  std::vector<std::byte>& add_section(std::uint32_t id);
+
+  /// Header + table + checksums + packed payloads.
+  std::vector<std::byte> serialize() const;
+
+  /// serialize() + write_file_atomic(). Counts recover.snapshots_written /
+  /// recover.write_failures.
+  fault::Status write_file(const std::string& path) const;
+
+ private:
+  std::uint32_t kind_;
+  std::vector<Section> sections_;
+};
+
+/// Validates one in-memory snapshot image (header, table, every checksum,
+/// no gaps, no trailing bytes). Never throws on corrupt input.
+ParseResult parse_snapshot(const std::byte* data, std::size_t size);
+
+/// Reads and validates a snapshot file. A missing/unreadable file is
+/// kDataLoss with the OS reason; the path is prefixed onto every message.
+ParseResult load_snapshot_file(const std::string& path);
+
+/// Atomic durable publish: write `path + ".tmp"`, fsync, rename over
+/// `path`, fsync the directory. Fault probes `recover.write.tear` (returns
+/// mid-write, leaving a torn tmp file exactly as a crash would),
+/// `recover.write.fsync` and `recover.write.rename` (the step fails before
+/// the file becomes visible). On any failure the previous `path` content,
+/// if any, is untouched.
+fault::Status write_file_atomic(const std::string& path, const std::byte* data,
+                                std::size_t size);
+
+/// Moves a corrupt file out of the scan set: renames `path` to
+/// `path + ".corrupt"` and records the typed reason in
+/// `path + ".corrupt.reason"`. Counts recover.quarantined.
+fault::Status quarantine_file(const std::string& path,
+                              const fault::Status& why);
+
+}  // namespace peek::recover

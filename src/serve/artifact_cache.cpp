@@ -144,6 +144,35 @@ void ArtifactCache::clear() {
   }
 }
 
+void ArtifactCache::for_each_tree(
+    const std::function<void(ArtifactKind, vid_t,
+                             const std::shared_ptr<const sssp::SsspResult>&,
+                             std::uint64_t)>& fn) const {
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    for (const auto& e : sh->lru) {
+      if (e.key.kind == ArtifactKind::kSnapshot) continue;
+      fn(e.key.kind, e.key.a,
+         std::static_pointer_cast<const sssp::SsspResult>(e.value),
+         e.generation);
+    }
+  }
+}
+
+void ArtifactCache::for_each_snapshot(
+    const std::function<void(vid_t, vid_t,
+                             const std::shared_ptr<PrunedSnapshot>&,
+                             std::uint64_t)>& fn) const {
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    for (const auto& e : sh->lru) {
+      if (e.key.kind != ArtifactKind::kSnapshot) continue;
+      fn(e.key.a, e.key.b, std::static_pointer_cast<PrunedSnapshot>(e.value),
+         e.generation);
+    }
+  }
+}
+
 CacheStats ArtifactCache::stats() const {
   CacheStats s;
   for (const auto& sh : shards_) {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -69,6 +70,16 @@ struct PrunedSnapshot {
   std::unique_ptr<ksp::KspStream> stream;  // null once exhausted/dropped
   std::vector<sssp::Path> paths;  // original ids, sorted, grows monotonically
   bool exhausted = false;  // fewer than k_budget paths exist
+
+  /// Warm-restart provenance (recover/): this snapshot was decoded from disk
+  /// rather than computed. Its stream is rebuilt lazily on the first
+  /// extension past `paths` — from `restored_rtree` when the original stream
+  /// had a reverse tree, so the rebuilt stream deviates with identical
+  /// tie-breaks (see QueryEngine::ensure_stream). Both restored_* fields are
+  /// consumed by that rebuild.
+  bool restored = false;
+  bool restored_has_rtree = false;
+  sssp::SsspResult restored_rtree;
 
   ~PrunedSnapshot();  // out of line: KspStream is incomplete here
 
@@ -123,6 +134,19 @@ class ArtifactCache {
   /// Drops every entry (eager invalidation; generation bumps make this
   /// optional).
   void clear();
+
+  /// Snapshot-persistence iteration (recover/): visits every resident tree /
+  /// snapshot entry with its key and generation, LRU order within a shard.
+  /// The shard lock is held across each callback — callbacks must not call
+  /// back into the cache.
+  void for_each_tree(
+      const std::function<void(ArtifactKind, vid_t,
+                               const std::shared_ptr<const sssp::SsspResult>&,
+                               std::uint64_t)>& fn) const;
+  void for_each_snapshot(
+      const std::function<void(vid_t, vid_t,
+                               const std::shared_ptr<PrunedSnapshot>&,
+                               std::uint64_t)>& fn) const;
 
   CacheStats stats() const;
   std::size_t byte_budget() const { return budget_; }

@@ -5,6 +5,7 @@
 
 #include "ksp/stream.hpp"
 #include "obs/metrics.hpp"
+#include "recover/artifacts.hpp"
 
 namespace peek::serve {
 
@@ -25,11 +26,21 @@ void to_original_ids(sssp::Path& p, const compact::VertexMap& map) {
 QueryEngine::QueryEngine(const graph::CsrGraph& g, const ServeOptions& opts)
     : static_graph_(&g), opts_(opts), cache_(opts.cache) {
   if (opts_.injector) fault::Injector::global().configure(*opts_.injector);
+  if (!opts_.snapshot_dir.empty()) {
+    recovery_.emplace(opts_.snapshot_dir);
+    recovery_->ensure_dir();
+    if (opts_.warm_restart) restore_from_dir();
+  }
 }
 
 QueryEngine::QueryEngine(const dyn::DynamicGraph& dg, const ServeOptions& opts)
     : dyn_graph_(&dg), opts_(opts), cache_(opts.cache) {
   if (opts_.injector) fault::Injector::global().configure(*opts_.injector);
+  if (!opts_.snapshot_dir.empty()) {
+    recovery_.emplace(opts_.snapshot_dir);
+    recovery_->ensure_dir();
+    if (opts_.warm_restart) restore_from_dir();
+  }
 }
 
 void QueryEngine::invalidate() {
@@ -67,35 +78,93 @@ std::shared_ptr<const graph::CsrGraph> QueryEngine::active_graph() {
   return dyn_snapshot_;
 }
 
+bool QueryEngine::ensure_stream(PrunedSnapshot& snap, ServeResult& out,
+                                const fault::CancelToken* cancel) {
+  if (!snap.stream) {
+    // Only a disk-restored snapshot parks here with paths still extendable;
+    // a computed snapshot's stream lives until genuine exhaustion.
+    if (!snap.graph) {
+      snap.exhausted = true;  // negative answer: nothing to extend
+      return false;
+    }
+    const vid_t cs = snap.map.to_new(snap.s), ct = snap.map.to_new(snap.t);
+    if (cs == kNoVertex || ct == kNoVertex) {
+      snap.exhausted = true;
+      return false;
+    }
+    snap.graph->warm_reverse();
+    if (snap.restored_has_rtree) {
+      // Rebuild warm-started from the persisted reverse tree: deviations
+      // replay with the exact tie-breaks of the original stream.
+      snap.stream = std::make_unique<ksp::KspStream>(
+          sssp::BiView::of(*snap.graph), cs, ct,
+          std::move(snap.restored_rtree));
+      snap.restored_has_rtree = false;
+      snap.restored_rtree = {};
+    } else {
+      snap.stream = std::make_unique<ksp::KspStream>(
+          sssp::BiView::of(*snap.graph), cs, ct);
+    }
+    PEEK_COUNT_INC("serve.stream_rebuilds");
+  }
+  // Fast-forward a rebuilt stream past the already-materialized paths.
+  // Replayed paths are discarded — `paths` already holds them in original
+  // ids — leaving the stream positioned to produce path |paths|+1 next.
+  while (snap.stream->produced().size() < snap.paths.size()) {
+    auto p = snap.stream->next(cancel);
+    if (!p) {
+      if (!snap.stream->exhausted()) {
+        // Cancelled mid-fast-forward: the stream keeps its progress; a later
+        // un-cancelled query resumes the replay from here.
+        fault::CancelPoll poll(cancel, /*stride=*/1);
+        out.status.code =
+            poll.should_stop() ? poll.why() : fault::Status::kCancelled;
+        return false;
+      }
+      // Replay dried up before reaching the persisted list. The persisted
+      // paths remain the (complete) answer; nothing more can be extended.
+      snap.exhausted = true;
+      snap.stream.reset();
+      return false;
+    }
+  }
+  return true;
+}
+
 bool QueryEngine::serve_from_snapshot(PrunedSnapshot& snap, int k,
                                       ServeResult& out,
                                       const fault::CancelToken* cancel) {
   std::lock_guard<std::mutex> lock(snap.mu);
+  if (snap.restored) PEEK_COUNT_INC("serve.cache.restore_hits");
   if (static_cast<int>(snap.paths.size()) < k && !snap.exhausted) {
     if (snap.k_budget < k) return false;  // needs a wider pruning bound
     // Incremental K extension: pull only the missing paths from the live
-    // stream. Exhaustion below the budget is definitive — when the pruned
+    // stream (rebuilt + fast-forwarded first if this snapshot came from
+    // disk). Exhaustion below the budget is definitive — when the pruned
     // graph runs out before k_budget, the bound was infinite (Lemma 4.2)
     // and the pruned graph holds every s->t path there is.
-    while (static_cast<int>(snap.paths.size()) < k) {
-      auto p = snap.stream ? snap.stream->next(cancel) : std::nullopt;
-      if (!p) {
-        if (snap.stream && !snap.stream->exhausted()) {
-          // Cancelled mid-extension: the stream stays live (a later
-          // un-cancelled query resumes it) and this query answers partially.
-          fault::CancelPoll poll(cancel, /*stride=*/1);
-          out.status.code = poll.should_stop() ? poll.why()
-                                               : fault::Status::kCancelled;
+    if (ensure_stream(snap, out, cancel)) {
+      while (static_cast<int>(snap.paths.size()) < k) {
+        auto p = snap.stream ? snap.stream->next(cancel) : std::nullopt;
+        if (!p) {
+          if (snap.stream && !snap.stream->exhausted()) {
+            // Cancelled mid-extension: the stream stays live (a later
+            // un-cancelled query resumes it) and this query answers
+            // partially.
+            fault::CancelPoll poll(cancel, /*stride=*/1);
+            out.status.code = poll.should_stop() ? poll.why()
+                                                 : fault::Status::kCancelled;
+            break;
+          }
+          snap.exhausted = true;
+          snap.stream.reset();
           break;
         }
-        snap.exhausted = true;
-        snap.stream.reset();
-        break;
+        to_original_ids(*p, snap.map);
+        snap.paths.push_back(std::move(*p));
+        out.extended = true;
+        PEEK_COUNT_INC("serve.stream_extensions");
       }
-      to_original_ids(*p, snap.map);
-      snap.paths.push_back(std::move(*p));
-      out.extended = true;
-      PEEK_COUNT_INC("serve.stream_extensions");
     }
   }
   const size_t take = std::min<size_t>(static_cast<size_t>(k),
@@ -143,6 +212,16 @@ std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
     if (rev && PEEK_FAULT_FIRE("serve.tree.corrupt")) {
       rev = nullptr;
       PEEK_COUNT_INC("serve.cache.corruption_drops");
+    }
+    if (fwd || rev) {
+      // Warm-restart accounting: hits on trees that came from disk.
+      std::lock_guard<std::mutex> lock(restored_mu_);
+      if (fwd && restored_trees_.count(
+                     {static_cast<int>(ArtifactKind::kForwardTree), s}) > 0)
+        PEEK_COUNT_INC("serve.cache.restore_hits");
+      if (rev && restored_trees_.count(
+                     {static_cast<int>(ArtifactKind::kReverseTree), t}) > 0)
+        PEEK_COUNT_INC("serve.cache.restore_hits");
     }
   }
   out.fwd_tree_hit = fwd != nullptr;
@@ -423,6 +502,156 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
   }
   out.seconds = seconds_since(t0);
   return out;
+}
+
+void QueryEngine::restore_from_dir() {
+  PEEK_TIMER_SCOPE("serve.warm_restart");
+  auto g = active_graph();
+  const std::uint64_t fp = recover::graph_fingerprint(*g);
+  const std::uint64_t gen = generation();
+  for (recover::LoadedFile& f : recovery_->scan()) {
+    fault::Status st;
+    if (f.snap.kind == recover::kSsspTree) {
+      recover::TreeArtifact a;
+      st = recover::decode_tree(f.snap, a);
+      if (st.ok()) {
+        // Fingerprint mismatch = a snapshot of some other graph (stale,
+        // e.g. the graph was regenerated between runs). Not corruption:
+        // skip it, leave the file for whoever owns it.
+        if (a.fingerprint != fp ||
+            a.tree.dist.size() != static_cast<size_t>(g->num_vertices()))
+          continue;
+        const ArtifactKind kind = a.reverse ? ArtifactKind::kReverseTree
+                                            : ArtifactKind::kForwardTree;
+        const vid_t root = a.root;
+        if (cache_.put_tree(kind, root,
+                            std::make_shared<sssp::SsspResult>(
+                                std::move(a.tree)),
+                            gen)) {
+          std::lock_guard<std::mutex> lock(restored_mu_);
+          restored_trees_.insert({static_cast<int>(kind), root});
+          ++restored_artifacts_;
+        }
+        continue;
+      }
+    } else if (f.snap.kind == recover::kPrunedSnapshot) {
+      recover::PrunedSnapshotArtifact a;
+      st = recover::decode_pruned_snapshot(f.snap, a);
+      if (st.ok()) {
+        if (a.fingerprint != fp || a.s >= g->num_vertices() ||
+            a.t >= g->num_vertices())
+          continue;
+        if (a.reachable &&
+            a.map.old_to_new.size() != static_cast<size_t>(g->num_vertices()))
+          continue;
+        auto snap = std::make_shared<PrunedSnapshot>();
+        snap->s = a.s;
+        snap->t = a.t;
+        snap->k_budget = a.k_budget;
+        snap->upper_bound = a.upper_bound;
+        snap->exhausted = a.exhausted;
+        snap->paths = std::move(a.paths);
+        snap->restored = true;
+        if (a.reachable) {
+          snap->graph = std::make_shared<graph::CsrGraph>(std::move(a.graph));
+          snap->map = std::move(a.map);
+          if (a.has_rtree) {
+            snap->restored_has_rtree = true;
+            snap->restored_rtree = std::move(a.rtree);
+          }
+        }
+        if (cache_.put_snapshot(snap->s, snap->t, snap, gen))
+          ++restored_artifacts_;
+        continue;
+      }
+    } else {
+      // Unknown payload kind — possibly a newer writer or another
+      // subsystem's file (e.g. a dist checkpoint). Not ours to judge.
+      continue;
+    }
+    // Checksums passed but the decode rejected the contents: the writer was
+    // broken or the corruption was crafted — quarantine with the typed why.
+    recover::quarantine_file(f.path, st);
+  }
+}
+
+int QueryEngine::persist() {
+  if (!recovery_) return 0;
+  PEEK_TIMER_SCOPE("serve.persist");
+  recovery_->ensure_dir();
+  auto g = active_graph();
+  const std::uint64_t fp = recover::graph_fingerprint(*g);
+  const std::uint64_t gen = generation();
+  int written = 0;
+  auto publish = [&](const std::string& name,
+                     const std::vector<std::byte>& image) {
+    const fault::Status st = recover::write_file_atomic(
+        recovery_->path_for(name), image.data(), image.size());
+    if (st.ok()) ++written;
+  };
+  // Snapshot the artifacts under the cache locks, encode + write after:
+  // write_file_atomic fsyncs, and a shard lock held across an fsync would
+  // stall every concurrent query hashing into that shard.
+  std::vector<recover::TreeArtifact> trees;
+  std::vector<recover::PrunedSnapshotArtifact> snaps;
+  if (opts_.cache_trees) {
+    cache_.for_each_tree([&](ArtifactKind kind, vid_t v,
+                             const std::shared_ptr<const sssp::SsspResult>&
+                                 tree,
+                             std::uint64_t tgen) {
+      if (tgen != gen) return;  // stale generation: useless after restart
+      recover::TreeArtifact a;
+      a.fingerprint = fp;
+      a.root = v;
+      a.reverse = kind == ArtifactKind::kReverseTree;
+      a.tree = *tree;
+      trees.push_back(std::move(a));
+    });
+  }
+  if (opts_.cache_snapshots) {
+    cache_.for_each_snapshot([&](vid_t, vid_t,
+                                 const std::shared_ptr<PrunedSnapshot>& snap,
+                                 std::uint64_t sgen) {
+      if (sgen != gen) return;
+      recover::PrunedSnapshotArtifact a;
+      a.fingerprint = fp;
+      {
+        std::lock_guard<std::mutex> lock(snap->mu);
+        a.s = snap->s;
+        a.t = snap->t;
+        a.k_budget = snap->k_budget;
+        a.upper_bound = snap->upper_bound;
+        a.exhausted = snap->exhausted;
+        a.reachable = snap->graph != nullptr;
+        if (snap->graph) {
+          a.graph = *snap->graph;
+          a.map = snap->map;
+          if (snap->stream && snap->stream->has_reverse_tree()) {
+            a.has_rtree = true;
+            a.rtree = snap->stream->reverse_tree();
+          } else if (snap->restored_has_rtree) {
+            // Restored but never extended: pass the persisted tree through
+            // unchanged so the next restart keeps the exact tie-breaks.
+            a.has_rtree = true;
+            a.rtree = snap->restored_rtree;
+          }
+        }
+        a.paths = snap->paths;
+      }
+      snaps.push_back(std::move(a));
+    });
+  }
+  for (const recover::TreeArtifact& a : trees) {
+    publish(std::string("tree_") + (a.reverse ? "r" : "f") + "_" +
+                std::to_string(a.root) + ".snap",
+            recover::encode_tree(a));
+  }
+  for (const recover::PrunedSnapshotArtifact& a : snaps) {
+    publish("snap_" + std::to_string(a.s) + "_" + std::to_string(a.t) +
+                ".snap",
+            recover::encode_pruned_snapshot(a));
+  }
+  return written;
 }
 
 }  // namespace peek::serve

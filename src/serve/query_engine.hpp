@@ -33,11 +33,14 @@
 #include <condition_variable>
 #include <map>
 #include <optional>
+#include <set>
+#include <string>
 #include <utility>
 
 #include "core/peek.hpp"
 #include "dyn/dynamic_graph.hpp"
 #include "fault/injector.hpp"
+#include "recover/manager.hpp"
 #include "serve/artifact_cache.hpp"
 
 namespace peek::serve {
@@ -68,6 +71,15 @@ struct ServeOptions {
   /// When set, the constructor installs this fault-injection configuration
   /// into fault::Injector::global() (tests/CI; see DESIGN.md §9).
   std::optional<fault::InjectorConfig> injector;
+  /// Crash-safe persistence (DESIGN.md §10): when non-empty, persist()
+  /// spills cached artifacts here as checksummed v2 snapshots, and the
+  /// constructor warm-restarts from them (validate / quarantine / decode /
+  /// re-insert) so the first queries hit restored artifacts instead of
+  /// recomputing. Empty = no persistence.
+  std::string snapshot_dir;
+  /// Restore from snapshot_dir at construction. Off = write-only (persist()
+  /// still works; existing snapshots are ignored, not deleted).
+  bool warm_restart = true;
 };
 
 /// Per-query knobs of QueryEngine::query.
@@ -121,6 +133,18 @@ class QueryEngine {
   /// generation so every cached artifact becomes stale.
   void invalidate();
 
+  /// Spills every current-generation cached artifact (SSSP trees, pruned
+  /// snapshots) into ServeOptions::snapshot_dir as checksummed v2 snapshot
+  /// files, each published atomically (tmp + fsync + rename). Artifacts from
+  /// older generations are skipped — they would be stale on restore anyway.
+  /// Returns the number of files written; write failures are counted in
+  /// recover.write_failures and do not abort the sweep. No-op (returns 0)
+  /// without a snapshot_dir.
+  int persist();
+
+  /// Files restored into the cache by the constructor's warm restart.
+  int restored_artifacts() const { return restored_artifacts_; }
+
   std::uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);
   }
@@ -161,6 +185,18 @@ class QueryEngine {
   /// out.status set — the snapshot stays valid and un-exhausted.
   bool serve_from_snapshot(PrunedSnapshot& snap, int k, ServeResult& out,
                            const fault::CancelToken* cancel);
+  /// Pre-extension stream check (snap.mu must be held): rebuilds a restored
+  /// snapshot's stream (warm-started from its persisted reverse tree when
+  /// present) and fast-forwards it past the already-materialized paths so
+  /// the next next() yields path |paths|+1. False when extension cannot
+  /// proceed: snapshot exhausted, or `cancel` tripped mid-fast-forward
+  /// (out.status set; a later query resumes where this one stopped).
+  bool ensure_stream(PrunedSnapshot& snap, ServeResult& out,
+                     const fault::CancelToken* cancel);
+  /// Warm restart: scan + validate snapshot_dir, decode artifacts whose
+  /// graph fingerprint matches, insert them into the cache. Quarantines
+  /// files that pass checksums but fail semantic decode.
+  void restore_from_dir();
   /// Shed-path degraded answer: cached already-produced paths only, no graph
   /// work. False when nothing usable is cached.
   bool serve_degraded(vid_t s, vid_t t, int k, std::uint64_t gen,
@@ -177,6 +213,14 @@ class QueryEngine {
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> admitted_{0};  // admission-control occupancy
   ArtifactCache cache_;
+
+  /// Persistence state (set iff snapshot_dir is configured).
+  std::optional<recover::RecoveryManager> recovery_;
+  int restored_artifacts_ = 0;
+  /// Tree-cache keys that came from disk, so hits on them can count
+  /// serve.cache.restore_hits (snapshots carry a `restored` flag instead).
+  std::mutex restored_mu_;
+  std::set<std::pair<int, vid_t>> restored_trees_;
 
   std::mutex inflight_mu_;
   std::map<std::pair<vid_t, vid_t>, std::shared_ptr<Inflight>> inflight_;

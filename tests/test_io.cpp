@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -242,6 +243,115 @@ TEST(BinaryIo, RejectsCorruptWeights) {
   EXPECT_THROW(read_binary(buf), IoError);
   auto buf2 = binary_stream(2, 1, {0, 1, 1}, {1}, {-3.0});
   EXPECT_THROW(read_binary(buf2), IoError);
+}
+
+// ---- Format-version compat: legacy PEEKCSR1 vs v2 PEEKSNP2 containers. ----
+
+namespace {
+std::string serialized(void (*writer)(std::ostream&, const CsrGraph&),
+                       const CsrGraph& g) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  writer(buf, g);
+  return buf.str();
+}
+
+std::stringstream stream_of(const std::string& bytes) {
+  return std::stringstream(bytes,
+                           std::ios::in | std::ios::out | std::ios::binary);
+}
+}  // namespace
+
+TEST(BinaryCompat, LegacyReadCompatRoundTrip) {
+  // Files written by the pre-v2 writer must keep loading bit-exact.
+  auto g = test::random_graph(48, 300, 23);
+  auto buf = stream_of(serialized(write_binary_legacy, g));
+  CsrGraph back = read_binary(buf);
+  EXPECT_TRUE(g == back);
+}
+
+TEST(BinaryCompat, DefaultWriterEmitsV2Magic) {
+  auto g = test::random_graph(8, 20, 1);
+  const std::string bytes = serialized(write_binary, g);
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 8), "PEEKSNP2");
+}
+
+TEST(BinaryCompat, LegacyTruncatedMidSectionCarriesOffset) {
+  auto g = test::random_graph(32, 128, 7);
+  const std::string bytes = serialized(write_binary_legacy, g);
+  // Cut inside the column array: past the 24-byte header + row offsets.
+  const size_t cut = 24 + (static_cast<size_t>(g.num_vertices()) + 1) * 8 + 5;
+  ASSERT_LT(cut, bytes.size());
+  auto in = stream_of(bytes.substr(0, cut));
+  try {
+    read_binary(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_GE(e.offset(), 0);
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(BinaryCompat, V2TruncatedMidSectionCarriesOffset) {
+  auto g = test::random_graph(32, 128, 7);
+  const std::string bytes = serialized(write_binary, g);
+  for (const size_t cut : {bytes.size() - 3, bytes.size() / 2, size_t{21}}) {
+    auto in = stream_of(bytes.substr(0, cut));
+    try {
+      read_binary(in);
+      FAIL() << "expected IoError at cut " << cut;
+    } catch (const IoError& e) {
+      EXPECT_GE(e.offset(), 0) << "cut " << cut;
+    }
+  }
+}
+
+TEST(BinaryCompat, LegacyTrailingGarbageRejected) {
+  auto g = test::random_graph(16, 64, 9);
+  auto in = stream_of(serialized(write_binary_legacy, g) + "junk");
+  EXPECT_THROW(read_binary(in), IoError);
+}
+
+TEST(BinaryCompat, V2TrailingGarbageRejected) {
+  auto g = test::random_graph(16, 64, 9);
+  auto in = stream_of(serialized(write_binary, g) + std::string(3, '\0'));
+  EXPECT_THROW(read_binary(in), IoError);
+}
+
+TEST(BinaryCompat, V2BitFlipRejected) {
+  // A single flipped payload bit must fail a section checksum — the legacy
+  // format would have served it silently if the arrays stayed structurally
+  // valid; that is exactly why v2 exists.
+  auto g = test::random_graph(16, 64, 13);
+  std::string bytes = serialized(write_binary, g);
+  bytes[bytes.size() - 9] = static_cast<char>(bytes[bytes.size() - 9] ^ 0x10);
+  auto in = stream_of(bytes);
+  EXPECT_THROW(read_binary(in), IoError);
+}
+
+TEST(BinaryCompat, FileErrorsCarryPathContext) {
+  auto g = test::random_graph(16, 64, 3);
+  const std::string path = testing::TempDir() + "peek_io_corrupt.bin";
+  write_binary_file(path, g);
+  {
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      bytes = ss.str();
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()) - 4);
+  }
+  try {
+    read_binary_file(path);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
 }
 
 // Fuzz-style: deterministic pseudo-random byte soup must parse or throw

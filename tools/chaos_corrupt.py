@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Seeded snapshot-corruption tool for the CI chaos job (DESIGN.md §10).
+
+Applies one deterministic corruption to each snapshot file in a directory —
+the same damage classes the in-process chaos suite (tests/test_recover.cpp)
+drives, but from outside the process, against files a real peek_cli run
+persisted. The serving layer must then warm-restart cleanly: every damaged
+file quarantined to `*.corrupt` with a typed reason, every intact one loaded
+bit-identical, zero crashes.
+
+  tools/chaos_corrupt.py --dir snapshots/ --seed 3 [--kind truncate]
+
+Kinds (default: seed-derived per file):
+  truncate   cut the file at a random point
+  bitflip    flip one random bit
+  torntail   XOR-scribble the last T bytes, size unchanged
+
+Exits 0 after corrupting at least one file, 2 when the directory holds no
+snapshot files (CI treats that as a setup error, not a pass).
+"""
+
+import argparse
+import os
+import sys
+
+
+def xorshift(state):
+    state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+    state ^= state >> 7
+    state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+    return state
+
+
+KINDS = ("truncate", "bitflip", "torntail")
+
+
+def corrupt(path, kind, rng):
+    with open(path, "rb") as f:
+        data = bytearray(f.read())
+    if not data:
+        return rng, "empty (left as-is)"
+    rng = xorshift(rng)
+    if kind == "truncate":
+        cut = rng % len(data)
+        data = data[:cut]
+        what = f"truncated to {cut} bytes"
+    elif kind == "bitflip":
+        at = rng % len(data)
+        rng = xorshift(rng)
+        bit = rng % 8
+        data[at] ^= 1 << bit
+        what = f"flipped bit {bit} at byte {at}"
+    else:  # torntail
+        tail = 1 + rng % (max(2, len(data)) // 2)
+        for i in range(tail):
+            data[len(data) - 1 - i] ^= 0x5A
+        what = f"scribbled last {tail} bytes"
+    with open(path, "wb") as f:
+        f.write(data)
+    return rng, what
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--dir", required=True, help="snapshot directory")
+    ap.add_argument("--seed", type=int, default=1, help="corruption seed")
+    ap.add_argument("--kind", choices=KINDS,
+                    help="damage class (default: seed-derived per file)")
+    args = ap.parse_args()
+
+    names = sorted(
+        n for n in os.listdir(args.dir)
+        if os.path.isfile(os.path.join(args.dir, n))
+        and not n.endswith((".corrupt", ".reason", ".tmp")))
+    if not names:
+        print(f"chaos_corrupt: no snapshot files in {args.dir}",
+              file=sys.stderr)
+        return 2
+
+    rng = (args.seed + 1) * 6364136223846793005 & 0xFFFFFFFFFFFFFFFF
+    for name in names:
+        rng = xorshift(rng)
+        kind = args.kind or KINDS[rng % len(KINDS)]
+        rng, what = corrupt(os.path.join(args.dir, name), kind, rng)
+        print(f"chaos_corrupt: {name}: {kind}: {what}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

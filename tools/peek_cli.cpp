@@ -80,6 +80,12 @@ void usage() {
       "                             return their partial paths (0 = none)\n"
       "  --max-inflight Q           admission bound; excess queries are shed\n"
       "                             to degraded cached answers (0 = off)\n"
+      "  --snapshot-dir PATH        crash-safe persistence: warm-restart the\n"
+      "                             cache from PATH's snapshots on startup\n"
+      "                             (validating and quarantining corrupt\n"
+      "                             files), spill the cache back on exit\n"
+      "  --no-warm-restart          with --snapshot-dir: write snapshots but\n"
+      "                             ignore existing ones on startup\n"
       "\n"
       "algorithm:\n"
       "  --algo {peek|yen|nc|optyen|sb|sbstar|pnc|pncstar}  (default peek)\n"
@@ -170,10 +176,15 @@ int run_serve(const graph::CsrGraph& g, const Args& args, int k,
   so.default_deadline =
       std::chrono::milliseconds(args.get_int("deadline-ms", 0));
   so.max_inflight = static_cast<int>(args.get_int("max-inflight", 0));
+  so.snapshot_dir = args.get("snapshot-dir", "");
+  so.warm_restart = !args.has("no-warm-restart");
   // PEEK_FAULT_SEED & friends: deterministic fault injection from the shell
   // (DESIGN.md §9). Inert when the variables are unset.
   fault::Injector::global().configure_from_env();
   serve::QueryEngine engine(g, so);
+  if (!so.snapshot_dir.empty() && engine.restored_artifacts() > 0)
+    std::printf("warm restart: %d artifacts restored from %s\n",
+                engine.restored_artifacts(), so.snapshot_dir.c_str());
 
   const auto pool = sample_reachable_pairs(g, pool_size, seed);
   // Zipf over pool ranks: weight(i) = (i+1)^-theta, sampled by inverse CDF.
@@ -223,6 +234,11 @@ int run_serve(const graph::CsrGraph& g, const Args& args, int k,
       deadline_trips, degraded, faulted, pct(0.50), pct(0.90), pct(0.99),
       cs.entries, double(cs.bytes_used) / double(1 << 20),
       static_cast<long long>(cs.evictions));
+  if (!so.snapshot_dir.empty()) {
+    const int written = engine.persist();
+    std::printf("persisted %d snapshot files to %s\n", written,
+                so.snapshot_dir.c_str());
+  }
   return 0;
 }
 
@@ -256,7 +272,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     // Flags without values.
-    if (key == "parallel" || key == "stats") {
+    if (key == "parallel" || key == "stats" || key == "no-warm-restart") {
       args.kv[key] = "1";
       continue;
     }

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""PeeK repo-specific lint. Five checks, all rooted in invariants generic
+"""PeeK repo-specific lint. Six checks, all rooted in invariants generic
 tools cannot know:
 
   metrics      every metric name the library emits (PEEK_COUNT_* /
@@ -20,6 +20,10 @@ tools cannot know:
                listed in the DESIGN.md §9 site table (between the
                fault-site-table-begin/end markers) and vice versa, so the
                fault-injection surface stays documented.
+  status_codes every fault::Status code in src/fault/status.hpp appears in
+               the DESIGN.md status-code table (between the
+               status-code-table-begin/end markers) and vice versa — the
+               typed-error contract every layer reports through.
 
 Exit status 0 = clean. Any finding prints `file:line: [check] message` and
 exits 1. Run from anywhere; paths resolve relative to the repo root.
@@ -230,12 +234,72 @@ def check_fault_sites():
                 "src/ uses it — stale table row?")
 
 
+# ----------------------------------------------------------- status codes
+
+# Enumerators of fault::Status::Code in status.hpp: `kOk,` / `kOk = 0,` etc.
+STATUS_ENUM_RE = re.compile(r'^\s*(k[A-Z]\w*)\s*(?:=\s*[^,]+)?,')
+STATUS_TABLE_BEGIN = "<!-- status-code-table-begin -->"
+STATUS_TABLE_END = "<!-- status-code-table-end -->"
+STATUS_ROW_RE = re.compile(r'^\|\s*`(k[A-Z]\w*)`\s*\|')
+
+
+def check_status_codes():
+    status_hpp = os.path.join(SRC, "fault", "status.hpp")
+    declared = {}  # code -> line_no
+    in_enum = False
+    with open(status_hpp, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            if re.search(r'\benum\s+Code\b', line):
+                in_enum = True
+                continue
+            if in_enum and "}" in line:
+                in_enum = False
+                continue
+            if in_enum:
+                m = STATUS_ENUM_RE.match(line)
+                if m:
+                    declared.setdefault(m.group(1), line_no)
+
+    design = os.path.join(REPO, "DESIGN.md")
+    documented = {}
+    in_table = False
+    with open(design, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            if STATUS_TABLE_BEGIN in line:
+                in_table = True
+                continue
+            if STATUS_TABLE_END in line:
+                in_table = False
+                continue
+            if in_table:
+                m = STATUS_ROW_RE.match(line.strip())
+                if m:
+                    documented.setdefault(m.group(1), line_no)
+
+    if not declared:
+        finding(status_hpp, 1, "status_codes",
+                "no `enum Code` enumerators found — lint parser out of date?")
+    if not documented:
+        finding(design, 1, "status_codes",
+                "no status-code table found between the "
+                "status-code-table-begin/end markers")
+    for name in sorted(set(declared) - set(documented)):
+        finding(status_hpp, declared[name], "status_codes",
+                f"status code `{name}` is declared here but missing from the "
+                "DESIGN.md status-code table")
+    for name in sorted(set(documented) - set(declared)):
+        finding(design, documented[name], "status_codes",
+                f"status code `{name}` is documented but not declared in "
+                "fault/status.hpp — stale table row?")
+
+
 CHECKS = {
     "metrics": check_metrics,
     "atomics": check_atomics,
     "headers": check_headers,
     "asserts": check_asserts,
     "fault_sites": check_fault_sites,
+    "status_codes": check_status_codes,
 }
 
 
