@@ -1,0 +1,287 @@
+// Canonical perf-regression driver: fixed-seed workloads over a fixed graph
+// subset, emitting a schema-versioned JSON (BENCH_<pr>.json at the repo root)
+// that tools/bench_compare.py diffs against the committed baseline in CI.
+//
+// Workloads per graph: SSSP (dijkstra; Δ-stepping tiled vs untiled — the
+// edge-tiling A/B), prune, compact, KSP (arena vs no-arena deviation
+// SSSPs — the scratch-arena A/B), and the end-to-end PeeK pipeline. The A/B
+// pairs double as correctness gates: the driver aborts if tiled Δ-stepping
+// is not bit-identical to untiled, or if arena-backed Yen returns different
+// paths than the allocating path.
+//
+// Usage: bench_canonical [--out PATH] [--pr N] [--reps N] [--seed S]
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "compact/adaptive.hpp"
+#include "core/peek.hpp"
+#include "core/upper_bound.hpp"
+#include "ksp/yen.hpp"
+#include "recover/artifacts.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+
+namespace {
+
+using namespace peek;
+using bench::TimingStats;
+
+struct GraphEntry {
+  std::string name;
+  vid_t n = 0;
+  eid_t m = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+// std::map: deterministic key order in the emitted JSON, so two runs diff
+// cleanly as text too.
+using MetricMap = std::map<std::string, TimingStats>;
+
+bool same_dists(const sssp::SsspResult& a, const sssp::SsspResult& b) {
+  return a.dist == b.dist;  // bit-identical, not approximately equal
+}
+
+bool same_paths(const ksp::KspResult& a, const ksp::KspResult& b) {
+  if (a.paths.size() != b.paths.size()) return false;
+  for (size_t i = 0; i < a.paths.size(); ++i) {
+    if (a.paths[i].verts != b.paths[i].verts) return false;
+    if (a.paths[i].dist != b.paths[i].dist) return false;
+  }
+  return true;
+}
+
+void run_graph(const bench::BenchGraph& bg, int reps, std::uint64_t seed,
+               MetricMap& metrics, std::vector<GraphEntry>& entries) {
+  const graph::CsrGraph& g = bg.g;
+  entries.push_back({bg.name, g.num_vertices(), g.num_edges(),
+                     recover::graph_fingerprint(g)});
+
+  const auto pairs = bench::sample_pairs(g, 1, seed);
+  if (pairs.empty()) {
+    std::fprintf(stderr, "bench_canonical: no usable s-t pair on %s\n",
+                 bg.name.c_str());
+    std::exit(1);
+  }
+  const vid_t s = pairs[0].first, t = pairs[0].second;
+  const sssp::GraphView view(g);
+  auto key = [&bg](const char* metric) {
+    return std::string(metric) + "." + bg.name;
+  };
+
+  // -- SSSP ----------------------------------------------------------------
+  metrics[key("sssp.dijkstra")] = bench::time_stats(reps, [&] {
+    sssp::dijkstra(view, s, {});
+  });
+
+  sssp::DeltaSteppingOptions untiled;
+  untiled.parallel = true;
+  untiled.tiled = false;
+  sssp::DeltaSteppingOptions tiled = untiled;
+  tiled.tiled = true;
+  // Measure the tiling machinery itself, not the single-worker skip
+  // heuristic — otherwise this A/B is vacuous on 1-core runners.
+  tiled.tile_single_worker = true;
+
+  sssp::SsspResult delta_ref;
+  metrics[key("sssp.delta.untiled")] = bench::time_stats(reps, [&] {
+    delta_ref = sssp::delta_stepping(view, s, untiled);
+  });
+  sssp::SsspResult delta_tiled;
+  metrics[key("sssp.delta.tiled")] = bench::time_stats(reps, [&] {
+    delta_tiled = sssp::delta_stepping(view, s, tiled);
+  });
+  if (!same_dists(delta_ref, delta_tiled)) {
+    std::fprintf(stderr,
+                 "bench_canonical: tiled Δ-stepping diverged from untiled "
+                 "on %s — refusing to emit numbers for broken code\n",
+                 bg.name.c_str());
+    std::exit(1);
+  }
+
+  // -- Prune + compact -----------------------------------------------------
+  core::PruneOptions po;
+  po.k = 8;
+  po.parallel = true;
+  core::PruneResult pr;
+  metrics[key("prune")] = bench::time_stats(reps, [&] {
+    pr = core::k_upper_bound_prune(g, s, t, po);
+  });
+
+  metrics[key("compact")] = bench::time_stats(reps, [&] {
+    // Fresh MutableCsr per rep: edge-swap mutates it, and the pipeline pays
+    // this copy per query too.
+    compact::MutableCsr mc(g);
+    compact::adaptive_compact(mc, g.num_edges(), pr.vertex_keep.data(),
+                              pr.edge_keep, {.alpha = 0.5, .parallel = true});
+  });
+
+  // -- KSP: arena vs no-arena deviation SSSPs ------------------------------
+  ksp::KspOptions ko;
+  ko.k = 8;
+  ko.parallel = false;  // serial Yen is where the per-candidate allocation
+                        // churn lives; the arena replaces exactly that
+  ko.scratch_arena = false;
+  ksp::KspResult ksp_ref;
+  metrics[key("ksp.noarena")] = bench::time_stats(reps, [&] {
+    ksp_ref = ksp::yen_ksp(g, s, t, ko);
+  });
+  ko.scratch_arena = true;
+  ksp::KspResult ksp_arena;
+  metrics[key("ksp.arena")] = bench::time_stats(reps, [&] {
+    ksp_arena = ksp::yen_ksp(g, s, t, ko);
+  });
+  if (!same_paths(ksp_ref, ksp_arena)) {
+    std::fprintf(stderr,
+                 "bench_canonical: arena-backed Yen diverged from the "
+                 "allocating path on %s\n",
+                 bg.name.c_str());
+    std::exit(1);
+  }
+
+  // -- End-to-end PeeK -----------------------------------------------------
+  core::PeekOptions eo;
+  eo.k = 8;
+  eo.parallel = true;
+  metrics[key("peek.e2e")] = bench::time_stats(reps, [&] {
+    core::peek_ksp(g, s, t, eo);
+  });
+}
+
+void write_json(const char* path, int pr, int reps, std::uint64_t seed,
+                const std::vector<GraphEntry>& graphs,
+                const MetricMap& metrics) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_canonical: cannot open %s for writing\n",
+                 path);
+    std::exit(1);
+  }
+  char host[256] = "unknown";
+  gethostname(host, sizeof(host) - 1);
+#ifdef _OPENMP
+  const bool openmp = true;
+#else
+  const bool openmp = false;
+#endif
+#ifdef PEEK_SANITIZED
+  const bool sanitized = true;
+#else
+  const bool sanitized = false;
+#endif
+#ifndef PEEK_BUILD_TYPE
+#define PEEK_BUILD_TYPE "unknown"
+#endif
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"peek-bench-v1\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"pr\": %d,\n", pr);
+  std::fprintf(f,
+               "  \"build\": {\"compiler\": \"%s\", \"build_type\": \"%s\", "
+               "\"openmp\": %s, \"sanitized\": %s},\n",
+               __VERSION__, PEEK_BUILD_TYPE, openmp ? "true" : "false",
+               sanitized ? "true" : "false");
+  std::fprintf(f,
+               "  \"machine\": {\"host\": \"%s\", \"hardware_threads\": %u},\n",
+               host, std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "  \"config\": {\"reps\": %d, \"seed\": %" PRIu64 "},\n", reps,
+               seed);
+  std::fprintf(f, "  \"graphs\": [\n");
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    const GraphEntry& ge = graphs[i];
+    // Fingerprint as a string: uint64 does not survive a round-trip through
+    // JSON readers that parse numbers as doubles.
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"vertices\": %lld, \"edges\": %lld, "
+                 "\"fingerprint\": \"%016" PRIx64 "\"}%s\n",
+                 ge.name.c_str(), static_cast<long long>(ge.n),
+                 static_cast<long long>(ge.m), ge.fingerprint,
+                 i + 1 < graphs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"metrics\": {\n");
+  size_t i = 0;
+  for (const auto& [name, st] : metrics) {
+    std::fprintf(f,
+                 "    \"%s\": {\"median_s\": %.9f, \"min_s\": %.9f, "
+                 "\"reps\": %d}%s\n",
+                 name.c_str(), st.median_s, st.min_s, st.reps,
+                 ++i < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::enable_metrics_dump(argc, argv);
+  int pr = 6;
+  int reps = 5;
+  std::uint64_t seed = 42;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    auto val = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_canonical: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* vo = val("--out")) {
+      out = vo;
+    } else if (const char* vp = val("--pr")) {
+      pr = std::atoi(vp);
+    } else if (const char* vr = val("--reps")) {
+      reps = std::atoi(vr);
+    } else if (const char* vs = val("--seed")) {
+      seed = std::strtoull(vs, nullptr, 10);
+    } else if (val("--metrics-json")) {
+      // Consumed by bench::enable_metrics_dump above.
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_canonical [--out PATH] [--pr N] [--reps N] "
+                   "[--seed S]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+  if (out.empty()) out = "BENCH_" + std::to_string(pr) + ".json";
+
+#ifdef PEEK_SANITIZED
+  std::fprintf(stderr,
+               "bench_canonical: sanitized build — timings are not "
+               "comparable to a release baseline\n");
+#endif
+
+  // The canonical subset: one skewed R-MAT (R21), one preferential-attachment
+  // social graph (LJ), one high-diameter small-world (WL — the most spur
+  // SSSPs per Yen run), one larger twitter-like R-MAT (GT). Weighted
+  // variants only — unit-weight twins exercise the same code paths.
+  MetricMap metrics;
+  std::vector<GraphEntry> entries;
+  for (auto& bg : bench::benchmark_suite(0)) {
+    if (bg.name != "R21" && bg.name != "LJ" && bg.name != "WL" &&
+        bg.name != "GT")
+      continue;
+    std::fprintf(stderr, "bench_canonical: %s (%lld vertices, %lld edges)\n",
+                 bg.name.c_str(), static_cast<long long>(bg.g.num_vertices()),
+                 static_cast<long long>(bg.g.num_edges()));
+    run_graph(bg, reps, seed, metrics, entries);
+  }
+
+  write_json(out.c_str(), pr, reps, seed, entries, metrics);
+  std::fprintf(stderr, "bench_canonical: wrote %s (%zu metrics)\n",
+               out.c_str(), metrics.size());
+  return 0;
+}

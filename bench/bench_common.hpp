@@ -4,6 +4,7 @@
 // line naming the table/figure it regenerates.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <random>
@@ -46,6 +47,31 @@ double time_seconds(Fn&& fn) {
   fn();
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Wall-clock over repetitions. Single-shot timings are noise-bound — a
+/// scheduler hiccup fails a CI gate — so the canonical suite reports the
+/// median (the gated statistic) and the min (the cleanest observed run).
+struct TimingStats {
+  double median_s = 0;
+  double min_s = 0;
+  int reps = 0;
+};
+
+template <typename Fn>
+TimingStats time_stats(int reps, Fn&& fn) {
+  TimingStats st;
+  if (reps <= 0) return st;
+  std::vector<double> t;
+  t.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) t.push_back(time_seconds(fn));
+  std::sort(t.begin(), t.end());
+  st.reps = reps;
+  st.min_s = t.front();
+  const size_t mid = t.size() / 2;
+  st.median_s =
+      t.size() % 2 == 1 ? t[mid] : (t[mid - 1] + t[mid]) / 2.0;
+  return st;
 }
 
 /// Registers an at-exit dump of the global metrics registry so BENCH_*.json

@@ -1,0 +1,63 @@
+#include "parallel/arena.hpp"
+
+#include <algorithm>
+
+#include "check/invariants.hpp"
+
+namespace peek::par {
+
+namespace {
+
+/// Bytes of padding that bring `addr` up to `align` (a power of two).
+std::size_t pad_to(std::uintptr_t addr, std::size_t align) {
+  return (align - (addr & (align - 1))) & (align - 1);
+}
+
+}  // namespace
+
+void* ScratchArena::allocate(std::size_t bytes, std::size_t align) {
+  PEEK_DCHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                  "alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  // Try the current and any later block (earlier ones are full by
+  // construction — the cursor only moves forward between resets).
+  for (; cursor_ < blocks_.size(); ++cursor_) {
+    Block& b = blocks_[cursor_];
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::size_t pad = pad_to(base + b.used, align);
+    if (b.used + pad + bytes <= b.size) {
+      void* p = b.data.get() + b.used + pad;
+      b.used += pad + bytes;
+      reused_ += bytes;
+      return p;
+    }
+  }
+  // No room: reserve a fresh block (geometric growth over the largest block
+  // so long-lived arenas converge to O(1) blocks per pass).
+  std::size_t want = std::max(kMinBlock, bytes + align);
+  if (!blocks_.empty()) want = std::max(want, blocks_.back().size * 2);
+  Block b;
+  b.data = std::make_unique<std::byte[]>(want);
+  b.size = want;
+  reserved_ += want;
+  blocks_.push_back(std::move(b));
+  cursor_ = blocks_.size() - 1;
+  Block& nb = blocks_[cursor_];
+  const auto base = reinterpret_cast<std::uintptr_t>(nb.data.get());
+  const std::size_t pad = pad_to(base, align);
+  nb.used = pad + bytes;
+  return nb.data.get() + pad;
+}
+
+void ScratchArena::reset() {
+  for (Block& b : blocks_) b.used = 0;
+  cursor_ = 0;
+}
+
+void ScratchArena::release() {
+  blocks_.clear();
+  cursor_ = 0;
+  reserved_ = 0;
+}
+
+}  // namespace peek::par

@@ -1,0 +1,69 @@
+// ScratchArena: a resettable chunked bump allocator for per-worker scratch
+// memory. The Yen-family deviation loop runs thousands of restricted SSSPs
+// per query; each used to allocate fresh dist/parent/visited buffers. An
+// arena lets a worker pay the allocation once, then serve every subsequent
+// pass from retained capacity — reset() rewinds the cursor in O(#blocks)
+// without releasing memory.
+//
+// Lifetime rules (DESIGN.md §11): an arena is owned by exactly one worker
+// and never shared across threads; allocations are valid until the next
+// reset(); reset() is only legal between passes (no outstanding pointers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace peek::par {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(ScratchArena&&) = default;
+  ScratchArena& operator=(ScratchArena&&) = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// `bytes` of storage aligned to `align` (a power of two), valid until the
+  /// next reset(). Contents are uninitialized.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed convenience: `count` default-aligned Ts (uninitialized).
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every block to empty. Capacity (and block addresses) are
+  /// retained, so a same-shaped next pass allocates the exact same pointers
+  /// without touching the heap.
+  void reset();
+
+  /// Releases all memory (used when rebinding to a different graph size).
+  void release();
+
+  /// Total bytes reserved from the heap across all blocks.
+  std::size_t reserved_bytes() const { return reserved_; }
+
+  /// Cumulative bytes served from already-reserved capacity (i.e. without a
+  /// heap allocation) — the `ksp.arena.reuse_bytes` counter's source.
+  std::size_t reused_bytes() const { return reused_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kMinBlock = 64 * 1024;
+
+  std::vector<Block> blocks_;
+  std::size_t cursor_ = 0;  // index of the block currently bumping
+  std::size_t reserved_ = 0;
+  std::size_t reused_ = 0;
+};
+
+}  // namespace peek::par

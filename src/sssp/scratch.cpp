@@ -1,0 +1,122 @@
+#include "sssp/scratch.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace peek::sssp {
+
+void SsspScratch::bind(vid_t n) {
+  if (n == n_ && dist_ != nullptr) return;
+  arena_.reset();
+  n_ = n;
+  const auto count = static_cast<std::size_t>(n);
+  dist_ = arena_.alloc_array<weight_t>(count);
+  parent_ = arena_.alloc_array<vid_t>(count);
+  std::fill(dist_, dist_ + count, kInfDist);
+  std::fill(parent_, parent_ + count, kNoVertex);
+  fresh_ = true;
+}
+
+void SsspScratch::begin_pass() {
+  if (!fresh_) {
+    // What the baseline pays per pass and this scratch does not: allocating
+    // and kInfDist-filling fresh n-sized dist/parent vectors.
+    reused_ +=
+        static_cast<std::size_t>(n_) * (sizeof(weight_t) + sizeof(vid_t));
+  }
+  fresh_ = false;
+  const auto count = static_cast<std::size_t>(n_);
+  std::fill(dist_, dist_ + count, kInfDist);
+  std::fill(parent_, parent_ + count, kNoVertex);
+  heap_.clear();
+}
+
+namespace {
+
+/// priority_queue<HeapEntry, vector, greater<>> in dijkstra.cpp compares
+/// entries with operator> on dist; this is that comparator, verbatim, so the
+/// heap pops in the identical order.
+struct HeapGreater {
+  bool operator()(const detail::ScratchHeapEntry& a,
+                  const detail::ScratchHeapEntry& b) const {
+    return a.dist > b.dist;
+  }
+};
+
+}  // namespace
+
+Path dijkstra_path(const GraphView& view, vid_t source,
+                   const DijkstraOptions& opts, SsspScratch& scratch,
+                   fault::Status::Code* status) {
+  if (status) *status = fault::Status::kOk;
+  Path out;
+  const vid_t n = view.num_vertices();
+  if (source < 0 || source >= n) return out;
+  if (!view.vertex_alive(source) || opts.bans.vertex_banned(source)) return out;
+  const vid_t target = opts.target;
+  if (target < 0 || target >= n) return out;
+
+  scratch.bind(n);
+  scratch.begin_pass();
+
+  // The loop below is dijkstra() from dijkstra.cpp with r.dist/r.parent
+  // replaced by the epoch-stamped scratch reads — keep the two in lockstep
+  // (same heap discipline, same stale check, same early exit) or the
+  // bit-identity contract in the header comment breaks.
+  std::int64_t settled = 0, relaxed = 0, improved = 0;
+  fault::CancelPoll poll(opts.cancel);
+  auto& heap = scratch.heap();
+  weight_t* const dist = scratch.dist_data();
+  vid_t* const parent = scratch.parent_data();
+  dist[source] = 0;
+  heap.push_back({0, source});
+  fault::Status::Code st = fault::Status::kOk;
+  while (!heap.empty()) {
+    const auto [d, u] = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), HeapGreater{});
+    heap.pop_back();
+    if (d > dist[u]) continue;  // stale lazy-deleted entry
+    if (poll.should_stop()) {
+      st = poll.why();
+      break;
+    }
+    settled++;
+    if (u == target) break;
+    for (eid_t e = view.edge_begin(u); e < view.edge_end(u); ++e) {
+      if (!view.edge_alive(e) || opts.bans.edge_banned(e)) continue;
+      const vid_t v = view.edge_target(e);
+      if (!view.vertex_alive(v) || opts.bans.vertex_banned(v)) continue;
+      relaxed++;
+      const weight_t nd = d + view.edge_weight(e);
+      const weight_t dv = dist[v];
+      if (nd < dv) {
+        dist[v] = nd;
+        parent[v] = u;
+        heap.push_back({nd, v});
+        std::push_heap(heap.begin(), heap.end(), HeapGreater{});
+        improved++;
+      }
+    }
+  }
+  PEEK_COUNT_INC("sssp.dijkstra.runs");
+  PEEK_COUNT_ADD("sssp.dijkstra.settled", settled);
+  PEEK_COUNT_ADD("sssp.dijkstra.relaxed_edges", relaxed);
+  PEEK_COUNT_ADD("sssp.dijkstra.improved", improved);
+  if (status) *status = st;
+
+  // path_from_parents over the scratch tree.
+  if (scratch.dist(target) == kInfDist) return out;
+  std::vector<vid_t> rev;
+  for (vid_t v = target; v != kNoVertex; v = scratch.parent(v)) {
+    rev.push_back(v);
+    if (v == source) break;
+    if (rev.size() > static_cast<std::size_t>(n)) return {};  // defensive
+  }
+  if (rev.back() != source) return {};
+  out.verts.assign(rev.rbegin(), rev.rend());
+  out.dist = scratch.dist(target);
+  return out;
+}
+
+}  // namespace peek::sssp

@@ -1,0 +1,94 @@
+// Arena-backed scratch state for the Yen-family deviation SSSPs. Every
+// candidate path costs one restricted point-to-point Dijkstra; computing it
+// through `SsspResult` means two O(n) vector allocations plus an O(n)
+// kInfDist fill per candidate. `SsspScratch` keeps dist/parent arrays (same
+// packed layout as SsspResult — interleaving them doubles the read-side
+// cache footprint of the relax loop) plus the lazy-deletion heap's storage
+// in a per-worker ScratchArena keyed by graph size, so the hot loop is the
+// baseline's with zero per-call allocation — in particular the heap vector
+// keeps its capacity across candidates instead of re-growing through a
+// realloc-copy chain per SSSP. `dijkstra_path` runs the exact same
+// algorithm as
+// `dijkstra()` over that scratch, returning only the source->target path —
+// bit-identical to `dijkstra()` + `path_from_parents()` (same heap, same
+// tie-breaking), without materializing the tree.
+//
+// Lifetime rules (DESIGN.md §11): a SsspScratch belongs to exactly one
+// worker thread; bind() before use (idempotent for an unchanged vertex
+// count); buffers are valid between passes but every pass starts with
+// begin_pass(), which invalidates all previously written distances.
+#pragma once
+
+#include <vector>
+
+#include "parallel/arena.hpp"
+#include "sssp/path.hpp"
+
+namespace peek::sssp {
+
+namespace detail {
+/// Same layout and ordering as dijkstra()'s lazy-deletion heap entries.
+struct ScratchHeapEntry {
+  weight_t dist;
+  vid_t v;
+};
+
+}  // namespace detail
+
+class SsspScratch {
+ public:
+  /// Ensures capacity for an n-vertex graph. Rebinding to a different n
+  /// resets the arena (same-or-smaller graphs reuse the reserved blocks) and
+  /// pays one O(n) fill; rebinding to the same n is free.
+  void bind(vid_t n);
+
+  /// Logical reset: every dist becomes kInfDist again, every parent
+  /// kNoVertex. A sequential vectorized refill — measured faster than
+  /// touched-list bookkeeping, whose per-improvement "first write?" branch
+  /// mispredicts in the relax loop (data-dependent at ~uniform rate).
+  void begin_pass();
+
+  weight_t dist(vid_t v) const { return dist_[v]; }
+  vid_t parent(vid_t v) const { return parent_[v]; }
+  void set(vid_t v, weight_t d, vid_t p) {
+    dist_[v] = d;
+    parent_[v] = p;
+  }
+
+  vid_t bound_vertices() const { return n_; }
+
+  /// Bytes of dist/parent the baseline would have allocated and filled but
+  /// this scratch served from the arena, cumulative over every begin_pass()
+  /// after the first — the `ksp.arena.reuse_bytes` source.
+  std::size_t reused_bytes() const { return reused_; }
+
+  /// The lazy-deletion heap storage, cleared by begin_pass() (capacity kept).
+  std::vector<detail::ScratchHeapEntry>& heap() { return heap_; }
+
+  /// Raw access for the dijkstra_path hot loop: working through locals keeps
+  /// the array pointers in registers across the heap push_backs (the compiler
+  /// cannot prove a vector's internal writes don't alias a member pointer).
+  weight_t* dist_data() { return dist_; }
+  vid_t* parent_data() { return parent_; }
+
+ private:
+  par::ScratchArena arena_;
+  vid_t n_ = 0;
+  weight_t* dist_ = nullptr;
+  vid_t* parent_ = nullptr;
+  bool fresh_ = true;  // no pass has run since the last (re)bind
+  std::size_t reused_ = 0;
+  std::vector<detail::ScratchHeapEntry> heap_;
+};
+
+/// Shortest path source -> opts.target over `view`, computed in `scratch`.
+/// Bit-identical to `path_from_parents(dijkstra(view, source, opts),
+/// source, opts.target)`; empty when unreachable or opts.target is unset.
+/// When `status` is non-null it receives kOk or the cancellation code (a
+/// cancelled call extracts from the partial tree, exactly like the
+/// SsspResult path — callers decide whether to discard).
+Path dijkstra_path(const GraphView& view, vid_t source,
+                   const DijkstraOptions& opts, SsspScratch& scratch,
+                   fault::Status::Code* status = nullptr);
+
+}  // namespace peek::sssp

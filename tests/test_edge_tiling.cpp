@@ -1,0 +1,162 @@
+// PR 6 optimizations hold their bit-identity contracts:
+//   - edge-tiled Δ-stepping (DeltaSteppingOptions::tiled) returns the same
+//     distances and parents as the untiled phase loop, even with a tiny
+//     tile_size that splits every realistic frontier vertex;
+//   - dijkstra_path over an arena-backed SsspScratch equals dijkstra() +
+//     path_from_parents(), including under vertex/edge bans;
+//   - Yen-family KSP with KspOptions::scratch_arena on/off returns identical
+//     path sets;
+//   - SsspScratch accounts reused bytes across passes (the
+//     ksp.arena.reuse_bytes source).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ksp/optyen.hpp"
+#include "ksp/yen.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/scratch.hpp"
+#include "test_util.hpp"
+
+namespace peek {
+namespace {
+
+using sssp::GraphView;
+
+void expect_bit_identical(const sssp::SsspResult& a,
+                          const sssp::SsspResult& b) {
+  ASSERT_EQ(a.dist.size(), b.dist.size());
+  for (size_t v = 0; v < a.dist.size(); ++v) {
+    EXPECT_EQ(a.dist[v], b.dist[v]) << "dist, vertex " << v;
+    EXPECT_EQ(a.parent[v], b.parent[v]) << "parent, vertex " << v;
+  }
+}
+
+TEST(EdgeTiling, TiledMatchesUntiledOnRandomGraphs) {
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    auto g = test::random_graph(300, 300 * 10, seed, /*unit=*/false);
+    sssp::DeltaSteppingOptions untiled;
+    untiled.parallel = true;
+    untiled.tiled = false;
+    auto ref = sssp::delta_stepping(GraphView(g), 0, untiled);
+
+    sssp::DeltaSteppingOptions tiled = untiled;
+    tiled.tiled = true;
+    tiled.tile_single_worker = true;  // exercise tiling even on 1-core CI
+    tiled.tile_size = 4;  // far below any real degree: every hub splits
+    auto got = sssp::delta_stepping(GraphView(g), 0, tiled);
+    expect_bit_identical(ref, got);
+  }
+}
+
+TEST(EdgeTiling, TiledMatchesDijkstraWithTarget) {
+  auto g = test::random_graph(400, 400 * 8, 11, /*unit=*/false);
+  auto dj = sssp::dijkstra(GraphView(g), 0);
+  sssp::DeltaSteppingOptions opts;
+  opts.parallel = true;
+  opts.tiled = true;
+  opts.tile_single_worker = true;
+  opts.tile_size = 8;
+  auto ds = sssp::delta_stepping(GraphView(g), 0, opts);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(dj.dist[v], ds.dist[v]) << "vertex " << v;
+}
+
+TEST(ScratchDijkstra, PathMatchesBaselineOnRandomGraphs) {
+  sssp::SsspScratch scratch;  // shared across graphs: bind() must rebind
+  for (std::uint64_t seed : {7, 8, 9}) {
+    auto g = test::random_graph(250, 250 * 8, seed, /*unit=*/false);
+    GraphView view(g);
+    for (vid_t t = 1; t < 40; t += 7) {
+      sssp::DijkstraOptions opts;
+      opts.target = t;
+      auto r = sssp::dijkstra(view, 0, opts);
+      auto want = sssp::path_from_parents(r, 0, t);
+      auto got = sssp::dijkstra_path(view, 0, opts, scratch);
+      EXPECT_EQ(want.verts, got.verts) << "target " << t;
+      EXPECT_EQ(want.dist, got.dist) << "target " << t;  // bit-identical
+    }
+  }
+}
+
+TEST(ScratchDijkstra, RespectsBans) {
+  auto g = test::random_graph(200, 200 * 8, 21, /*unit=*/false);
+  GraphView view(g);
+  std::vector<std::uint8_t> banned(200, 0);
+  for (vid_t v = 3; v < 200; v += 5) banned[v] = 1;
+  std::unordered_set<eid_t> banned_edges{0, 5, 9, 42};
+  sssp::DijkstraOptions opts;
+  opts.target = 100;
+  opts.bans = {banned.data(), &banned_edges};
+
+  auto r = sssp::dijkstra(view, 1, opts);
+  auto want = sssp::path_from_parents(r, 1, 100);
+  sssp::SsspScratch scratch;
+  auto got = sssp::dijkstra_path(view, 1, opts, scratch);
+  EXPECT_EQ(want.verts, got.verts);
+  EXPECT_EQ(want.dist, got.dist);
+}
+
+TEST(ScratchDijkstra, UnreachableAndInvalidTargets) {
+  auto g = graph::from_edges(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  GraphView view(g);
+  sssp::SsspScratch scratch;
+  sssp::DijkstraOptions opts;
+  opts.target = 3;  // other component
+  EXPECT_TRUE(sssp::dijkstra_path(view, 0, opts, scratch).empty());
+  opts.target = kNoVertex;  // no target = no path to extract
+  EXPECT_TRUE(sssp::dijkstra_path(view, 0, opts, scratch).empty());
+}
+
+TEST(ScratchDijkstra, AccountsReuseAcrossPasses) {
+  auto g = test::random_graph(100, 800, 31, /*unit=*/false);
+  GraphView view(g);
+  sssp::SsspScratch scratch;
+  sssp::DijkstraOptions opts;
+  opts.target = 50;
+  sssp::dijkstra_path(view, 0, opts, scratch);
+  EXPECT_EQ(scratch.reused_bytes(), 0u);  // first pass built the buffers
+  sssp::dijkstra_path(view, 1, opts, scratch);
+  const std::size_t per_pass = 100 * (sizeof(weight_t) + sizeof(vid_t));
+  EXPECT_EQ(scratch.reused_bytes(), per_pass);
+  sssp::dijkstra_path(view, 2, opts, scratch);
+  EXPECT_EQ(scratch.reused_bytes(), 2 * per_pass);
+}
+
+void expect_same_ksp(const ksp::KspResult& a, const ksp::KspResult& b) {
+  ASSERT_EQ(a.paths.size(), b.paths.size());
+  for (size_t i = 0; i < a.paths.size(); ++i) {
+    EXPECT_EQ(a.paths[i].verts, b.paths[i].verts) << "path " << i;
+    EXPECT_EQ(a.paths[i].dist, b.paths[i].dist) << "path " << i;
+  }
+}
+
+TEST(ScratchArena, YenIdenticalWithAndWithoutArena) {
+  for (std::uint64_t seed : {41, 42}) {
+    auto g = test::random_graph(150, 150 * 8, seed, /*unit=*/false);
+    ksp::KspOptions opts;
+    opts.k = 6;
+    opts.parallel = false;
+    opts.scratch_arena = false;
+    auto ref = ksp::yen_ksp(g, 0, 100, opts);
+    opts.scratch_arena = true;
+    auto got = ksp::yen_ksp(g, 0, 100, opts);
+    expect_same_ksp(ref, got);
+  }
+}
+
+TEST(ScratchArena, OptYenIdenticalWithAndWithoutArena) {
+  auto g = test::random_graph(150, 150 * 8, 43, /*unit=*/false);
+  ksp::KspOptions opts;
+  opts.k = 6;
+  opts.parallel = false;
+  opts.scratch_arena = false;
+  auto ref = ksp::optyen_ksp(g, 0, 100, opts);
+  opts.scratch_arena = true;
+  auto got = ksp::optyen_ksp(g, 0, 100, opts);
+  expect_same_ksp(ref, got);
+}
+
+}  // namespace
+}  // namespace peek

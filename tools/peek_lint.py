@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""PeeK repo-specific lint. Six checks, all rooted in invariants generic
+"""PeeK repo-specific lint. Seven checks, all rooted in invariants generic
 tools cannot know:
 
   metrics      every metric name the library emits (PEEK_COUNT_* /
@@ -24,6 +24,13 @@ tools cannot know:
                the DESIGN.md status-code table (between the
                status-code-table-begin/end markers) and vice versa — the
                typed-error contract every layer reports through.
+  bench_json   every BENCH_*.json at the repo root parses against the
+               peek-bench-v1 schema (version, required sections, per-metric
+               median_s/min_s/reps, pr field matching the filename) and is
+               listed in the README bench table (between the
+               bench-table-begin/end markers) — and vice versa, so the
+               committed perf trajectory the CI perf job gates on stays
+               valid and documented.
 
 Exit status 0 = clean. Any finding prints `file:line: [check] message` and
 exits 1. Run from anywhere; paths resolve relative to the repo root.
@@ -33,6 +40,7 @@ exits 1. Run from anywhere; paths resolve relative to the repo root.
 """
 
 import argparse
+import json
 import os
 import re
 import subprocess
@@ -293,6 +301,89 @@ def check_status_codes():
                 "fault/status.hpp — stale table row?")
 
 
+# ------------------------------------------------------------- bench json
+
+BENCH_SCHEMA = "peek-bench-v1"
+BENCH_FILE_RE = re.compile(r'^BENCH_(\d+)\.json$')
+BENCH_TABLE_BEGIN = "<!-- bench-table-begin -->"
+BENCH_TABLE_END = "<!-- bench-table-end -->"
+BENCH_ROW_RE = re.compile(r'BENCH_(\d+)\.json')
+BENCH_SECTIONS = ("schema", "schema_version", "pr", "build", "machine",
+                  "config", "graphs", "metrics")
+
+
+def check_bench_json():
+    files = {}  # pr number -> filename
+    for name in sorted(os.listdir(REPO)):
+        m = BENCH_FILE_RE.match(name)
+        if not m:
+            continue
+        pr = int(m.group(1))
+        path = os.path.join(REPO, name)
+        files[pr] = name
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            finding(path, 1, "bench_json", f"not valid JSON: {e}")
+            continue
+        missing = [k for k in BENCH_SECTIONS if k not in doc]
+        if missing:
+            finding(path, 1, "bench_json",
+                    f"missing required section(s): {', '.join(missing)}")
+            continue
+        if doc["schema"] != BENCH_SCHEMA:
+            finding(path, 1, "bench_json",
+                    f"schema is {doc['schema']!r}, expected {BENCH_SCHEMA!r}")
+        if not isinstance(doc["schema_version"], int):
+            finding(path, 1, "bench_json",
+                    f"schema_version must be an int, got "
+                    f"{type(doc['schema_version']).__name__}")
+        if doc["pr"] != pr:
+            finding(path, 1, "bench_json",
+                    f"pr field is {doc['pr']} but the filename says {pr} — "
+                    "bench run committed under the wrong name?")
+        for g in doc["graphs"]:
+            for key in ("name", "vertices", "edges", "fingerprint"):
+                if key not in g:
+                    finding(path, 1, "bench_json",
+                            f"graph entry {g.get('name', '?')!r} lacks "
+                            f"`{key}`")
+        for metric, st in doc["metrics"].items():
+            for key in ("median_s", "min_s", "reps"):
+                if not isinstance(st.get(key), (int, float)):
+                    finding(path, 1, "bench_json",
+                            f"metric `{metric}` lacks numeric `{key}`")
+
+    readme = os.path.join(REPO, "README.md")
+    documented = {}  # pr number -> line_no
+    in_table = False
+    with open(readme, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            if BENCH_TABLE_BEGIN in line:
+                in_table = True
+                continue
+            if BENCH_TABLE_END in line:
+                in_table = False
+                continue
+            if in_table:
+                for m in BENCH_ROW_RE.finditer(line):
+                    documented.setdefault(int(m.group(1)), line_no)
+
+    if files and not documented:
+        finding(readme, 1, "bench_json",
+                "no bench table found between the bench-table-begin/end "
+                "markers — add one listing every committed BENCH_*.json")
+    for pr in sorted(set(files) - set(documented)):
+        finding(os.path.join(REPO, files[pr]), 1, "bench_json",
+                f"{files[pr]} is committed but missing from the README bench "
+                "table")
+    for pr in sorted(set(documented) - set(files)):
+        finding(readme, documented[pr], "bench_json",
+                f"README bench table lists BENCH_{pr}.json but no such file "
+                "is committed — stale row?")
+
+
 CHECKS = {
     "metrics": check_metrics,
     "atomics": check_atomics,
@@ -300,6 +391,7 @@ CHECKS = {
     "asserts": check_asserts,
     "fault_sites": check_fault_sites,
     "status_codes": check_status_codes,
+    "bench_json": check_bench_json,
 }
 
 
