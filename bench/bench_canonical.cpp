@@ -9,14 +9,25 @@
 // is not bit-identical to untiled, or if arena-backed Yen returns different
 // paths than the allocating path.
 //
+// On R21 the driver additionally runs the sharded-serving Zipf storm
+// (shard.storm.{unhedged,hedged}.R21): a warm 4-shard × 2-replica fleet
+// under deterministic injected replica stalls, hedging off vs on. Those two
+// metrics carry extra p50_s/p99_s fields (tail latency is the whole point
+// of hedging; a median would gate nothing), and the driver aborts if any
+// fleet answer differs from single-engine core::peek_ksp or if the hedged
+// p99 fails to beat the unhedged p99.
+//
 // Usage: bench_canonical [--out PATH] [--pr N] [--reps N] [--seed S]
 #include <unistd.h>
 
+#include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +38,7 @@
 #include "core/upper_bound.hpp"
 #include "ksp/yen.hpp"
 #include "recover/artifacts.hpp"
+#include "shard/fleet.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
 
@@ -45,6 +57,15 @@ struct GraphEntry {
 // std::map: deterministic key order in the emitted JSON, so two runs diff
 // cleanly as text too.
 using MetricMap = std::map<std::string, TimingStats>;
+
+/// Storm metrics are TimingStats (median_s = p50 — the gated statistic)
+/// plus the tail fields tools/bench_compare.py additionally gates.
+struct StormStats {
+  TimingStats base;
+  double p50_s = 0;
+  double p99_s = 0;
+};
+using StormMap = std::map<std::string, StormStats>;
 
 bool same_dists(const sssp::SsspResult& a, const sssp::SsspResult& b) {
   return a.dist == b.dist;  // bit-identical, not approximately equal
@@ -156,9 +177,145 @@ void run_graph(const bench::BenchGraph& bg, int reps, std::uint64_t seed,
   });
 }
 
+// -- Sharded serving storm (DESIGN.md §12) -----------------------------------
+
+double storm_pct(std::vector<double> v, size_t permille) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = (v.size() * permille) / 1000;
+  if (idx >= v.size()) idx = v.size() - 1;
+  return v[idx];
+}
+
+/// One Zipf storm through a fresh 4-shard × 2-replica fleet. Warm caches +
+/// injected replica stalls: the tail is manufactured by the injector, not by
+/// cold compute, so the hedged-vs-unhedged comparison is machine-independent.
+/// Aborts on any divergence from `want` (the single-engine answers).
+StormStats storm_pass(const graph::CsrGraph& g, bool hedging,
+                      const std::vector<std::pair<vid_t, vid_t>>& pool,
+                      const std::vector<size_t>& ranks,
+                      const std::vector<std::vector<sssp::Path>>& want,
+                      std::uint64_t seed) {
+  constexpr int kStormK = 8;
+  shard::FleetOptions fo;
+  fo.router.shards = 4;
+  fo.replicas = 2;
+  // Two workers per replica so an abandoned (hedged-away) stall does not
+  // serialize the next query behind it in the replica queue.
+  fo.workers_per_replica = 2;
+  fo.hedge = std::chrono::milliseconds(hedging ? 3 : 0);
+  fault::InjectorConfig inj;
+  inj.enabled = true;
+  inj.seed = seed;
+  inj.rate_permille = 60;
+  inj.stall = std::chrono::milliseconds(20);
+  inj.site_filter = "shard.replica.stall";
+  fo.injector = inj;
+  shard::ShardFleet fleet(g, fo);
+
+  // Warm both home-shard replicas (primary AND hedge target) directly —
+  // engine access bypasses the worker queues, so no stall probes fire here.
+  for (const auto& [s, t] : pool) {
+    const int home = fleet.router().route(s, t);
+    for (int r = 0; r < fleet.replicas(); ++r) {
+      fleet.engine(home, r).query(s, t, kStormK);
+    }
+  }
+
+  std::vector<double> lat;
+  lat.reserve(ranks.size());
+  for (const size_t rk : ranks) {
+    const auto [s, t] = pool[rk];
+    const auto res = fleet.query(s, t, kStormK);
+    bool same = res.result.status.code == fault::Status::kOk &&
+                !res.result.degraded &&
+                res.result.paths.size() == want[rk].size();
+    for (size_t i = 0; same && i < want[rk].size(); ++i) {
+      same = res.result.paths[i].verts == want[rk][i].verts &&
+             res.result.paths[i].dist == want[rk][i].dist;
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "bench_canonical: %s fleet answer diverged from "
+                   "core::peek_ksp — refusing to emit numbers for broken "
+                   "code\n",
+                   hedging ? "hedged" : "unhedged");
+      std::exit(1);
+    }
+    lat.push_back(res.seconds);
+  }
+  StormStats st;
+  st.base.reps = static_cast<int>(lat.size());
+  st.base.min_s = *std::min_element(lat.begin(), lat.end());
+  st.p50_s = storm_pct(lat, 500);
+  st.p99_s = storm_pct(lat, 990);
+  st.base.median_s = st.p50_s;
+  fleet.publish_latency_metrics();
+  return st;
+}
+
+void run_shard_storm(const bench::BenchGraph& bg, std::uint64_t seed,
+                     StormMap& storm) {
+  const graph::CsrGraph& g = bg.g;
+  constexpr int kQueries = 160;
+  constexpr int kPool = 16;
+  const auto pool = bench::sample_pairs(g, kPool, seed);
+  if (pool.empty()) {
+    std::fprintf(stderr, "bench_canonical: no storm pairs on %s\n",
+                 bg.name.c_str());
+    std::exit(1);
+  }
+
+  // Zipfian ranks over the pool: P(rank i) proportional to (i+1)^-0.99.
+  std::vector<double> cdf(pool.size());
+  double acc = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -0.99);
+    cdf[i] = acc;
+  }
+  std::mt19937_64 rng(seed ^ 0x5e47e);
+  std::uniform_real_distribution<double> uni(0.0, acc);
+  std::vector<size_t> ranks;
+  ranks.reserve(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    const size_t r = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) - cdf.begin());
+    ranks.push_back(std::min(r, pool.size() - 1));
+  }
+
+  // Ground truth per pool pair — every fleet answer must match exactly.
+  std::vector<std::vector<sssp::Path>> want;
+  want.reserve(pool.size());
+  for (const auto& [s, t] : pool) {
+    core::PeekOptions po;
+    po.k = 8;
+    want.push_back(core::peek_ksp(g, s, t, po).ksp.paths);
+  }
+
+  const auto key = [&bg](const char* metric) {
+    return std::string(metric) + "." + bg.name;
+  };
+  const StormStats unhedged =
+      storm_pass(g, /*hedging=*/false, pool, ranks, want, seed);
+  const StormStats hedged =
+      storm_pass(g, /*hedging=*/true, pool, ranks, want, seed);
+  // The storm installs a stall injector; later graphs must not inherit it.
+  fault::Injector::global().disable();
+
+  if (hedged.p99_s >= unhedged.p99_s) {
+    std::fprintf(stderr,
+                 "bench_canonical: hedged p99 (%.6fs) did not beat unhedged "
+                 "p99 (%.6fs) under injected stalls on %s\n",
+                 hedged.p99_s, unhedged.p99_s, bg.name.c_str());
+    std::exit(1);
+  }
+  storm[key("shard.storm.unhedged")] = unhedged;
+  storm[key("shard.storm.hedged")] = hedged;
+}
+
 void write_json(const char* path, int pr, int reps, std::uint64_t seed,
                 const std::vector<GraphEntry>& graphs,
-                const MetricMap& metrics) {
+                const MetricMap& metrics, const StormMap& storm) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "bench_canonical: cannot open %s for writing\n",
@@ -215,7 +372,15 @@ void write_json(const char* path, int pr, int reps, std::uint64_t seed,
                  "    \"%s\": {\"median_s\": %.9f, \"min_s\": %.9f, "
                  "\"reps\": %d}%s\n",
                  name.c_str(), st.median_s, st.min_s, st.reps,
-                 ++i < metrics.size() ? "," : "");
+                 ++i < metrics.size() || !storm.empty() ? "," : "");
+  }
+  size_t j = 0;
+  for (const auto& [name, st] : storm) {
+    std::fprintf(f,
+                 "    \"%s\": {\"median_s\": %.9f, \"min_s\": %.9f, "
+                 "\"reps\": %d, \"p50_s\": %.9f, \"p99_s\": %.9f}%s\n",
+                 name.c_str(), st.base.median_s, st.base.min_s, st.base.reps,
+                 st.p50_s, st.p99_s, ++j < storm.size() ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
@@ -225,7 +390,7 @@ void write_json(const char* path, int pr, int reps, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   bench::enable_metrics_dump(argc, argv);
-  int pr = 6;
+  int pr = 7;
   int reps = 5;
   std::uint64_t seed = 42;
   std::string out;
@@ -269,6 +434,7 @@ int main(int argc, char** argv) {
   // SSSPs per Yen run), one larger twitter-like R-MAT (GT). Weighted
   // variants only — unit-weight twins exercise the same code paths.
   MetricMap metrics;
+  StormMap storm;
   std::vector<GraphEntry> entries;
   for (auto& bg : bench::benchmark_suite(0)) {
     if (bg.name != "R21" && bg.name != "LJ" && bg.name != "WL" &&
@@ -278,10 +444,15 @@ int main(int argc, char** argv) {
                  bg.name.c_str(), static_cast<long long>(bg.g.num_vertices()),
                  static_cast<long long>(bg.g.num_edges()));
     run_graph(bg, reps, seed, metrics, entries);
+    if (bg.name == "R21") {
+      std::fprintf(stderr, "bench_canonical: %s sharded-serving storm\n",
+                   bg.name.c_str());
+      run_shard_storm(bg, seed, storm);
+    }
   }
 
-  write_json(out.c_str(), pr, reps, seed, entries, metrics);
+  write_json(out.c_str(), pr, reps, seed, entries, metrics, storm);
   std::fprintf(stderr, "bench_canonical: wrote %s (%zu metrics)\n",
-               out.c_str(), metrics.size());
+               out.c_str(), metrics.size() + storm.size());
   return 0;
 }

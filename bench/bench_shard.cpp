@@ -1,0 +1,182 @@
+// Sharded-serving benchmark: a Zipf query storm through shard::ShardFleet,
+// hedging off vs on, under deterministic injected replica stalls
+// (shard.replica.stall) that manufacture the straggler tail hedging exists
+// to cut. Reports per-config p50/p90/p99 and the hedge counters — the table
+// EXPERIMENTS.md §Sharded serving reproduces — and refuses to print numbers
+// if any fleet answer diverges from single-engine core::peek_ksp.
+//
+// The storm is issued single-threaded so the injector's per-site hit
+// sequence (and therefore which queries stall) is identical in every run;
+// the concurrency lives inside the fleet (replica workers + hedges), which
+// is the part under test.
+//
+// Env knobs: PEEK_BENCH_QUERIES (240), PEEK_BENCH_POOL (24),
+// PEEK_BENCH_STALL_MS (20), PEEK_BENCH_STALL_RATE (permille, 60),
+// PEEK_BENCH_HEDGE_MS (3). Pass --metrics-json PATH for shard.* counters.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/peek.hpp"
+#include "shard/fleet.hpp"
+
+namespace {
+using namespace peek;
+using namespace peek::bench;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+/// Zipfian stream over a fixed pool: P(rank i) proportional to (i+1)^-theta.
+std::vector<size_t> zipf_ranks(size_t pool, int n, double theta,
+                               std::uint64_t seed) {
+  std::vector<double> cdf(pool);
+  double acc = 0;
+  for (size_t i = 0; i < pool; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -theta);
+    cdf[i] = acc;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, acc);
+  std::vector<size_t> ranks;
+  ranks.reserve(static_cast<size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    const size_t r = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) - cdf.begin());
+    ranks.push_back(std::min(r, pool - 1));
+  }
+  return ranks;
+}
+
+double pct(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[std::min(v.size() - 1, static_cast<size_t>(p * double(v.size())))];
+}
+
+struct StormRow {
+  double p50 = 0, p90 = 0, p99 = 0;
+  long hedged = 0, hedge_wins = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::enable_metrics_dump(argc, argv);
+  const int n_queries = env_int("PEEK_BENCH_QUERIES", 240);
+  const int pool_size = env_int("PEEK_BENCH_POOL", 24);
+  const int stall_ms = env_int("PEEK_BENCH_STALL_MS", 20);
+  const int stall_rate = env_int("PEEK_BENCH_STALL_RATE", 60);
+  const int hedge_ms = env_int("PEEK_BENCH_HEDGE_MS", 3);
+  const int k = 8;
+  const std::uint64_t seed = 42;
+
+  const auto g = bench::twitter_like(13);
+  const auto pool = bench::sample_pairs(g, pool_size, seed);
+  const auto ranks =
+      zipf_ranks(pool.size(), n_queries, /*theta=*/0.99, seed ^ 0x5e47e);
+
+  // Ground truth per pool pair — every fleet answer must match exactly.
+  std::vector<std::vector<sssp::Path>> want;
+  want.reserve(pool.size());
+  for (const auto& [s, t] : pool) {
+    core::PeekOptions po;
+    po.k = k;
+    want.push_back(core::peek_ksp(g, s, t, po).ksp.paths);
+  }
+
+  std::printf("# paper: serving-tier extension (no paper figure) — "
+              "hedged-request tail latency, DESIGN.md §12\n");
+  std::printf("# %d queries, pool %d, zipf 0.99, k %d, 4 shards x 2 "
+              "replicas, stall %dms @ %d permille\n",
+              n_queries, pool_size, k, stall_ms, stall_rate);
+  std::printf("%-10s %12s %12s %12s %8s %8s\n", "config", "p50(s)", "p90(s)",
+              "p99(s)", "hedged", "wins");
+
+  StormRow rows[2];
+  for (int cfg = 0; cfg < 2; ++cfg) {
+    const bool hedging = cfg == 1;
+    shard::FleetOptions fo;
+    fo.router.shards = 4;
+    fo.replicas = 2;
+    // Two workers per replica so an abandoned (hedged-away) stall does not
+    // block the next query behind it in the replica queue.
+    fo.workers_per_replica = 2;
+    fo.hedge = std::chrono::milliseconds(hedging ? hedge_ms : 0);
+    fault::InjectorConfig inj;
+    inj.enabled = true;
+    inj.seed = seed;
+    inj.rate_permille = stall_rate;
+    inj.stall = std::chrono::milliseconds(stall_ms);
+    inj.site_filter = "shard.replica.stall";
+    fo.injector = inj;
+    shard::ShardFleet fleet(g, fo);
+
+    // Warm every home-shard replica (primary AND hedge target) directly, so
+    // storm latencies measure the serving tier — queue, stall, hedge — not
+    // cold PeeK compute. Without this the cold-compute tail rivals the
+    // injected stall on slow machines and the hedged-vs-unhedged comparison
+    // turns into a CPU-speed lottery.
+    for (const auto& [s, t] : pool) {
+      const int home = fleet.router().route(s, t);
+      for (int r = 0; r < fleet.replicas(); ++r) {
+        fleet.engine(home, r).query(s, t, k);
+      }
+    }
+
+    StormRow& row = rows[cfg];
+    std::vector<double> lat;
+    lat.reserve(ranks.size());
+    for (const size_t r : ranks) {
+      const auto [s, t] = pool[r];
+      auto res = fleet.query(s, t, k);
+      if (res.result.status.code != fault::Status::kOk ||
+          res.result.degraded) {
+        std::fprintf(stderr, "bench_shard: query (%d,%d) failed: %s\n",
+                     static_cast<int>(s), static_cast<int>(t),
+                     fault::to_string(res.result.status.code));
+        return 1;
+      }
+      const auto& w = want[r];
+      bool same = res.result.paths.size() == w.size();
+      for (size_t i = 0; same && i < w.size(); ++i) {
+        same = res.result.paths[i].verts == w[i].verts &&
+               res.result.paths[i].dist == w[i].dist;
+      }
+      if (!same) {
+        std::fprintf(stderr,
+                     "bench_shard: fleet answer diverged from core::peek_ksp "
+                     "on (%d,%d) — refusing to emit numbers for broken "
+                     "code\n",
+                     static_cast<int>(s), static_cast<int>(t));
+        return 1;
+      }
+      lat.push_back(res.seconds);
+      row.hedged += res.hedged ? 1 : 0;
+      row.hedge_wins += res.hedge_won ? 1 : 0;
+    }
+    row.p50 = pct(lat, 0.50);
+    row.p90 = pct(lat, 0.90);
+    row.p99 = pct(lat, 0.99);
+    std::printf("%-10s %12.6f %12.6f %12.6f %8ld %8ld\n",
+                hedging ? "hedged" : "unhedged", row.p50, row.p90, row.p99,
+                row.hedged, row.hedge_wins);
+    fleet.publish_latency_metrics();
+  }
+  fault::Injector::global().disable();
+
+  std::printf("# hedged p99 %.6fs vs unhedged p99 %.6fs (%.1fx)\n",
+              rows[1].p99, rows[0].p99,
+              rows[1].p99 > 0 ? rows[0].p99 / rows[1].p99 : 0.0);
+  if (rows[1].p99 >= rows[0].p99) {
+    std::fprintf(stderr,
+                 "bench_shard: hedging failed to beat the unhedged p99 "
+                 "under injected stalls\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,12 @@
 // Row-wise 1-D graph partitioning (§6.2): rank r owns a contiguous vertex
 // range and the full out-adjacency of those vertices — the Graph500-style
-// layout. Communication-friendly: a relaxation of edge (u, v) is generated by
-// v's... by u's owner and applied by v's owner.
+// layout. Communication-friendly: a relaxation of edge (u, v) is generated
+// by u's owner and applied by v's owner.
+//
+// The same cut points also serve as the serving tier's locality key:
+// shard::ShardRouter hashes (block of s, block of t) over partition_points
+// blocks, so queries with co-located endpoints share a shard's caches
+// (DESIGN.md §12).
 #pragma once
 
 #include <vector>

@@ -27,6 +27,12 @@ CancelToken CancelToken::linked(const CancelToken& parent,
   return t;
 }
 
+CancelToken CancelToken::linked(const CancelToken& parent) {
+  CancelToken t = cancellable();
+  t.state_->parent = parent.state_;
+  return t;
+}
+
 void CancelToken::cancel() const {
   if (state_) state_->cancelled.store(true, std::memory_order_release);
 }

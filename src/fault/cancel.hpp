@@ -40,6 +40,11 @@ class CancelToken {
   /// or via cancel(). Used by the serving layer to combine a caller-supplied
   /// token with the per-query deadline.
   static CancelToken linked(const CancelToken& parent, Clock::duration budget);
+  /// A token that triggers when `parent` triggers or via cancel() — no
+  /// deadline of its own. The sharded serving tier hands one to each hedged
+  /// attempt: cancelling a child abandons just that attempt, while the
+  /// parent tripping abandons them all.
+  static CancelToken linked(const CancelToken& parent);
 
   bool valid() const { return state_ != nullptr; }
 

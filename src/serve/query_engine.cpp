@@ -194,6 +194,25 @@ bool QueryEngine::serve_degraded(vid_t s, vid_t t, int k, std::uint64_t gen,
   return true;
 }
 
+ServeResult QueryEngine::query_cached_only(vid_t s, vid_t t, int k) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ServeResult out;
+  auto g = active_graph();
+  if (k <= 0 || s < 0 || s >= g->num_vertices() || t < 0 ||
+      t >= g->num_vertices()) {
+    out.status = {fault::Status::kInvalidArgument,
+                  "query requires 0 <= s,t < n and k > 0"};
+    PEEK_COUNT_INC("serve.invalid_arguments");
+  } else if (!serve_degraded(s, t, k, generation(), out)) {
+    // Honors ServeOptions::degraded_serving: disabled means no cached-only
+    // answers, same as the shed path.
+    out.status = {fault::Status::kOverloaded,
+                  "no cached answer for degraded-only query"};
+  }
+  out.seconds = seconds_since(t0);
+  return out;
+}
+
 std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
     const graph::CsrGraph& g, vid_t s, vid_t t, int k_budget,
     std::uint64_t generation, ServeResult& out,

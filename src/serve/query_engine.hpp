@@ -26,6 +26,11 @@
 //
 // Degradation: with a zero cache budget every query runs plain peek_ksp;
 // artifacts larger than a cache shard are served but not retained.
+//
+// Scale-out: one engine is one process's worth of caches. shard::ShardFleet
+// (DESIGN.md §12) replicates whole engines behind a consistent-hash router;
+// query_cached_only below is the zero-graph-work probe its degraded
+// fallback uses against surviving replicas.
 #pragma once
 
 #include <atomic>
@@ -128,6 +133,14 @@ class QueryEngine {
   /// admission, deadline, or injected-fault reasons: every such outcome is a
   /// typed ServeResult::status.
   ServeResult query(vid_t s, vid_t t, int k, const QueryOptions& qopts = {});
+
+  /// Degraded-only lookup: answers from already-materialized cached paths
+  /// with zero graph work (the shed-path logic, callable directly). Returns
+  /// kOk with ServeResult::degraded set — possibly fewer than k paths, but
+  /// always an exact prefix of the true answer — or kOverloaded when
+  /// nothing usable is cached. The sharded serving tier uses this to probe
+  /// surviving replicas' caches when a query's home shard is down.
+  ServeResult query_cached_only(vid_t s, vid_t t, int k);
 
   /// Manual cache invalidation (e.g. out-of-band graph edits): bumps the
   /// generation so every cached artifact becomes stale.

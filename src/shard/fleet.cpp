@@ -1,0 +1,492 @@
+#include "shard/fleet.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "check/invariants.hpp"
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+
+namespace peek::shard {
+
+namespace {
+
+/// Recent-query latency window kept per shard (ring buffer).
+constexpr size_t kLatencyWindow = 4096;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+size_t percentile_index(size_t n, size_t permille) {
+  const size_t idx = (n * permille) / 1000;
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace
+
+/// Shared completion slot of one fleet query. The waiter and every attempt
+/// hold a shared_ptr; attempts never point back at each other (tokens are
+/// stored by value), so there is no ownership cycle.
+struct ShardFleet::QueryState {
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding = 0;
+  bool winner_set = false;
+  serve::ServeResult winner;
+  int winner_index = -1;
+  int winner_replica = -1;
+  bool winner_replica_down = false;
+  /// Per-attempt cancel handles, indexed by attempt index; the waiter
+  /// cancels every loser through them once a winner lands.
+  std::vector<fault::CancelToken> tokens;
+
+  /// First-completion-wins publication. A failed attempt only wins when it
+  /// is the last one outstanding — a slower healthy duplicate may still
+  /// deliver the real answer.
+  void complete(int index, int replica, bool replica_down,
+                serve::ServeResult r) {
+    std::lock_guard<std::mutex> lock(mu);
+    --outstanding;
+    const bool ok = r.status.code == fault::Status::kOk;
+    if (!winner_set && (ok || outstanding == 0)) {
+      winner_set = true;
+      winner = std::move(r);
+      winner_index = index;
+      winner_replica = replica;
+      winner_replica_down = replica_down;
+      cv.notify_all();
+    } else if (winner_set && r.status.code == fault::Status::kCancelled) {
+      // A losing attempt whose cancellation actually cut it short.
+      PEEK_COUNT_INC("shard.hedges.cancelled");
+    }
+  }
+};
+
+/// One unit of replica work: a (s, t, k) attempt plus its cancel handle and
+/// the query it reports into.
+struct ShardFleet::Attempt {
+  vid_t s = 0;
+  vid_t t = 0;
+  int k = 0;
+  int index = 0;  // 0 = primary, >0 = hedge duplicates
+  int shard = -1;
+  int replica = -1;
+  bool replica_down = false;  // completion was a dead-replica bounce
+  fault::CancelToken token;
+  std::shared_ptr<QueryState> state;
+};
+
+/// A thread-simulated replica process: engine + queue + workers. `down`
+/// models a crashed process — queued work bounces and the cache is
+/// unreachable until it is marked up again.
+struct ShardFleet::Replica {
+  std::unique_ptr<serve::QueryEngine> engine;
+  std::atomic<bool> down{false};
+  std::mutex mu;  // guards queue + stopping
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Attempt>> queue;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+};
+
+struct ShardFleet::Shard {
+  std::vector<std::unique_ptr<Replica>> replicas;
+  std::atomic<unsigned> rr{0};  // round-robin pick cursor
+  mutable std::mutex lat_mu;    // guards the two fields below
+  std::vector<double> lat;      // ring buffer of recent query latencies
+  std::uint64_t lat_count = 0;
+};
+
+ShardFleet::ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts)
+    : graph_(&g), opts_(opts), router_(g.num_vertices(), opts.router) {
+  if (opts_.replicas < 1) opts_.replicas = 1;
+  if (opts_.workers_per_replica < 1) opts_.workers_per_replica = 1;
+  if (opts_.injector) fault::Injector::global().configure(*opts_.injector);
+  // The fleet installs the injector once; per-replica engines must not each
+  // re-install it (configure() resets the fired counters).
+  opts_.serve.injector.reset();
+
+  shards_.reserve(static_cast<size_t>(router_.shards()));
+  for (int sh = 0; sh < router_.shards(); ++sh) {
+    auto shard = std::make_unique<Shard>();
+    shard->replicas.reserve(static_cast<size_t>(opts_.replicas));
+    for (int r = 0; r < opts_.replicas; ++r) {
+      auto rep = std::make_unique<Replica>();
+      rep->engine = std::make_unique<serve::QueryEngine>(g, opts_.serve);
+      shard->replicas.push_back(std::move(rep));
+    }
+    shards_.push_back(std::move(shard));
+  }
+  // Workers start only after every replica exists: a worker's failover path
+  // may touch engines on other shards.
+  for (auto& shard : shards_) {
+    for (auto& rep : shard->replicas) {
+      for (int w = 0; w < opts_.workers_per_replica; ++w) {
+        rep->workers.emplace_back(
+            [this, r = rep.get()] { worker_loop(*r); });
+      }
+    }
+  }
+}
+
+ShardFleet::~ShardFleet() {
+  for (auto& shard : shards_) {
+    for (auto& rep : shard->replicas) {
+      {
+        std::lock_guard<std::mutex> lock(rep->mu);
+        rep->stopping = true;
+      }
+      rep->cv.notify_all();
+    }
+  }
+  for (auto& shard : shards_) {
+    for (auto& rep : shard->replicas) {
+      for (auto& w : rep->workers) w.join();
+    }
+  }
+}
+
+void ShardFleet::worker_loop(Replica& rep) {
+  for (;;) {
+    std::shared_ptr<Attempt> at;
+    {
+      std::unique_lock<std::mutex> lock(rep.mu);
+      rep.cv.wait(lock, [&] { return rep.stopping || !rep.queue.empty(); });
+      if (rep.queue.empty()) break;  // stopping, and fully drained
+      at = std::move(rep.queue.front());
+      rep.queue.pop_front();
+    }
+    serve::ServeResult r;
+    if (rep.down.load(std::memory_order_acquire) ||
+        PEEK_FAULT_FIRE("shard.replica.down")) {
+      // Dead-process bounce: no engine work, no cache access.
+      at->replica_down = true;
+      r.status = {fault::Status::kOverloaded, "replica down"};
+    } else if (at->token.triggered()) {
+      // Cancelled while still queued (lost hedge, tripped deadline).
+      r.status = {at->token.why(), "cancelled before dispatch"};
+    } else {
+      PEEK_FAULT_STALL("shard.replica.stall");
+      serve::QueryOptions qo;
+      qo.cancel = &at->token;
+      r = rep.engine->query(at->s, at->t, at->k, qo);
+    }
+    at->state->complete(at->index, at->replica, at->replica_down,
+                        std::move(r));
+  }
+}
+
+int ShardFleet::pick_replica(Shard& sh, int skip) {
+  const unsigned count = static_cast<unsigned>(opts_.replicas);
+  const unsigned start = sh.rr.fetch_add(1, std::memory_order_relaxed);
+  for (unsigned i = 0; i < count; ++i) {
+    const int r = static_cast<int>((start + i) % count);
+    if (r == skip) continue;
+    if (sh.replicas[static_cast<size_t>(r)]->down.load(
+            std::memory_order_acquire))
+      continue;
+    return r;
+  }
+  return -1;
+}
+
+void ShardFleet::launch(int shard, int replica, int index, vid_t s, vid_t t,
+                        int k, const fault::CancelToken* base,
+                        const std::shared_ptr<QueryState>& st) {
+  auto at = std::make_shared<Attempt>();
+  at->s = s;
+  at->t = t;
+  at->k = k;
+  at->index = index;
+  at->shard = shard;
+  at->replica = replica;
+  // Per-attempt handle under the caller's token/deadline: cancelling it
+  // abandons just this attempt; the parent tripping abandons them all.
+  at->token = base != nullptr ? fault::CancelToken::linked(*base)
+                              : fault::CancelToken::cancellable();
+  at->state = st;
+  {
+    std::lock_guard<std::mutex> lock(st->mu);
+    ++st->outstanding;
+    if (static_cast<size_t>(index) >= st->tokens.size())
+      st->tokens.resize(static_cast<size_t>(index) + 1);
+    st->tokens[static_cast<size_t>(index)] = at->token;
+  }
+  Replica& rep = *shards_[static_cast<size_t>(shard)]
+                      ->replicas[static_cast<size_t>(replica)];
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(rep.mu);
+    if (opts_.max_queue > 0 &&
+        rep.queue.size() >= static_cast<size_t>(opts_.max_queue)) {
+      shed = true;  // routing-tier admission: bounce without queueing
+    } else {
+      rep.queue.push_back(std::move(at));
+      rep.cv.notify_one();
+    }
+  }
+  if (shed) {
+    PEEK_COUNT_INC("shard.shed");
+    serve::ServeResult r;
+    r.status = {fault::Status::kOverloaded, "replica queue full"};
+    st->complete(index, replica, /*replica_down=*/false, std::move(r));
+  }
+}
+
+ShardFleet::RunOutcome ShardFleet::run_on_shard(
+    int shard, vid_t s, vid_t t, int k, const fault::CancelToken* base) {
+  RunOutcome out;
+  Shard& sh = *shards_[static_cast<size_t>(shard)];
+  int skip = -1;
+  bool hedged_any = false;
+  for (int attempt = 0; attempt < opts_.replicas; ++attempt) {
+    const int r0 = pick_replica(sh, skip);
+    if (r0 < 0) {
+      out.hedged = hedged_any;
+      out.unavailable = true;
+      return out;
+    }
+    if (attempt > 0) PEEK_COUNT_INC("shard.replica_retries");
+    auto st = std::make_shared<QueryState>();
+    launch(shard, r0, 0, s, t, k, base, st);
+    bool hedged = false;
+    {
+      std::unique_lock<std::mutex> lock(st->mu);
+      if (opts_.hedge.count() > 0 && !st->winner_set &&
+          !st->cv.wait_for(lock, opts_.hedge,
+                           [&] { return st->winner_set; })) {
+        // The primary overran the hedge budget: duplicate on a spare
+        // replica here, else (under failover) on the ring successor.
+        int hshard = shard;
+        int hr = pick_replica(sh, r0);
+        if (hr < 0 && opts_.failover) {
+          for (int step = 1; step < router_.shards() && hr < 0; ++step) {
+            hshard = router_.successor(shard, step);
+            hr = pick_replica(*shards_[static_cast<size_t>(hshard)], -1);
+          }
+        }
+        if (hr >= 0) {
+          lock.unlock();
+          launch(hshard, hr, 1, s, t, k, base, st);
+          PEEK_COUNT_INC("shard.hedges.fired");
+          hedged = true;
+          hedged_any = true;
+          lock.lock();
+        }
+      }
+      st->cv.wait(lock, [&] { return st->winner_set; });
+      out.result = std::move(st->winner);
+      out.replica = st->winner_replica;
+      out.hedged = hedged_any;
+      out.hedge_won = hedged && st->winner_index > 0;
+      out.unavailable = st->winner_replica_down;
+    }
+    {
+      // First completion won; cancel every losing attempt. Their workers
+      // observe the tripped token and bail (shard.hedges.cancelled).
+      std::lock_guard<std::mutex> lock(st->mu);
+      for (size_t i = 0; i < st->tokens.size(); ++i) {
+        if (static_cast<int>(i) != st->winner_index) st->tokens[i].cancel();
+      }
+    }
+    if (out.hedge_won) {
+      PEEK_COUNT_INC("shard.hedges.won");
+    } else if (hedged) {
+      PEEK_COUNT_INC("shard.hedges.wasted");
+    }
+    if (!out.unavailable) return out;
+    skip = out.replica;  // that replica just bounced — try its peers
+  }
+  out.unavailable = true;
+  return out;
+}
+
+bool ShardFleet::try_degraded(vid_t s, vid_t t, int k, int home,
+                              FleetResult& out) {
+  // Read-only cache peek across surviving replicas, ring order from home.
+  // query_cached_only does zero graph work, so bypassing the queues here is
+  // safe even while those replicas serve their own traffic.
+  for (int step = 0; step < router_.shards(); ++step) {
+    const int sh = router_.successor(home, step);
+    Shard& shard = *shards_[static_cast<size_t>(sh)];
+    for (int r = 0; r < opts_.replicas; ++r) {
+      Replica& rep = *shard.replicas[static_cast<size_t>(r)];
+      if (rep.down.load(std::memory_order_acquire)) continue;
+      serve::ServeResult res = rep.engine->query_cached_only(s, t, k);
+      if (res.status.code == fault::Status::kOk) {
+        out.result = std::move(res);
+        out.shard = sh;
+        out.replica = r;
+        out.failover = sh != home;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+FleetResult ShardFleet::query(vid_t s, vid_t t, int k,
+                              const serve::QueryOptions& qopts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  FleetResult out;
+  PEEK_COUNT_INC("shard.queries");
+  PEEK_TIMER_SCOPE("shard.query");
+
+  const vid_t n = graph_->num_vertices();
+  if (k <= 0 || s < 0 || s >= n || t < 0 || t >= n) {
+    out.result.status = {fault::Status::kInvalidArgument,
+                         "query requires 0 <= s,t < n and k > 0"};
+    out.seconds = seconds_since(t0);
+    return out;
+  }
+
+  const int home = router_.route(s, t);
+  out.shard = home;
+
+  // Caller token + per-query deadline, merged exactly like QueryEngine does
+  // — replicas then only see per-attempt children of this one token.
+  fault::CancelToken deadline_token;
+  const fault::CancelToken* base =
+      qopts.cancel != nullptr && qopts.cancel->valid() ? qopts.cancel
+                                                       : nullptr;
+  const auto budget =
+      qopts.deadline.count() > 0 ? qopts.deadline : opts_.default_deadline;
+  if (budget.count() > 0) {
+    deadline_token = base != nullptr
+                         ? fault::CancelToken::linked(*base, budget)
+                         : fault::CancelToken::after(budget);
+    base = &deadline_token;
+  }
+
+  int shard = home;
+  int step = 0;
+  for (;;) {
+    RunOutcome ro = run_on_shard(shard, s, t, k, base);
+    out.hedged = out.hedged || ro.hedged;
+    out.hedge_won = out.hedge_won || ro.hedge_won;
+    if (!ro.unavailable) {
+      out.result = std::move(ro.result);
+      out.shard = shard;
+      out.replica = ro.replica;
+      out.failover = shard != home;
+      break;
+    }
+    if (opts_.failover && step + 1 < router_.shards() &&
+        !(base != nullptr && base->triggered())) {
+      ++step;
+      shard = router_.successor(home, step);
+      PEEK_COUNT_INC("shard.failovers");
+      continue;
+    }
+    if (opts_.degraded_fallback && try_degraded(s, t, k, home, out)) {
+      PEEK_COUNT_INC("shard.degraded_fallbacks");
+      break;
+    }
+    out.result.status = {fault::Status::kOverloaded,
+                         "shard down: no live replica"};
+    out.shard = shard;
+    out.replica = -1;
+    PEEK_COUNT_INC("shard.shard_down_rejects");
+    break;
+  }
+
+  if (out.result.status.code == fault::Status::kOk && !out.result.degraded) {
+    // Route quality: did consistent hashing land this query on warm state?
+    if (out.result.snapshot_hit || out.result.fwd_tree_hit ||
+        out.result.rev_tree_hit || out.result.coalesced) {
+      PEEK_COUNT_INC("shard.route.hits");
+    } else {
+      PEEK_COUNT_INC("shard.route.misses");
+    }
+  }
+  out.seconds = seconds_since(t0);
+  if (out.shard >= 0) record_latency(out.shard, out.seconds);
+  return out;
+}
+
+void ShardFleet::set_replica_down(int shard, int replica, bool down) {
+  PEEK_DCHECK(shard >= 0 && shard < router_.shards());
+  PEEK_DCHECK(replica >= 0 && replica < opts_.replicas);
+  shards_[static_cast<size_t>(shard)]
+      ->replicas[static_cast<size_t>(replica)]
+      ->down.store(down, std::memory_order_release);
+}
+
+bool ShardFleet::replica_down(int shard, int replica) const {
+  PEEK_DCHECK(shard >= 0 && shard < router_.shards());
+  PEEK_DCHECK(replica >= 0 && replica < opts_.replicas);
+  return shards_[static_cast<size_t>(shard)]
+      ->replicas[static_cast<size_t>(replica)]
+      ->down.load(std::memory_order_acquire);
+}
+
+serve::QueryEngine& ShardFleet::engine(int shard, int replica) {
+  PEEK_DCHECK(shard >= 0 && shard < router_.shards());
+  PEEK_DCHECK(replica >= 0 && replica < opts_.replicas);
+  return *shards_[static_cast<size_t>(shard)]
+              ->replicas[static_cast<size_t>(replica)]
+              ->engine;
+}
+
+void ShardFleet::record_latency(int shard, double seconds) {
+  Shard& sh = *shards_[static_cast<size_t>(shard)];
+  std::lock_guard<std::mutex> lock(sh.lat_mu);
+  if (sh.lat.size() < kLatencyWindow) {
+    sh.lat.push_back(seconds);
+  } else {
+    sh.lat[static_cast<size_t>(sh.lat_count % kLatencyWindow)] = seconds;
+  }
+  ++sh.lat_count;
+}
+
+std::vector<ShardLatency> ShardFleet::stats() const {
+  std::vector<ShardLatency> out;
+  out.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ShardLatency sl;
+    std::vector<double> window;
+    {
+      std::lock_guard<std::mutex> lock(sh->lat_mu);
+      window = sh->lat;
+      sl.count = sh->lat_count;
+    }
+    if (!window.empty()) {
+      std::sort(window.begin(), window.end());
+      sl.p50_s = window[percentile_index(window.size(), 500)];
+      sl.p99_s = window[percentile_index(window.size(), 990)];
+    }
+    out.push_back(sl);
+  }
+  return out;
+}
+
+void ShardFleet::publish_latency_metrics() const {
+  if (!obs::kEnabled) return;  // honor the PEEK_OBS=OFF kill switch
+  const auto per = stats();
+  std::vector<double> all;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    {
+      std::lock_guard<std::mutex> lock(shards_[i]->lat_mu);
+      all.insert(all.end(), shards_[i]->lat.begin(), shards_[i]->lat.end());
+    }
+    // Per-shard gauge family: names are built at runtime (shard count is a
+    // config value), so they are documented in README prose rather than the
+    // lint-enforced literal-name metric tables.
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string prefix = "shard.s" + std::to_string(i);
+    reg.gauge(prefix + ".p50_seconds").set(per[i].p50_s);
+    reg.gauge(prefix + ".p99_seconds").set(per[i].p99_s);
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    PEEK_GAUGE_SET("shard.p50_seconds",
+                   all[percentile_index(all.size(), 500)]);
+    PEEK_GAUGE_SET("shard.p99_seconds",
+                   all[percentile_index(all.size(), 990)]);
+  }
+}
+
+}  // namespace peek::shard

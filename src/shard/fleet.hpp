@@ -1,0 +1,172 @@
+// Sharded serving fleet (DESIGN.md §12): N shards × R replicas of
+// serve::QueryEngine behind a consistent-hash ShardRouter, with hedged
+// duplicate requests to cut tail latency.
+//
+// Each replica is a thread-simulated process: its own QueryEngine (own
+// ArtifactCache, admission slots, warm-restart state), its own bounded
+// request queue, and its own worker threads. The graph itself is replicated
+// (every replica serves the full CSR — it is the caches that the router
+// partitions), so any replica's answer to (s, t, K) is bit-identical to
+// single-engine core::peek_ksp; hedging and failover can therefore never
+// change an answer, only who computes it.
+//
+// Query lifecycle (see the §12 state machine):
+//   route    — ShardRouter::route(s, t) picks the home shard; a round-robin
+//              scan of its live replicas picks the primary.
+//   hedge    — if FleetOptions::hedge > 0 and no completion arrives within
+//              it, one duplicate attempt is enqueued on a different replica
+//              (ring-successor shard when the home shard has no spare). The
+//              first completion wins; every losing attempt is cancelled
+//              through its per-attempt fault::CancelToken, which is linked()
+//              under the caller's token/deadline.
+//   retry    — a "replica down" completion (marked down, or the injected
+//              shard.replica.down probe) retries on the shard's next live
+//              replica — hot-shard replication — before failing over.
+//   failover — a shard with no live replica reroutes to ring-successor
+//              shards in deterministic order (FleetOptions::failover).
+//   degrade  — when no live replica exists anywhere reachable, the fleet
+//              probes surviving replicas' caches via
+//              QueryEngine::query_cached_only (zero graph work) and returns
+//              a degraded prefix, else Status::kOverloaded. Never a wrong
+//              answer: every non-degraded kOk result is the exact K-path
+//              set.
+//
+// Shutdown: the destructor stops every worker after draining its queue, so
+// in-flight query() calls complete; callers must not destroy the fleet while
+// calling query() (same contract as QueryEngine vs its graph).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/query_engine.hpp"
+#include "shard/router.hpp"
+
+namespace peek::shard {
+
+struct FleetOptions {
+  /// Ring shape; router.shards is the shard count.
+  RouterOptions router;
+  /// Replicas per shard (>= 1). Replica 0 is the round-robin anchor; spares
+  /// absorb hedges, retries and hot-shard overflow.
+  int replicas = 1;
+  /// Worker threads per replica (>= 1).
+  int workers_per_replica = 1;
+  /// Hedge trigger latency: fire one duplicate attempt if the primary has
+  /// not completed within this budget. <= 0 disables hedging.
+  std::chrono::milliseconds hedge{0};
+  /// Deadline for queries that do not pass their own (<= 0 = none); linked
+  /// with the caller token exactly as in serve::ServeOptions.
+  std::chrono::milliseconds default_deadline{0};
+  /// Per-replica queue bound (routing-tier admission; <= 0 = unbounded).
+  /// A full queue sheds the attempt with Status::kOverloaded.
+  int max_queue = 0;
+  /// Reroute to ring-successor shards when a shard has no live replica.
+  /// Off = strict placement: such queries go straight to degraded/reject.
+  bool failover = true;
+  /// Probe surviving replicas' caches (query_cached_only) before rejecting
+  /// a query whose shard is down.
+  bool degraded_fallback = true;
+  /// Per-replica engine template. The engine's own default_deadline is left
+  /// to the fleet (set this one instead); cache.byte_budget is per replica.
+  serve::ServeOptions serve;
+  /// Installed into fault::Injector::global() at construction (tests/CI).
+  std::optional<fault::InjectorConfig> injector;
+};
+
+/// One fleet query: the replica answer plus routing provenance.
+struct FleetResult {
+  serve::ServeResult result;
+  int shard = -1;    // shard that produced the answer (home unless failover)
+  int replica = -1;  // replica index within that shard (-1: rejected)
+  bool hedged = false;     // a duplicate attempt was fired
+  bool hedge_won = false;  // ... and it beat the primary
+  bool failover = false;   // served off the home shard
+  double seconds = 0;      // end-to-end fleet wall time (queue wait included)
+};
+
+/// Point-in-time per-shard latency digest (stats()).
+struct ShardLatency {
+  double p50_s = 0;
+  double p99_s = 0;
+  std::uint64_t count = 0;  // queries attributed to this shard
+};
+
+/// Thread-safe sharded serving facade. The graph must outlive the fleet;
+/// query() may be called concurrently from any number of threads.
+class ShardFleet {
+ public:
+  explicit ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts = {});
+  ~ShardFleet();
+
+  ShardFleet(const ShardFleet&) = delete;
+  ShardFleet& operator=(const ShardFleet&) = delete;
+
+  /// The K shortest simple paths from s to t, bit-identical to
+  /// core::peek_ksp whenever result.status is kOk and not degraded
+  /// (tests/test_shard.cpp FleetBitIdentity, HedgeStormBitIdentity).
+  FleetResult query(vid_t s, vid_t t, int k,
+                    const serve::QueryOptions& qopts = {});
+
+  const ShardRouter& router() const { return router_; }
+  int shards() const { return router_.shards(); }
+  int replicas() const { return opts_.replicas; }
+
+  /// Ops/test hook: mark one replica crashed (true) or recovered (false).
+  /// A down replica answers nothing — its queue drains as "replica down"
+  /// and its cache is unreachable, like a dead process.
+  void set_replica_down(int shard, int replica, bool down);
+  bool replica_down(int shard, int replica) const;
+
+  /// Direct engine access (tests: cache warming, drain assertions).
+  serve::QueryEngine& engine(int shard, int replica);
+
+  /// Per-shard latency digests over a sliding window of recent queries.
+  std::vector<ShardLatency> stats() const;
+  /// Publishes shard.p50_seconds / shard.p99_seconds (fleet-wide) and the
+  /// per-shard shard.s<i>.{p50,p99}_seconds gauge families.
+  void publish_latency_metrics() const;
+
+ private:
+  struct QueryState;
+  struct Attempt;
+  struct Replica;
+  struct Shard;
+
+  /// Outcome of launching (and possibly hedging) on one shard.
+  struct RunOutcome {
+    serve::ServeResult result;
+    int replica = -1;
+    bool hedged = false;
+    bool hedge_won = false;
+    bool unavailable = false;  // no live replica, or winner was replica-down
+  };
+
+  /// Round-robin live-replica pick; -1 when none (skip >= 0 excludes one).
+  int pick_replica(Shard& sh, int skip);
+  /// Enqueue one attempt (index 0 = primary). Sheds to Status::kOverloaded
+  /// synchronously when the replica queue is full.
+  void launch(int shard, int replica, int index, vid_t s, vid_t t, int k,
+              const fault::CancelToken* base,
+              const std::shared_ptr<QueryState>& st);
+  RunOutcome run_on_shard(int shard, vid_t s, vid_t t, int k,
+                          const fault::CancelToken* base);
+  bool try_degraded(vid_t s, vid_t t, int k, int home, FleetResult& out);
+  void worker_loop(Replica& rep);
+  void record_latency(int shard, double seconds);
+
+  const graph::CsrGraph* graph_;
+  FleetOptions opts_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace peek::shard

@@ -1,0 +1,81 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+
+#include "check/invariants.hpp"
+#include "dist/partition.hpp"
+
+namespace peek::shard {
+
+namespace {
+
+/// splitmix64 finalizer: the same cheap, high-quality mixer the dist retry
+/// backoff uses. Pure, so routing stays process-independent.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(vid_t n, const RouterOptions& opts) : opts_(opts) {
+  if (opts_.shards < 1) opts_.shards = 1;
+  if (opts_.vnodes < 1) opts_.vnodes = 1;
+  if (opts_.blocks < 1) opts_.blocks = 1;
+  points_ = dist::partition_points(n, opts_.blocks);
+
+  ring_.reserve(static_cast<size_t>(opts_.shards) *
+                static_cast<size_t>(opts_.vnodes));
+  for (int sh = 0; sh < opts_.shards; ++sh) {
+    for (int v = 0; v < opts_.vnodes; ++v) {
+      const std::uint64_t h =
+          mix64(opts_.seed ^ mix64((static_cast<std::uint64_t>(sh) << 20) +
+                                   static_cast<std::uint64_t>(v)));
+      ring_.emplace_back(h, sh);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+
+  // Fixed successor permutation: shards in order of first ring appearance.
+  ring_order_.reserve(static_cast<size_t>(opts_.shards));
+  order_pos_.assign(static_cast<size_t>(opts_.shards), -1);
+  for (const auto& [h, sh] : ring_) {
+    if (order_pos_[static_cast<size_t>(sh)] < 0) {
+      order_pos_[static_cast<size_t>(sh)] =
+          static_cast<int>(ring_order_.size());
+      ring_order_.push_back(sh);
+    }
+  }
+}
+
+int ShardRouter::block_of(vid_t v) const {
+  return dist::owner_of(v, points_);
+}
+
+std::uint64_t ShardRouter::locality_key(vid_t s, vid_t t) const {
+  return (static_cast<std::uint64_t>(block_of(s)) << 32) |
+         static_cast<std::uint64_t>(block_of(t));
+}
+
+int ShardRouter::route(vid_t s, vid_t t) const {
+  const std::uint64_t h = mix64(locality_key(s, t) ^ opts_.seed);
+  // First ring point clockwise from h; wrap to the smallest point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, int>& p, std::uint64_t key) {
+        return p.first < key;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+int ShardRouter::successor(int shard, int step) const {
+  PEEK_DCHECK(shard >= 0 && shard < opts_.shards);
+  const int pos = order_pos_[static_cast<size_t>(shard)];
+  const int next = (pos + step) % opts_.shards;
+  return ring_order_[static_cast<size_t>(next)];
+}
+
+}  // namespace peek::shard

@@ -1,0 +1,92 @@
+// Consistent-hash query router over the 1-D row partition (DESIGN.md §12).
+//
+// Routing key: the (source block, target block) pair under
+// dist::partition_points — the same contiguous vertex-range layout the
+// distributed tier uses (§6.2) — so queries whose endpoints fall in the same
+// blocks land on the same shard and hit that shard's tree and snapshot
+// caches. The block count (RouterOptions::blocks) is deliberately
+// independent of the shard count: the key space must stay fixed when shards
+// are added or removed, or the consistent-hash stability below evaporates.
+// With blocks finer than shards, one shard owns many (sblock, tblock)
+// cells; every query for a given source block routes through a small, fixed
+// set of shards, which is what makes the per-shard forward-tree cache
+// effective under Zipf-skewed traffic.
+//
+// The key is placed on a seeded vnode ring (splitmix64 finalizer,
+// RouterOptions::vnodes points per shard): a key is served by the first ring
+// point clockwise from its hash. Adding or removing one shard therefore
+// remaps only the keys whose successor point changed — about 1/S of them —
+// instead of rehashing the world (tests/test_shard.cpp RouterConsistency).
+//
+// Determinism contract: the ring depends only on (n, shards, vnodes, seed) —
+// never on addresses, wall-clock time, or map iteration order — so the same
+// (s, t) routes to the same shard in every run of every process
+// (tests/test_shard.cpp RouterDeterminism).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace peek::shard {
+
+struct RouterOptions {
+  /// Number of shards on the ring (>= 1).
+  int shards = 4;
+  /// Ring points per shard. More vnodes = smoother key balance at the cost
+  /// of a larger (still tiny) sorted ring.
+  int vnodes = 64;
+  /// Locality granularity: the vertex space is cut into this many contiguous
+  /// blocks via dist::partition_points. Fixed per deployment — NOT a
+  /// function of the shard count, so resizing the fleet keeps the key space
+  /// (and thus ~(S-1)/S of the placement) intact.
+  int blocks = 64;
+  /// Hash seed shared by every router of one fleet. Changing it reshuffles
+  /// the whole placement; keep it fixed across restarts for cache affinity.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Deterministic (source, target) -> shard placement. Immutable after
+/// construction; safe to share across threads by const reference.
+class ShardRouter {
+ public:
+  /// Builds the ring for a graph of `n` vertices. `opts.shards` and
+  /// `opts.vnodes` are clamped to >= 1.
+  explicit ShardRouter(vid_t n, const RouterOptions& opts = {});
+
+  int shards() const { return opts_.shards; }
+  const RouterOptions& options() const { return opts_; }
+
+  /// Home shard of (s, t). Pure function of (key, ring).
+  int route(vid_t s, vid_t t) const;
+
+  /// The routing key: source and target block ids packed into one word.
+  /// Exposed so tests can assert block-level co-routing.
+  std::uint64_t locality_key(vid_t s, vid_t t) const;
+
+  /// 1-D block id of a vertex (dist::owner_of over the cut points).
+  int block_of(vid_t v) const;
+
+  /// The `step`-th distinct shard after `shard` in ring order; step 0 is
+  /// `shard` itself, step 1 its hedge/failover neighbour. Steps wrap, so any
+  /// step < shards() reaches a distinct shard.
+  int successor(int shard, int step) const;
+
+  /// The block cut points backing block_of (blocks + 1 entries; shared
+  /// layout with the dist tier).
+  const std::vector<vid_t>& points() const { return points_; }
+
+ private:
+  RouterOptions opts_;
+  std::vector<vid_t> points_;
+  /// Sorted (hash, shard) ring points; route() binary-searches it.
+  std::vector<std::pair<std::uint64_t, int>> ring_;
+  /// Shards ordered by their first ring appearance, and its inverse —
+  /// successor() walks this fixed permutation.
+  std::vector<int> ring_order_;
+  std::vector<int> order_pos_;
+};
+
+}  // namespace peek::shard

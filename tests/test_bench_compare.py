@@ -130,6 +130,48 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
         self.assertIn("new", r.stdout)
 
+    def test_p99_regression_detected(self):
+        base = make_doc()
+        base["metrics"]["shard.storm.hedged.R21"] = {
+            "median_s": 0.00001,
+            "min_s": 0.000005,
+            "reps": 160,
+            "p50_s": 0.00001,
+            "p99_s": 0.004,
+        }
+        cand = copy.deepcopy(base)
+        # Median unchanged; only the tail blows up (a hedging regression).
+        cand["metrics"]["shard.storm.hedged.R21"]["p99_s"] = 0.020
+        r = self.run_compare(
+            self.write("b.json", base),
+            self.write("c.json", cand),
+            "--tolerance",
+            "0.25",
+        )
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("REGRESSION(p99)", r.stdout)
+        self.assertIn("shard.storm.hedged.R21[p99]", r.stderr)
+
+    def test_p99_within_tolerance_passes(self):
+        base = make_doc()
+        base["metrics"]["shard.storm.hedged.R21"] = {
+            "median_s": 0.00001,
+            "min_s": 0.000005,
+            "reps": 160,
+            "p50_s": 0.00001,
+            "p99_s": 0.004,
+        }
+        cand = copy.deepcopy(base)
+        cand["metrics"]["shard.storm.hedged.R21"]["p99_s"] = 0.0045  # +12.5%
+        r = self.run_compare(
+            self.write("b.json", base),
+            self.write("c.json", cand),
+            "--tolerance",
+            "0.25",
+        )
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("OK", r.stdout)
+
     def test_schema_mismatch_rejected(self):
         base = make_doc()
         cand = make_doc(schema="some-other-schema")

@@ -1,0 +1,407 @@
+// Sharded-serving tests (DESIGN.md §12): router determinism and consistent-
+// hash stability, fleet bit-identity vs single-engine core::peek_ksp,
+// hedge-cancellation correctness under a multi-threaded race storm, and
+// shard-crash behaviour — degraded or kOverloaded, never a wrong answer.
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/peek.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "shard/fleet.hpp"
+#include "shard/router.hpp"
+#include "test_util.hpp"
+
+namespace peek::shard {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<sssp::Path> fresh_peek(const graph::CsrGraph& g, vid_t s, vid_t t,
+                                   int k) {
+  core::PeekOptions po;
+  po.k = k;
+  return core::peek_ksp(g, s, t, po).ksp.paths;
+}
+
+void expect_identical(const std::vector<sssp::Path>& got,
+                      const std::vector<sssp::Path>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].verts, want[i].verts) << "path " << i;
+    EXPECT_EQ(got[i].dist, want[i].dist) << "path " << i;
+  }
+}
+
+/// `got` must be an exact prefix of `want` (degraded answers may be short).
+void expect_prefix(const std::vector<sssp::Path>& got,
+                   const std::vector<sssp::Path>& want) {
+  ASSERT_LE(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].verts, want[i].verts) << "path " << i;
+    EXPECT_EQ(got[i].dist, want[i].dist) << "path " << i;
+  }
+}
+
+graph::CsrGraph test_graph(vid_t n = 400) {
+  return graph::small_world(n, 6, 0.1, {}, /*seed=*/12);
+}
+
+/// Deterministic query pool spread over the vertex space.
+std::vector<std::pair<vid_t, vid_t>> pair_pool(vid_t n, int count) {
+  std::vector<std::pair<vid_t, vid_t>> pool;
+  for (int i = 0; pool.size() < static_cast<size_t>(count); ++i) {
+    const vid_t s = static_cast<vid_t>((i * 37 + 11) % n);
+    const vid_t t = static_cast<vid_t>((i * 101 + 73) % n);
+    if (s != t) pool.emplace_back(s, t);
+  }
+  return pool;
+}
+
+std::int64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+/// Blocks until every replica finished its queued work (losing hedge
+/// attempts may still be draining when query() returns).
+void wait_drained(ShardFleet& fleet) {
+  auto drained = [&] {
+    for (int sh = 0; sh < fleet.shards(); ++sh) {
+      for (int r = 0; r < fleet.replicas(); ++r) {
+        auto& e = fleet.engine(sh, r);
+        if (e.inflight_entries() != 0 || e.admitted_now() != 0) return false;
+      }
+    }
+    return true;
+  };
+  for (int i = 0; i < 500 && !drained(); ++i)
+    std::this_thread::sleep_for(10ms);
+  EXPECT_TRUE(drained());
+}
+
+// -------------------------------------------------------------------- router
+
+TEST(ShardRouter, RouterDeterminism) {
+  const vid_t n = 100000;
+  RouterOptions ro;
+  ro.shards = 4;
+  const ShardRouter a(n, ro);
+  const ShardRouter b(n, ro);  // a second "process" with the same config
+  std::set<int> used;
+  for (const auto& [s, t] : pair_pool(n, 2000)) {
+    const int sh = a.route(s, t);
+    ASSERT_GE(sh, 0);
+    ASSERT_LT(sh, 4);
+    EXPECT_EQ(sh, b.route(s, t));  // same placement in every run
+    EXPECT_EQ(sh, a.route(s, t));  // and stable within a run
+    used.insert(sh);
+  }
+  EXPECT_EQ(used.size(), 4u);  // vnode ring exercises every shard
+}
+
+TEST(ShardRouter, BlockLevelCoRouting) {
+  const vid_t n = 100000;
+  RouterOptions ro;
+  ro.shards = 4;
+  const ShardRouter r(n, ro);
+  // Same (source block, target block) => same key => same shard.
+  for (const auto& [s, t] : pair_pool(n, 500)) {
+    vid_t s2 = s + 1, t2 = t + 1;
+    if (s2 >= n || t2 >= n) continue;
+    if (r.locality_key(s, t) == r.locality_key(s2, t2)) {
+      EXPECT_EQ(r.route(s, t), r.route(s2, t2));
+    }
+  }
+}
+
+TEST(ShardRouter, ConsistentHashingLimitsReshuffle) {
+  const vid_t n = 100000;
+  RouterOptions four;
+  four.shards = 4;
+  RouterOptions five = four;
+  five.shards = 5;
+  const ShardRouter r4(n, four);
+  const ShardRouter r5(n, five);
+  const auto pool = pair_pool(n, 4000);
+  size_t moved = 0;
+  for (const auto& [s, t] : pool) {
+    if (r4.route(s, t) != r5.route(s, t)) ++moved;
+  }
+  // Adding one shard to four should remap roughly 1/5 of the keys; a modulo
+  // placement would remap ~4/5. Allow generous slack over the expectation.
+  EXPECT_LT(moved, pool.size() / 2)
+      << "consistent hashing reshuffled " << moved << "/" << pool.size();
+  EXPECT_GT(moved, 0u);  // the new shard does take ownership of something
+}
+
+TEST(ShardRouter, SuccessorWalksAllShardsOnce) {
+  const ShardRouter r(1000, {.shards = 5});
+  for (int sh = 0; sh < 5; ++sh) {
+    EXPECT_EQ(r.successor(sh, 0), sh);
+    std::set<int> seen;
+    for (int step = 0; step < 5; ++step) seen.insert(r.successor(sh, step));
+    EXPECT_EQ(seen.size(), 5u);  // a full permutation, no repeats
+  }
+}
+
+// -------------------------------------------------------- cached-only serving
+
+TEST(QueryCachedOnly, ColdMissThenWarmPrefix) {
+  const auto g = test_graph();
+  serve::QueryEngine engine(g);
+  const vid_t s = 3, t = 250;
+  const int k = 6;
+  // Cold: nothing cached, degraded-only lookup must refuse, not compute.
+  auto cold = engine.query_cached_only(s, t, k);
+  EXPECT_EQ(cold.status.code, fault::Status::kOverloaded);
+  EXPECT_TRUE(cold.paths.empty());
+  // Warm the cache through a normal query, then the degraded answer is an
+  // exact prefix of the truth.
+  auto full = engine.query(s, t, k);
+  ASSERT_EQ(full.status.code, fault::Status::kOk);
+  auto warm = engine.query_cached_only(s, t, k);
+  EXPECT_EQ(warm.status.code, fault::Status::kOk);
+  EXPECT_TRUE(warm.degraded);
+  expect_prefix(warm.paths, fresh_peek(g, s, t, k));
+}
+
+// --------------------------------------------------------------------- fleet
+
+TEST(ShardFleet, FleetBitIdentity) {
+  const auto g = test_graph();
+  FleetOptions fo;
+  fo.router.shards = 4;
+  fo.replicas = 2;
+  ShardFleet fleet(g, fo);
+  const int k = 6;
+  for (const auto& [s, t] : pair_pool(g.num_vertices(), 24)) {
+    const auto want = fresh_peek(g, s, t, k);
+    // Twice: cold (computes, fills the shard's cache) and warm (cache hit).
+    for (int round = 0; round < 2; ++round) {
+      auto r = fleet.query(s, t, k);
+      ASSERT_EQ(r.result.status.code, fault::Status::kOk)
+          << r.result.status.message;
+      EXPECT_FALSE(r.result.degraded);
+      EXPECT_EQ(r.shard, fleet.router().route(s, t));
+      expect_identical(r.result.paths, want);
+    }
+  }
+  wait_drained(fleet);
+}
+
+TEST(ShardFleet, InvalidArgumentsRejected) {
+  const auto g = test_graph(100);
+  ShardFleet fleet(g, {});
+  EXPECT_EQ(fleet.query(0, 5, 0).result.status.code,
+            fault::Status::kInvalidArgument);
+  EXPECT_EQ(fleet.query(-1, 5, 3).result.status.code,
+            fault::Status::kInvalidArgument);
+  EXPECT_EQ(fleet.query(0, 100, 3).result.status.code,
+            fault::Status::kInvalidArgument);
+}
+
+// The ISSUE acceptance storm: hedged duplicates racing under injected
+// replica stalls, every completed answer bit-identical, losers cancelled,
+// nothing leaked.
+TEST(ShardFleet, HedgeStormBitIdentity) {
+  const auto g = test_graph();
+  const int k = 6;
+  const auto pool = pair_pool(g.num_vertices(), 12);
+  std::vector<std::vector<sssp::Path>> want;
+  want.reserve(pool.size());
+  for (const auto& [s, t] : pool) want.push_back(fresh_peek(g, s, t, k));
+
+  FleetOptions fo;
+  fo.router.shards = 4;
+  fo.replicas = 2;
+  fo.hedge = 1ms;
+  fault::InjectorConfig inj;
+  inj.enabled = true;
+  inj.seed = 42;
+  inj.rate_permille = 200;
+  inj.stall = 5ms;
+  inj.site_filter = "shard.replica.stall";
+  fo.injector = inj;
+
+  const auto fired_before = counter_value("shard.hedges.fired");
+  {
+    ShardFleet fleet(g, fo);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 12;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int ti = 0; ti < kThreads; ++ti) {
+      threads.emplace_back([&, ti] {
+        for (int q = 0; q < kPerThread; ++q) {
+          const size_t i =
+              static_cast<size_t>(ti * 7 + q * 3) % pool.size();
+          auto r = fleet.query(pool[i].first, pool[i].second, k);
+          // Under pure stall injection every query must still succeed —
+          // stalls slow replicas down, they never break them.
+          if (r.result.status.code != fault::Status::kOk ||
+              r.result.degraded) {
+            ++failures;
+            continue;
+          }
+          if (r.result.paths.size() != want[i].size()) {
+            ++failures;
+            continue;
+          }
+          for (size_t p = 0; p < want[i].size(); ++p) {
+            if (r.result.paths[p].verts != want[i][p].verts ||
+                r.result.paths[p].dist != want[i][p].dist)
+              ++failures;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0);
+    wait_drained(fleet);
+    fleet.publish_latency_metrics();
+  }
+  // The stalls must actually have provoked hedging for this to test races.
+  // (Counter readable only when the obs layer is compiled in; the race and
+  // bit-identity coverage above holds either way.)
+  if (obs::kEnabled) {
+    EXPECT_GT(counter_value("shard.hedges.fired"), fired_before);
+  }
+  fault::Injector::global().disable();
+}
+
+TEST(ShardFleet, SingleShardCrashFailsOverBitIdentical) {
+  const auto g = test_graph();
+  FleetOptions fo;
+  fo.router.shards = 4;
+  fo.replicas = 2;
+  fo.failover = true;
+  ShardFleet fleet(g, fo);
+  const auto pool = pair_pool(g.num_vertices(), 40);
+  const int k = 5;
+  // Crash every replica of the first pool pair's home shard.
+  const int dead = fleet.router().route(pool[0].first, pool[0].second);
+  for (int r = 0; r < fleet.replicas(); ++r)
+    fleet.set_replica_down(dead, r, true);
+  for (const auto& [s, t] : pool) {
+    auto r = fleet.query(s, t, k);
+    ASSERT_EQ(r.result.status.code, fault::Status::kOk)
+        << r.result.status.message;
+    EXPECT_FALSE(r.result.degraded);
+    expect_identical(r.result.paths, fresh_peek(g, s, t, k));
+    if (fleet.router().route(s, t) == dead) {
+      EXPECT_TRUE(r.failover);
+      EXPECT_NE(r.shard, dead);  // served by a ring successor
+    }
+  }
+  wait_drained(fleet);
+}
+
+TEST(ShardFleet, SingleShardCrashDegradedNeverWrong) {
+  const auto g = test_graph();
+  FleetOptions fo;
+  fo.router.shards = 4;
+  fo.replicas = 1;
+  fo.failover = false;  // strict placement: down shard cannot be rerouted
+  fo.degraded_fallback = true;
+  ShardFleet fleet(g, fo);
+  const int k = 5;
+  // A pair homed on the shard we are about to crash.
+  const auto pool = pair_pool(g.num_vertices(), 8);
+  const vid_t s = pool[0].first, t = pool[0].second;
+  const int home = fleet.router().route(s, t);
+  fleet.set_replica_down(home, 0, true);
+
+  // Cold crash: no surviving cache holds (s, t) => shed, not wrong.
+  auto cold = fleet.query(s, t, k);
+  EXPECT_EQ(cold.result.status.code, fault::Status::kOverloaded);
+  EXPECT_TRUE(cold.result.paths.empty());
+
+  // Warm a survivor's cache directly (as if it had served this pair before
+  // the crash), and the same query now degrades to an exact prefix.
+  const int survivor = fleet.router().successor(home, 1);
+  ASSERT_NE(survivor, home);
+  auto warmed = fleet.engine(survivor, 0).query(s, t, k);
+  ASSERT_EQ(warmed.status.code, fault::Status::kOk);
+  auto deg = fleet.query(s, t, k);
+  ASSERT_EQ(deg.result.status.code, fault::Status::kOk)
+      << deg.result.status.message;
+  EXPECT_TRUE(deg.result.degraded);
+  EXPECT_EQ(deg.shard, survivor);
+  expect_prefix(deg.result.paths, fresh_peek(g, s, t, k));
+
+  // Recovery: mark the replica up again and full service resumes.
+  fleet.set_replica_down(home, 0, false);
+  auto back = fleet.query(s, t, k);
+  ASSERT_EQ(back.result.status.code, fault::Status::kOk);
+  EXPECT_FALSE(back.result.degraded);
+  expect_identical(back.result.paths, fresh_peek(g, s, t, k));
+  wait_drained(fleet);
+}
+
+TEST(ShardFleet, QueueAdmissionShedsButNeverLies) {
+  const auto g = test_graph();
+  FleetOptions fo;
+  fo.router.shards = 2;
+  fo.replicas = 1;
+  fo.max_queue = 1;  // aggressive routing-tier admission
+  fo.failover = false;
+  ShardFleet fleet(g, fo);
+  const auto pool = pair_pool(g.num_vertices(), 8);
+  const int k = 4;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int ti = 0; ti < 8; ++ti) {
+    threads.emplace_back([&, ti] {
+      for (int q = 0; q < 6; ++q) {
+        const auto& [s, t] = pool[static_cast<size_t>(ti + q) % pool.size()];
+        auto r = fleet.query(s, t, k);
+        if (r.result.status.code == fault::Status::kOk &&
+            !r.result.degraded) {
+          const auto want = fresh_peek(g, s, t, k);
+          if (r.result.paths.size() != want.size()) ++wrong;
+        } else if (r.result.status.code != fault::Status::kOk &&
+                   r.result.status.code != fault::Status::kOverloaded) {
+          ++wrong;  // shedding must be typed kOverloaded, nothing else
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  wait_drained(fleet);
+}
+
+TEST(ShardFleet, LatencyStatsCoverServedShards) {
+  const auto g = test_graph();
+  FleetOptions fo;
+  fo.router.shards = 4;
+  ShardFleet fleet(g, fo);
+  for (const auto& [s, t] : pair_pool(g.num_vertices(), 32))
+    fleet.query(s, t, 4);
+  const auto st = fleet.stats();
+  ASSERT_EQ(st.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& sl : st) {
+    total += sl.count;
+    if (sl.count > 0) {
+      EXPECT_GE(sl.p99_s, sl.p50_s);
+      EXPECT_GT(sl.p99_s, 0.0);
+    }
+  }
+  EXPECT_EQ(total, 32u);
+  fleet.publish_latency_metrics();
+  if (obs::kEnabled) {
+    EXPECT_GT(obs::MetricsRegistry::global()
+                  .gauge("shard.p99_seconds")
+                  .value(),
+              0.0);
+  }
+}
+
+}  // namespace
+}  // namespace peek::shard

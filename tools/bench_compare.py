@@ -9,6 +9,10 @@ baseline's by at most `tolerance` (relative, e.g. 0.25 = +25%); anything
 slower is a regression and the script exits 1. Metrics the baseline has but
 the candidate lacks are failures too (a silently dropped workload looks like
 a speedup); metrics only the candidate has are reported as new and pass.
+Metrics carrying a `p99_s` field in BOTH files (the sharded-serving storm
+rows) are additionally gated on tail latency: the candidate's p99_s gets the
+same relative tolerance — a hedging or routing regression shows up in the
+tail long before it moves the median.
 
 Guard rails before any numeric comparison:
   - both files must carry schema "peek-bench-v1" and equal schema_version;
@@ -116,6 +120,12 @@ def main():
         if rel > args.tolerance:
             verdict = "REGRESSION"
             regressions.append(name)
+        if "p99_s" in bm[name] and "p99_s" in cm[name]:
+            b99, c99 = bm[name]["p99_s"], cm[name]["p99_s"]
+            rel99 = (c99 / b99 - 1.0) if b99 > 0 else 0.0
+            if rel99 > args.tolerance:
+                verdict = "REGRESSION(p99)"
+                regressions.append(f"{name}[p99]")
         rows.append((name, b, c, rel, verdict))
     new = sorted(set(cm) - set(bm))
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Keeps ARCHITECTURE.md honest in both directions:
+# Keeps ARCHITECTURE.md (and the README architecture tree) honest:
 #   1. every file path ARCHITECTURE.md references under src/ must exist;
 #   2. every subsystem directory under src/ must have a "### `src/<name>`"
-#      section in ARCHITECTURE.md.
+#      section in ARCHITECTURE.md;
+#   3. every subsystem directory under src/ must appear in the README
+#      "Architecture" tree block (the short map readers actually see).
 # Run from the repository root (CI does). Exits non-zero on any drift.
 set -u
 cd "$(dirname "$0")/.."
@@ -48,7 +50,17 @@ for d in src/*/; do
   fi
 done
 
+# 3. Every src/ subsystem appears in the README architecture tree (entries
+# are two-space-indented "name/" lines inside the fenced block).
+for d in src/*/; do
+  name=$(basename "$d")
+  if ! grep -q "^  $name/" README.md; then
+    echo "src/$name is missing from the README Architecture tree block"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "ARCHITECTURE.md is in sync with src/."
+  echo "ARCHITECTURE.md and the README tree are in sync with src/."
 fi
 exit "$fail"

@@ -21,6 +21,7 @@
 #include "fault/injector.hpp"
 #include "core/shortest_k_group.hpp"
 #include "serve/query_engine.hpp"
+#include "shard/fleet.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
@@ -86,6 +87,14 @@ void usage() {
       "                             files), spill the cache back on exit\n"
       "  --no-warm-restart          with --snapshot-dir: write snapshots but\n"
       "                             ignore existing ones on startup\n"
+      "\n"
+      "sharded serving (consistent-hash fleet, DESIGN.md §12):\n"
+      "  --shards S                 serve through a fleet of S shards instead\n"
+      "                             of one engine (with --serve)\n"
+      "  --replicas R               replicas per shard (default 1)\n"
+      "  --hedge-ms H               fire a duplicate attempt on another\n"
+      "                             replica if none completed within H ms;\n"
+      "                             the loser is cancelled (0 = off)\n"
       "\n"
       "algorithm:\n"
       "  --algo {peek|yen|nc|optyen|sb|sbstar|pnc|pncstar}  (default peek)\n"
@@ -159,11 +168,87 @@ std::vector<std::pair<vid_t, vid_t>> sample_reachable_pairs(
   return pairs;
 }
 
+/// Sharded serving driver (--shards): the same Zipf storm, routed through a
+/// shard::ShardFleet — per-shard latency digests and hedge/failover tallies
+/// come out the other end.
+int run_serve_sharded(const graph::CsrGraph& g, const Args& args, int k,
+                      bool parallel) {
+  const int n_queries = static_cast<int>(args.get_int("serve", 64));
+  const int pool_size = static_cast<int>(args.get_int("pool", 16));
+  const double theta = args.get_double("zipf", 0.99);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  shard::FleetOptions fo;
+  fo.router.shards = static_cast<int>(args.get_int("shards", 4));
+  fo.replicas = static_cast<int>(args.get_int("replicas", 1));
+  fo.hedge = std::chrono::milliseconds(args.get_int("hedge-ms", 0));
+  fo.default_deadline =
+      std::chrono::milliseconds(args.get_int("deadline-ms", 0));
+  fo.serve.peek.parallel = parallel;
+  // --cache-mb is the fleet-wide budget; each replica gets its slice.
+  const int total_replicas = std::max(1, fo.router.shards * fo.replicas);
+  fo.serve.cache.byte_budget =
+      (static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20) /
+      static_cast<std::size_t>(total_replicas);
+  fo.serve.max_inflight = static_cast<int>(args.get_int("max-inflight", 0));
+  fo.max_queue = static_cast<int>(args.get_int("max-inflight", 0));
+  fault::Injector::global().configure_from_env();
+  shard::ShardFleet fleet(g, fo);
+
+  const auto pool = sample_reachable_pairs(g, pool_size, seed);
+  std::vector<double> cdf(pool.size());
+  double acc = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -theta);
+    cdf[i] = acc;
+  }
+  std::mt19937_64 rng(seed ^ 0x5e47e);
+  std::uniform_real_distribution<double> uni(0.0, acc);
+
+  std::vector<double> lat;
+  lat.reserve(static_cast<size_t>(n_queries));
+  int hedged = 0, hedge_wins = 0, failovers = 0, degraded = 0, faulted = 0;
+  for (int q = 0; q < n_queries; ++q) {
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) - cdf.begin());
+    const auto [s, t] = pool[std::min(rank, pool.size() - 1)];
+    auto r = fleet.query(s, t, k);
+    lat.push_back(r.seconds);
+    hedged += r.hedged ? 1 : 0;
+    hedge_wins += r.hedge_won ? 1 : 0;
+    failovers += r.failover ? 1 : 0;
+    degraded += r.result.degraded ? 1 : 0;
+    faulted += r.result.status.ok() ? 0 : 1;
+  }
+  std::sort(lat.begin(), lat.end());
+  auto pct = [&](double p) {
+    return lat[std::min(lat.size() - 1,
+                        static_cast<size_t>(p * double(lat.size())))];
+  };
+  std::printf(
+      "served %d queries across %d shards x %d replicas "
+      "(pool %zu, zipf %.2f, k %d, hedge %lld ms)\n"
+      "hedged %d (wins %d), failovers %d, degraded %d, faults %d\n"
+      "latency p50 %.6fs  p90 %.6fs  p99 %.6fs\n",
+      n_queries, fleet.shards(), fleet.replicas(), pool.size(), theta, k,
+      static_cast<long long>(fo.hedge.count()), hedged, hedge_wins,
+      failovers, degraded, faulted, pct(0.50), pct(0.90), pct(0.99));
+  const auto st = fleet.stats();
+  for (size_t i = 0; i < st.size(); ++i) {
+    std::printf("shard %zu: %llu queries, p50 %.6fs, p99 %.6fs\n", i,
+                static_cast<unsigned long long>(st[i].count), st[i].p50_s,
+                st[i].p99_s);
+  }
+  fleet.publish_latency_metrics();  // shard.* gauges for PEEK_METRICS dumps
+  return 0;
+}
+
 /// Repeated-query serving driver: N queries drawn Zipfian over a pool of
 /// pairs through serve::QueryEngine, reporting hit rates and latency
 /// percentiles — the shape of a production deployment, from the shell.
 int run_serve(const graph::CsrGraph& g, const Args& args, int k,
               bool parallel) {
+  if (args.get_int("shards", 0) > 0) return run_serve_sharded(g, args, k, parallel);
   const int n_queries = static_cast<int>(args.get_int("serve", 64));
   const int pool_size = static_cast<int>(args.get_int("pool", 16));
   const double theta = args.get_double("zipf", 0.99);
@@ -266,14 +351,15 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    key = key.substr(2);
+    key.erase(0, 2);  // drop "--" (erase, not substr: GCC 12's -Wrestrict
+                      // false-positives on self-assignment from a substr)
     if (key == "help") {
       usage();
       return 0;
     }
     // Flags without values.
     if (key == "parallel" || key == "stats" || key == "no-warm-restart") {
-      args.kv[key] = "1";
+      args.kv.emplace(key, "1");
       continue;
     }
     if (i + 1 >= argc) {

@@ -26,7 +26,8 @@ tools cannot know:
                typed-error contract every layer reports through.
   bench_json   every BENCH_*.json at the repo root parses against the
                peek-bench-v1 schema (version, required sections, per-metric
-               median_s/min_s/reps, pr field matching the filename) and is
+               median_s/min_s/reps, optional paired p50_s/p99_s tail fields
+               on storm rows, pr field matching the filename) and is
                listed in the README bench table (between the
                bench-table-begin/end markers) — and vice versa, so the
                committed perf trajectory the CI perf job gates on stays
@@ -354,6 +355,18 @@ def check_bench_json():
                 if not isinstance(st.get(key), (int, float)):
                     finding(path, 1, "bench_json",
                             f"metric `{metric}` lacks numeric `{key}`")
+            # Optional tail-latency fields (sharded-serving storm rows):
+            # when present they must be numeric, and they come in a pair —
+            # bench_compare.py gates p99_s, so a lone p50_s would silently
+            # escape the tail gate.
+            for key in ("p50_s", "p99_s"):
+                if key in st and not isinstance(st[key], (int, float)):
+                    finding(path, 1, "bench_json",
+                            f"metric `{metric}` has non-numeric `{key}`")
+            if ("p50_s" in st) != ("p99_s" in st):
+                finding(path, 1, "bench_json",
+                        f"metric `{metric}` has only one of p50_s/p99_s — "
+                        "storm rows carry both")
 
     readme = os.path.join(REPO, "README.md")
     documented = {}  # pr number -> line_no
