@@ -1,0 +1,170 @@
+// Compiler-enforced lock discipline (DESIGN.md §13).
+//
+// Two layers:
+//
+//   1. PEEK_* annotation macros over clang's thread-safety analysis
+//      (-Wthread-safety). On clang they expand to the capability attributes;
+//      on every other compiler they vanish, so GCC builds are unaffected.
+//      CI compiles the library with clang and -Werror=thread-safety, turning
+//      any lock/data pairing the compiler cannot prove into a build break.
+//
+//   2. Annotated lock types. libstdc++'s std::mutex / std::lock_guard carry
+//      no capability attributes, so the analysis cannot see their
+//      acquire/release edges. check::Mutex wraps std::mutex as a real
+//      capability; check::MutexLock / check::UniqueLock are its scoped
+//      acquirers; check::CondVar adapts std::condition_variable to
+//      UniqueLock. Every mutex-holding class in the library uses these
+//      types, and every field a mutex protects names it with
+//      PEEK_GUARDED_BY — the annotation is load-bearing documentation *and*
+//      a compile-time proof obligation.
+//
+// Conventions (enforced by tools/peek_analyze.py, check `locks`):
+//   - every Mutex / std::mutex member must be named by at least one
+//     PEEK_GUARDED_BY / PEEK_PT_GUARDED_BY in the same class, or carry a
+//     `// ts-allow: <reason>` waiver on its declaration (for disciplines the
+//     analysis cannot express, e.g. an array of per-index locks);
+//   - condition-variable waits whose predicate reads guarded state are
+//     written as explicit while loops, not lambda predicates — clang
+//     analyzes lambdas as separate functions and cannot see the held lock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------- macros
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PEEK_TS_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef PEEK_TS_ATTR
+#define PEEK_TS_ATTR(x)  // no-op on GCC/MSVC: annotations are clang-only
+#endif
+
+/// Declares a type to be a lockable capability (clang tracks acquisition).
+#define PEEK_CAPABILITY(x) PEEK_TS_ATTR(capability(x))
+/// Declares an RAII type whose lifetime equals holding a capability.
+#define PEEK_SCOPED_CAPABILITY PEEK_TS_ATTR(scoped_lockable)
+/// Field is readable/writable only while holding `x`.
+#define PEEK_GUARDED_BY(x) PEEK_TS_ATTR(guarded_by(x))
+/// Pointee (not the pointer) is guarded by `x`.
+#define PEEK_PT_GUARDED_BY(x) PEEK_TS_ATTR(pt_guarded_by(x))
+/// Function may only be called while holding the named capabilities.
+#define PEEK_REQUIRES(...) PEEK_TS_ATTR(requires_capability(__VA_ARGS__))
+#define PEEK_REQUIRES_SHARED(...) \
+  PEEK_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+/// Function acquires / releases the named capabilities (no argument inside a
+/// scoped capability = the capabilities the scoped object manages).
+#define PEEK_ACQUIRE(...) PEEK_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define PEEK_ACQUIRE_SHARED(...) \
+  PEEK_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define PEEK_RELEASE(...) PEEK_TS_ATTR(release_capability(__VA_ARGS__))
+#define PEEK_RELEASE_SHARED(...) \
+  PEEK_TS_ATTR(release_shared_capability(__VA_ARGS__))
+/// Function attempts acquisition; first argument is the success value.
+#define PEEK_TRY_ACQUIRE(...) PEEK_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+/// Function must be called WITHOUT the named capabilities (deadlock guard).
+#define PEEK_EXCLUDES(...) PEEK_TS_ATTR(locks_excluded(__VA_ARGS__))
+/// Returns a reference to the named capability.
+#define PEEK_RETURN_CAPABILITY(x) PEEK_TS_ATTR(lock_returned(x))
+/// Escape hatch: the function's locking cannot be expressed to the analysis.
+/// Pair with a comment saying why (peek_analyze's waiver rules apply).
+#define PEEK_NO_THREAD_SAFETY_ANALYSIS \
+  PEEK_TS_ATTR(no_thread_safety_analysis)
+
+namespace peek::check {
+
+class MutexLock;
+class UniqueLock;
+class CondVar;
+
+/// std::mutex as a clang capability. Same cost, same semantics; the wrapper
+/// exists only so acquire/release edges are visible to the analysis.
+class PEEK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PEEK_ACQUIRE() { mu_.lock(); }
+  void unlock() PEEK_RELEASE() { mu_.unlock(); }
+  bool try_lock() PEEK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class UniqueLock;
+  // ts-allow: this raw mutex IS the capability the wrapper class exposes
+  std::mutex mu_;
+};
+
+/// std::lock_guard over a Mutex: held for the full scope, never released
+/// early. The bodies act on the raw std::mutex — calling the annotated
+/// Mutex::lock() from a constructor already marked PEEK_ACQUIRE would read
+/// to the analysis as a double acquisition.
+class PEEK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PEEK_ACQUIRE(mu) : mu_(mu) { mu_.mu_.lock(); }
+  ~MutexLock() PEEK_RELEASE() { mu_.mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over a Mutex: relockable (unlock()/lock() mid-scope) and
+/// the handle CondVar waits on. Constructed locked.
+class PEEK_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) PEEK_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() PEEK_RELEASE() = default;
+
+  void lock() PEEK_ACQUIRE() { lock_.lock(); }
+  void unlock() PEEK_RELEASE() { lock_.unlock(); }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable adapted to UniqueLock. Waits release and reacquire
+/// the lock internally; to the analysis the capability is simply held across
+/// the call, which is exactly the contract predicate loops rely on. Waits
+/// take no predicate by design — write the enclosing while loop yourself so
+/// guarded reads happen in the annotated function, not inside a lambda the
+/// analysis treats as a separate unannotated function.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lock_, d);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace peek::check

@@ -32,11 +32,21 @@ KGroupResult shortest_k_groups(const graph::CsrGraph& g, vid_t s, vid_t t,
   // Grow K until more than k_groups distinct distances are seen (the k-th
   // group is then closed) or the path space is exhausted.
   constexpr int kMaxK = 1 << 16;
-  while (true) {
+  while (true) {  // no-cancel: body propagates the inner peek_ksp status
     my.k = k;
     PeekResult pr = peek_ksp(g, s, t, my);
     result.ksp_paths_computed = static_cast<int>(pr.ksp.paths.size());
     auto groups = group_paths(pr.ksp.paths);
+    if (pr.status != fault::Status::kOk) {
+      // Cancelled / deadline-tripped mid-run: the short path list is a
+      // truncation, not exhaustion — never report such groups complete.
+      if (static_cast<int>(groups.size()) > k_groups)
+        groups.resize(static_cast<size_t>(k_groups));
+      result.groups = std::move(groups);
+      result.complete = false;
+      result.status = pr.status;
+      return result;
+    }
     const bool exhausted =
         static_cast<int>(pr.ksp.paths.size()) < k;  // no more simple paths
     if (static_cast<int>(groups.size()) > k_groups) {

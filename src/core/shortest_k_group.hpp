@@ -16,9 +16,14 @@ struct PathGroup {
 struct KGroupResult {
   std::vector<PathGroup> groups;  // at most k, ascending by dist
   /// True when every returned group is complete (the (k+1)-th distance was
-  /// observed, or the path space was exhausted).
+  /// observed, or the path space was exhausted). Never true when `status`
+  /// is not kOk: a cancelled underlying KSP run yields a short path list,
+  /// which must not be mistaken for path-space exhaustion.
   bool complete = false;
   int ksp_paths_computed = 0;
+  /// How the underlying PeeK runs ended (kCancelled / kDeadlineExceeded
+  /// propagate out of opts.cancel).
+  fault::Status::Code status = fault::Status::kOk;
 };
 
 /// The k shortest path groups from s to t. `opts.k` is ignored (managed

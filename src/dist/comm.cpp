@@ -45,16 +45,14 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
 
 void Comm::barrier() {
   auto& st = *state_;
-  std::unique_lock<std::mutex> lock(st.barrier_mutex);
+  check::UniqueLock lock(st.barrier_mutex);
   const bool my_sense = st.barrier_sense;
   if (++st.barrier_count == st.size) {
     st.barrier_count = 0;
     st.barrier_sense = !st.barrier_sense;
     st.barrier_cv.notify_all();
   } else {
-    st.barrier_cv.wait(lock, [&st, my_sense] {
-      return st.barrier_sense != my_sense;
-    });
+    while (st.barrier_sense == my_sense) st.barrier_cv.wait(lock);
   }
 }
 

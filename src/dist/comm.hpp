@@ -17,6 +17,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "check/thread_safety.hpp"
 #include "dist/retry.hpp"
 
 namespace peek::dist {
@@ -34,16 +35,19 @@ struct CommState {
   explicit CommState(int size);
 
   const int size;
-  // Per-destination mailbox.
+  // Per-destination mailbox: box_mutex[d] guards boxes[d]. An array of
+  // per-index locks cannot be expressed as a guarded_by relation, so these
+  // stay raw std:: types outside the clang analysis.
+  // ts-allow: per-index lock array; boxes[d] is guarded by box_mutex[d]
   std::vector<std::mutex> box_mutex;
   std::vector<std::condition_variable> box_cv;
   std::vector<std::multimap<std::pair<int, int>, Message>> boxes;  // (src,tag)
 
   // Reusable counter barrier (sense-reversing).
-  std::mutex barrier_mutex;
-  std::condition_variable barrier_cv;
-  int barrier_count = 0;
-  bool barrier_sense = false;
+  check::Mutex barrier_mutex;
+  check::CondVar barrier_cv;
+  int barrier_count PEEK_GUARDED_BY(barrier_mutex) = 0;
+  bool barrier_sense PEEK_GUARDED_BY(barrier_mutex) = false;
 
   // Collective exchange slots (one pointer-sized slot per rank).
   std::vector<std::vector<std::byte>> slots;

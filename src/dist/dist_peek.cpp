@@ -83,7 +83,11 @@ bool load_rank_checkpoint(const std::string& path, std::uint64_t fp, vid_t s,
   if (pr.status.code != fault::Status::kOk) return false;
   fault::Status st = recover::decode_dist_checkpoint(pr.snap, out);
   if (st.code != fault::Status::kOk) {
-    recover::quarantine_file(path, st);
+    // A failed quarantine leaves the corrupt file where it is; the decode
+    // failure above already forces a from-scratch run either way.
+    if (!recover::quarantine_file(path, st).ok()) {
+      PEEK_COUNT_INC("recover.quarantine_failures");
+    }
     return false;
   }
   if (out.fingerprint != fp || out.s != s || out.t != t || out.k != k ||
@@ -138,7 +142,11 @@ void write_rank_checkpoint(const std::string& path, std::uint64_t fp, vid_t s,
   }
   c.seen = cands.seen_paths();
   const std::vector<std::byte> image = recover::encode_dist_checkpoint(c);
-  recover::write_file_atomic(path, image.data(), image.size());
+  if (!recover::write_file_atomic(path, image.data(), image.size()).ok()) {
+    // Checkpointing is best-effort: a lost round costs recomputation, not
+    // correctness (resume is all-or-nothing across ranks anyway).
+    PEEK_COUNT_INC("recover.checkpoint_write_failures");
+  }
 }
 
 }  // namespace
@@ -242,7 +250,12 @@ DistPeekResult dist_peek_ksp(Comm& comm, const graph::CsrGraph& g, vid_t s,
   if (ckpt) {
     fp = recover::graph_fingerprint(g);
     recover::RecoveryManager mgr(opts.checkpoint_dir);
-    mgr.ensure_dir();  // idempotent; safe for every rank to call
+    // Idempotent; safe for every rank to call. On failure the per-round
+    // checkpoint writes below fail too (counted there) — the run proceeds
+    // without restart protection rather than aborting K-path computation.
+    if (!mgr.ensure_dir().ok()) {
+      PEEK_COUNT_INC("recover.ensure_dir_failures");
+    }
     ckpt_path = mgr.path_for("rank_" + std::to_string(comm.rank()) + ".ckpt");
     recover::DistCheckpoint c;
     int my_round = 0;

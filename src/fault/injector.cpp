@@ -48,13 +48,17 @@ Injector& Injector::global() {
 }
 
 void Injector::configure(const InjectorConfig& cfg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   cfg_ = cfg;
   sites_.clear();  // fresh hit indices: same seed => same firing sequence
   enabled_.store(cfg.enabled, std::memory_order_relaxed);
 }
 
 void Injector::configure_from_env() {
+  // getenv is not thread-safe against setenv, but this runs once from
+  // single-threaded entry points (CLI main / test setup) before any worker
+  // exists, and nothing in the process calls setenv.
+  // NOLINTBEGIN(concurrency-mt-unsafe)
   const char* seed = std::getenv("PEEK_FAULT_SEED");
   if (seed == nullptr || *seed == '\0') return;
   InjectorConfig cfg;
@@ -67,11 +71,12 @@ void Injector::configure_from_env() {
     cfg.stall = std::chrono::milliseconds(std::strtol(stall, nullptr, 10));
   if (const char* sites = std::getenv("PEEK_FAULT_SITES"))
     cfg.site_filter = sites;
+  // NOLINTEND(concurrency-mt-unsafe)
   configure(cfg);
 }
 
 InjectorConfig Injector::config() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   return cfg_;
 }
 
@@ -79,7 +84,7 @@ bool Injector::should_fire(const char* site) {
   if (!enabled_.load(std::memory_order_relaxed)) return false;
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(mu_);
     if (!cfg_.enabled || !filter_allows(cfg_.site_filter, site)) return false;
     SiteState& st = sites_[site];
     const std::uint64_t h =
@@ -97,20 +102,20 @@ bool Injector::should_fire(const char* site) {
 void Injector::stall_now() const {
   std::chrono::milliseconds d{0};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    check::MutexLock lock(mu_);
     d = cfg_.stall;
   }
   if (d.count() > 0) std::this_thread::sleep_for(d);
 }
 
 std::int64_t Injector::fired(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fired;
 }
 
 std::int64_t Injector::total_fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   std::int64_t total = 0;
   for (const auto& [_, st] : sites_) total += st.fired;
   return total;

@@ -23,9 +23,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <string>
+
+#include "check/thread_safety.hpp"
 
 namespace peek::fault {
 
@@ -87,9 +88,10 @@ class Injector {
   };
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  // guards cfg_ and sites_ (cold: probes are rare)
-  InjectorConfig cfg_;
-  std::map<std::string, SiteState, std::less<>> sites_;
+  /// Cold path only: probes take mu_ after the relaxed enabled_ gate.
+  mutable check::Mutex mu_;
+  InjectorConfig cfg_ PEEK_GUARDED_BY(mu_);
+  std::map<std::string, SiteState, std::less<>> sites_ PEEK_GUARDED_BY(mu_);
 };
 
 }  // namespace peek::fault

@@ -13,7 +13,12 @@ namespace peek::fault {
 /// A failure classification plus optional context. Cheap to copy when ok
 /// (empty message); kernels carry the bare Code and the serving layer
 /// attaches the message at the boundary.
-struct Status {
+///
+/// [[nodiscard]] on the type: every function returning a Status by value is
+/// nodiscard without per-declaration annotation. Deliberately ignoring one
+/// takes a `(void)` cast plus a `// status-ignored: <reason>` waiver
+/// (enforced by tools/peek_analyze.py, check `status`).
+struct [[nodiscard]] Status {
   /// Unscoped on purpose: spellable as `Status::kDeadlineExceeded` while the
   /// underlying type stays one byte for result structs.
   enum Code : std::uint8_t {

@@ -186,6 +186,8 @@ KspResult pnc_ksp(const BiView& g, vid_t s, vid_t t, const PncOptions& opts) {
   };
 
   expand(accepted.back());
+  // no-cancel: literature baseline (bench/test comparisons only, never on
+  // the serving path); its options carry no CancelToken by design
   while (static_cast<int>(accepted.size()) < k && !pool.empty()) {
     Entry top = pool.top();
     pool.pop();

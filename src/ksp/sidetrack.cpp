@@ -130,6 +130,8 @@ KspResult sb_ksp(const BiView& g, vid_t s, vid_t t,
   accepted.push_back({std::move(first), 0});
   CandidateSet cands;
 
+  // no-cancel: literature baseline (bench/test comparisons only, never on
+  // the serving path); its options carry no CancelToken by design
   while (static_cast<int>(accepted.size()) < opts.base.k) {
     const Candidate cur = accepted.back();
     const auto& p = cur.path.verts;
@@ -144,6 +146,8 @@ KspResult sb_ksp(const BiView& g, vid_t s, vid_t t,
     const std::vector<vid_t> tree_red(p.begin(), p.begin() + cur.dev_index);
     TreePtr tree = run.tree_for(tree_red);
 
+    // no-cancel: deviation scan of one extracted path; same baseline-only
+    // caveat as the enclosing loop
     for (int i = cur.dev_index; i < len - 1; ++i) {
       const vid_t v = p[static_cast<size_t>(i)];
       const auto banned = detail::banned_edges_at(g.fwd, accepted, p, i);

@@ -21,7 +21,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -31,7 +31,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -40,7 +40,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Timer& MetricsRegistry::timer(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   auto it = timers_.find(name);
   if (it == timers_.end()) {
     it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
@@ -50,7 +50,7 @@ Timer& MetricsRegistry::timer(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, t] : timers_) snap.timers[name] = t->value();
@@ -58,7 +58,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  check::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, t] : timers_) t->reset();

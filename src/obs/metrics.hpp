@@ -19,9 +19,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "check/thread_safety.hpp"
 
 #ifndef PEEK_OBS_ENABLED
 #define PEEK_OBS_ENABLED 1
@@ -145,10 +146,16 @@ class MetricsRegistry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  /// Registration maps only — the metric objects themselves are lock-free
+  /// (sharded atomics) and are updated through the returned references
+  /// without touching mu_.
+  mutable check::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      PEEK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      PEEK_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_
+      PEEK_GUARDED_BY(mu_);
 };
 
 }  // namespace peek::obs

@@ -71,7 +71,11 @@ std::vector<LoadedFile> RecoveryManager::scan(ScanReport* report) const {
       // Only proven corruption is exiled. A transient failure (e.g. an
       // allocation giving out mid-load) leaves the file for the next scan.
       if (r.status.code == fault::Status::kDataLoss) {
-        quarantine_file(path, r.status);
+        // A failed exile leaves the corrupt file in place; it keeps failing
+        // validation on every scan, so it can never be served.
+        if (!quarantine_file(path, r.status).ok()) {
+          PEEK_COUNT_INC("recover.quarantine_failures");
+        }
         ++rep.quarantined;
       }
       continue;

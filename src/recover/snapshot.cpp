@@ -6,9 +6,22 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <system_error>
 
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
+
+namespace peek::recover {
+namespace {
+
+/// Thread-safe strerror: two concurrent failing writes must not race over
+/// libc's static buffer (clang-tidy concurrency-mt-unsafe).
+std::string errno_message() {
+  return std::error_code(errno, std::generic_category()).message();
+}
+
+}  // namespace
+}  // namespace peek::recover
 
 namespace peek::recover {
 
@@ -370,7 +383,7 @@ fault::Status write_file_atomic_impl(const std::string& path,
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0)
     return {fault::Status::kInternal,
-            tmp + ": open failed: " + std::strerror(errno)};
+            tmp + ": open failed: " + errno_message()};
 
   // Injected mid-write kill: stop after a prefix and return without cleanup,
   // leaving exactly the torn tmp file a real crash would. The published
@@ -385,7 +398,7 @@ fault::Status write_file_atomic_impl(const std::string& path,
                               to_write - done);
     if (n < 0) {
       if (errno == EINTR) continue;
-      const std::string err = std::strerror(errno);
+      const std::string err = errno_message();
       ::close(fd);
       ::unlink(tmp.c_str());
       return {fault::Status::kInternal, tmp + ": write failed: " + err};
@@ -404,7 +417,7 @@ fault::Status write_file_atomic_impl(const std::string& path,
     return {fault::Status::kInternal, tmp + ": injected fsync failure"};
   }
   if (::fsync(fd) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = errno_message();
     ::close(fd);
     ::unlink(tmp.c_str());
     return {fault::Status::kInternal, tmp + ": fsync failed: " + err};
@@ -417,7 +430,7 @@ fault::Status write_file_atomic_impl(const std::string& path,
             path + ": injected rename failure (previous file intact)"};
   }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = errno_message();
     ::unlink(tmp.c_str());
     return {fault::Status::kInternal, path + ": rename failed: " + err};
   }
@@ -452,7 +465,7 @@ fault::Status quarantine_file(const std::string& path,
   const std::string dest = path + ".corrupt";
   if (::rename(path.c_str(), dest.c_str()) != 0)
     return {fault::Status::kInternal,
-            path + ": quarantine rename failed: " + std::strerror(errno)};
+            path + ": quarantine rename failed: " + errno_message()};
   {
     std::ofstream reason(dest + ".reason");
     reason << to_string(why.code) << ": " << why.message << "\n";

@@ -26,7 +26,7 @@ std::size_t PrunedSnapshot::bytes() const {
   // `paths` grows under `mu` while other queries extend the stream; hold it
   // so concurrent re-accounting (a put racing an extension) reads a
   // consistent size.
-  std::lock_guard<std::mutex> lock(mu);
+  check::MutexLock lock(mu);
   std::size_t total = sizeof(PrunedSnapshot);
   if (graph) {
     // Forward CSR + the cached transpose the stream's reverse view uses.
@@ -55,7 +55,7 @@ ArtifactCache::ArtifactCache(const Options& opts) {
 std::shared_ptr<void> ArtifactCache::get(const Key& k,
                                          std::uint64_t generation) {
   Shard& sh = shard_for(k);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  check::MutexLock lock(sh.mu);
   auto it = sh.index.find(k);
   if (it == sh.index.end()) {
     PEEK_COUNT_INC("serve.cache.misses");
@@ -85,7 +85,7 @@ bool ArtifactCache::put(const Key& k, std::shared_ptr<void> value,
     return false;
   }
   Shard& sh = shard_for(k);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  check::MutexLock lock(sh.mu);
   auto it = sh.index.find(k);
   if (it != sh.index.end()) {  // replace (e.g. re-pruned with a larger K)
     sh.bytes -= it->second->bytes;
@@ -137,7 +137,7 @@ bool ArtifactCache::put_snapshot(vid_t s, vid_t t,
 
 void ArtifactCache::clear() {
   for (auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    check::MutexLock lock(sh->mu);
     sh->lru.clear();
     sh->index.clear();
     sh->bytes = 0;
@@ -149,7 +149,7 @@ void ArtifactCache::for_each_tree(
                              const std::shared_ptr<const sssp::SsspResult>&,
                              std::uint64_t)>& fn) const {
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    check::MutexLock lock(sh->mu);
     for (const auto& e : sh->lru) {
       if (e.key.kind == ArtifactKind::kSnapshot) continue;
       fn(e.key.kind, e.key.a,
@@ -164,7 +164,7 @@ void ArtifactCache::for_each_snapshot(
                              const std::shared_ptr<PrunedSnapshot>&,
                              std::uint64_t)>& fn) const {
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    check::MutexLock lock(sh->mu);
     for (const auto& e : sh->lru) {
       if (e.key.kind != ArtifactKind::kSnapshot) continue;
       fn(e.key.a, e.key.b, std::static_pointer_cast<PrunedSnapshot>(e.value),
@@ -176,7 +176,7 @@ void ArtifactCache::for_each_snapshot(
 CacheStats ArtifactCache::stats() const {
   CacheStats s;
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    check::MutexLock lock(sh->mu);
     s.bytes_used += sh->bytes;
     s.entries += sh->lru.size();
   }

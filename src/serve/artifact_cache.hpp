@@ -25,10 +25,10 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "check/thread_safety.hpp"
 #include "compact/regeneration.hpp"
 #include "graph/csr.hpp"
 #include "sssp/dijkstra.hpp"
@@ -66,20 +66,23 @@ struct PrunedSnapshot {
   /// Serving state below is guarded by `mu` (the LRU shard lock is NOT held
   /// while a stream extension runs). Mutable so the const bytes() accounting
   /// can take it too.
-  mutable std::mutex mu;
-  std::unique_ptr<ksp::KspStream> stream;  // null once exhausted/dropped
-  std::vector<sssp::Path> paths;  // original ids, sorted, grows monotonically
-  bool exhausted = false;  // fewer than k_budget paths exist
+  mutable check::Mutex mu;
+  /// Null once exhausted/dropped.
+  std::unique_ptr<ksp::KspStream> stream PEEK_GUARDED_BY(mu);
+  /// Original ids, sorted, grows monotonically.
+  std::vector<sssp::Path> paths PEEK_GUARDED_BY(mu);
+  bool exhausted PEEK_GUARDED_BY(mu) = false;  // < k_budget paths exist
 
   /// Warm-restart provenance (recover/): this snapshot was decoded from disk
   /// rather than computed. Its stream is rebuilt lazily on the first
   /// extension past `paths` — from `restored_rtree` when the original stream
   /// had a reverse tree, so the rebuilt stream deviates with identical
   /// tie-breaks (see QueryEngine::ensure_stream). Both restored_* fields are
-  /// consumed by that rebuild.
+  /// consumed by that rebuild. `restored` itself is written once at decode
+  /// time, before the snapshot is published to the cache.
   bool restored = false;
-  bool restored_has_rtree = false;
-  sssp::SsspResult restored_rtree;
+  bool restored_has_rtree PEEK_GUARDED_BY(mu) = false;
+  sssp::SsspResult restored_rtree PEEK_GUARDED_BY(mu);
 
   ~PrunedSnapshot();  // out of line: KspStream is incomplete here
 
@@ -181,10 +184,12 @@ class ArtifactCache {
     std::uint64_t generation = 0;
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
-    std::size_t bytes = 0;
+    mutable check::Mutex mu;
+    /// Front = most recent.
+    std::list<Entry> lru PEEK_GUARDED_BY(mu);
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index
+        PEEK_GUARDED_BY(mu);
+    std::size_t bytes PEEK_GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(const Key& k) {

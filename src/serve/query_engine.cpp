@@ -23,12 +23,26 @@ void to_original_ids(sssp::Path& p, const compact::VertexMap& map) {
 
 }  // namespace
 
+namespace {
+
+/// Shared persistence setup of both constructors. A directory that cannot be
+/// created is counted and degrades the engine to no-persistence — persist()
+/// would only produce per-file write failures against the same broken path.
+void init_recovery(std::optional<recover::RecoveryManager>& recovery,
+                   const std::string& dir) {
+  recovery.emplace(dir);
+  if (!recovery->ensure_dir().ok()) {
+    PEEK_COUNT_INC("recover.ensure_dir_failures");
+  }
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const graph::CsrGraph& g, const ServeOptions& opts)
     : static_graph_(&g), opts_(opts), cache_(opts.cache) {
   if (opts_.injector) fault::Injector::global().configure(*opts_.injector);
   if (!opts_.snapshot_dir.empty()) {
-    recovery_.emplace(opts_.snapshot_dir);
-    recovery_->ensure_dir();
+    init_recovery(recovery_, opts_.snapshot_dir);
     if (opts_.warm_restart) restore_from_dir();
   }
 }
@@ -37,8 +51,7 @@ QueryEngine::QueryEngine(const dyn::DynamicGraph& dg, const ServeOptions& opts)
     : dyn_graph_(&dg), opts_(opts), cache_(opts.cache) {
   if (opts_.injector) fault::Injector::global().configure(*opts_.injector);
   if (!opts_.snapshot_dir.empty()) {
-    recovery_.emplace(opts_.snapshot_dir);
-    recovery_->ensure_dir();
+    init_recovery(recovery_, opts_.snapshot_dir);
     if (opts_.warm_restart) restore_from_dir();
   }
 }
@@ -49,7 +62,7 @@ void QueryEngine::invalidate() {
 }
 
 size_t QueryEngine::inflight_entries() {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
+  check::MutexLock lock(inflight_mu_);
   return inflight_.size();
 }
 
@@ -67,7 +80,7 @@ std::shared_ptr<const graph::CsrGraph> QueryEngine::active_graph() {
                                                   [](const graph::CsrGraph*) {
                                                   });
   }
-  std::lock_guard<std::mutex> lock(dyn_mu_);
+  check::MutexLock lock(dyn_mu_);
   if (!dyn_snapshot_ || dyn_graph_->version() != dyn_version_seen_) {
     dyn_version_seen_ = dyn_graph_->version();
     dyn_snapshot_ =
@@ -134,7 +147,7 @@ bool QueryEngine::ensure_stream(PrunedSnapshot& snap, ServeResult& out,
 bool QueryEngine::serve_from_snapshot(PrunedSnapshot& snap, int k,
                                       ServeResult& out,
                                       const fault::CancelToken* cancel) {
-  std::lock_guard<std::mutex> lock(snap.mu);
+  check::MutexLock lock(snap.mu);
   if (snap.restored) PEEK_COUNT_INC("serve.cache.restore_hits");
   if (static_cast<int>(snap.paths.size()) < k && !snap.exhausted) {
     if (snap.k_budget < k) return false;  // needs a wider pruning bound
@@ -179,7 +192,7 @@ bool QueryEngine::serve_degraded(vid_t s, vid_t t, int k, std::uint64_t gen,
   if (!opts_.degraded_serving || !opts_.cache_snapshots) return false;
   auto snap = cache_.get_snapshot(s, t, gen);
   if (!snap) return false;
-  std::lock_guard<std::mutex> lock(snap->mu);
+  check::MutexLock lock(snap->mu);
   // Already-materialized paths only — a shed query must not touch the graph.
   // An exhausted snapshot's paths are complete, so even an empty list is a
   // definitive (unreachable) answer then.
@@ -234,7 +247,7 @@ std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
     }
     if (fwd || rev) {
       // Warm-restart accounting: hits on trees that came from disk.
-      std::lock_guard<std::mutex> lock(restored_mu_);
+      check::MutexLock lock(restored_mu_);
       if (fwd && restored_trees_.count(
                      {static_cast<int>(ArtifactKind::kForwardTree), s}) > 0)
         PEEK_COUNT_INC("serve.cache.restore_hits");
@@ -273,12 +286,17 @@ std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
     }
   }
 
+  // The snapshot is private until put_snapshot publishes it, but its
+  // mu-guarded fields are initialized under the lock anyway: the annotations
+  // hold unconditionally, and an uncontended lock is nanoseconds against the
+  // pipeline that just ran.
   auto snap = std::make_shared<PrunedSnapshot>();
   snap->s = s;
   snap->t = t;
   snap->k_budget = k_budget;
   snap->upper_bound = pruned.upper_bound;
   if (pruned.kept_vertices == 0) {
+    check::MutexLock lock(snap->mu);
     snap->exhausted = true;  // t unreachable: a cached negative answer
     return snap;
   }
@@ -292,6 +310,7 @@ std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
   }
   const vid_t cs = regen.map.to_new(s), ct = regen.map.to_new(t);
   if (cs == kNoVertex || ct == kNoVertex) {  // defensive: s/t are kept
+    check::MutexLock lock(snap->mu);
     snap->exhausted = true;
     return snap;
   }
@@ -318,8 +337,11 @@ std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
 
   snap->graph = cg;
   snap->map = std::move(regen.map);
-  snap->stream = std::make_unique<ksp::KspStream>(sssp::BiView::of(*cg), cs,
-                                                  ct, std::move(rtree));
+  {
+    check::MutexLock lock(snap->mu);
+    snap->stream = std::make_unique<ksp::KspStream>(sssp::BiView::of(*cg), cs,
+                                                    ct, std::move(rtree));
+  }
   return snap;
 }
 
@@ -436,7 +458,7 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
     std::shared_ptr<Inflight> inf;
     bool owner = false;
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      check::MutexLock lock(inflight_mu_);
       auto it = inflight_.find(key);
       if (it != inflight_.end()) {
         inf = it->second;
@@ -450,13 +472,13 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
 
     if (!owner) {
       bool published = false;
+      // Copied out under the lock: the owner publishes snap and done
+      // together, and reading snap after the scope would be an unlocked
+      // access to guarded state.
+      std::shared_ptr<PrunedSnapshot> published_snap;
       {
-        std::unique_lock<std::mutex> lock(inf->mu);
-        for (;;) {
-          if (inf->done) {
-            published = true;
-            break;
-          }
+        check::UniqueLock lock(inf->mu);
+        while (!inf->done) {
           if (cancel != nullptr) {
             fault::CancelPoll poll(cancel, /*stride=*/1);
             if (poll.should_stop()) {
@@ -471,16 +493,20 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
               inf->cv.wait_for(lock, std::chrono::milliseconds(5));
             }
           } else {
-            inf->cv.wait(lock, [&] { return inf->done; });
-            published = true;
-            break;
+            inf->cv.wait(lock);
           }
+        }
+        if (inf->done) {
+          published = true;
+          published_snap = inf->snap;
         }
       }
       if (!published) break;  // cancelled while coalesced; status already set
       out.coalesced = true;
       PEEK_COUNT_INC("serve.coalesced_waits");
-      if (inf->snap && serve_from_snapshot(*inf->snap, k, out, cancel)) break;
+      if (published_snap &&
+          serve_from_snapshot(*published_snap, k, out, cancel))
+        break;
       continue;  // owner failed / was cancelled, or its budget was too small
     }
 
@@ -504,11 +530,11 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
     // Publish (null on failure: waiters retry on their own token) and always
     // release the key — cancelled or not, no in-flight entry may leak.
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      check::MutexLock lock(inflight_mu_);
       inflight_.erase(key);
     }
     {
-      std::lock_guard<std::mutex> lock(inf->mu);
+      check::MutexLock lock(inf->mu);
       inf->snap = snap;
       inf->done = true;
     }
@@ -547,7 +573,7 @@ void QueryEngine::restore_from_dir() {
                             std::make_shared<sssp::SsspResult>(
                                 std::move(a.tree)),
                             gen)) {
-          std::lock_guard<std::mutex> lock(restored_mu_);
+          check::MutexLock lock(restored_mu_);
           restored_trees_.insert({static_cast<int>(kind), root});
           ++restored_artifacts_;
         }
@@ -568,16 +594,22 @@ void QueryEngine::restore_from_dir() {
         snap->t = a.t;
         snap->k_budget = a.k_budget;
         snap->upper_bound = a.upper_bound;
-        snap->exhausted = a.exhausted;
-        snap->paths = std::move(a.paths);
         snap->restored = true;
-        if (a.reachable) {
-          snap->graph = std::make_shared<graph::CsrGraph>(std::move(a.graph));
-          snap->map = std::move(a.map);
-          if (a.has_rtree) {
+        {
+          // Private until put_snapshot publishes it; guarded fields are
+          // still initialized under the (uncontended) lock so the
+          // annotations hold unconditionally.
+          check::MutexLock lock(snap->mu);
+          snap->exhausted = a.exhausted;
+          snap->paths = std::move(a.paths);
+          if (a.reachable && a.has_rtree) {
             snap->restored_has_rtree = true;
             snap->restored_rtree = std::move(a.rtree);
           }
+        }
+        if (a.reachable) {
+          snap->graph = std::make_shared<graph::CsrGraph>(std::move(a.graph));
+          snap->map = std::move(a.map);
         }
         if (cache_.put_snapshot(snap->s, snap->t, snap, gen))
           ++restored_artifacts_;
@@ -590,14 +622,22 @@ void QueryEngine::restore_from_dir() {
     }
     // Checksums passed but the decode rejected the contents: the writer was
     // broken or the corruption was crafted — quarantine with the typed why.
-    recover::quarantine_file(f.path, st);
+    // A failed quarantine (e.g. read-only dir) leaves the bad file in place;
+    // it is counted and re-skipped on the next restart, never re-served.
+    if (!recover::quarantine_file(f.path, st).ok()) {
+      PEEK_COUNT_INC("recover.quarantine_failures");
+    }
   }
 }
 
 int QueryEngine::persist() {
   if (!recovery_) return 0;
   PEEK_TIMER_SCOPE("serve.persist");
-  recovery_->ensure_dir();
+  if (!recovery_->ensure_dir().ok()) {
+    // No directory, no files: every publish below would fail the same way.
+    PEEK_COUNT_INC("recover.ensure_dir_failures");
+    return 0;
+  }
   auto g = active_graph();
   const std::uint64_t fp = recover::graph_fingerprint(*g);
   const std::uint64_t gen = generation();
@@ -635,7 +675,7 @@ int QueryEngine::persist() {
       recover::PrunedSnapshotArtifact a;
       a.fingerprint = fp;
       {
-        std::lock_guard<std::mutex> lock(snap->mu);
+        check::MutexLock lock(snap->mu);
         a.s = snap->s;
         a.t = snap->t;
         a.k_budget = snap->k_budget;

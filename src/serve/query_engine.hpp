@@ -35,13 +35,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
 #include <utility>
 
+#include "check/thread_safety.hpp"
 #include "core/peek.hpp"
 #include "dyn/dynamic_graph.hpp"
 #include "fault/injector.hpp"
@@ -174,11 +174,14 @@ class QueryEngine {
 
  private:
   struct Inflight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    check::Mutex mu;
+    check::CondVar cv;
+    bool done PEEK_GUARDED_BY(mu) = false;
+    /// Written by the owner before the entry is published under
+    /// inflight_mu_, immutable afterwards — hence not guarded by mu.
     int k_budget = 0;
-    std::shared_ptr<PrunedSnapshot> snap;  // published result
+    /// Published result (null when the owner failed or was cancelled).
+    std::shared_ptr<PrunedSnapshot> snap PEEK_GUARDED_BY(mu);
   };
 
   /// The CSR to serve this query from (re-snapshots a dynamic source).
@@ -198,14 +201,15 @@ class QueryEngine {
   /// out.status set — the snapshot stays valid and un-exhausted.
   bool serve_from_snapshot(PrunedSnapshot& snap, int k, ServeResult& out,
                            const fault::CancelToken* cancel);
-  /// Pre-extension stream check (snap.mu must be held): rebuilds a restored
-  /// snapshot's stream (warm-started from its persisted reverse tree when
-  /// present) and fast-forwards it past the already-materialized paths so
-  /// the next next() yields path |paths|+1. False when extension cannot
-  /// proceed: snapshot exhausted, or `cancel` tripped mid-fast-forward
-  /// (out.status set; a later query resumes where this one stopped).
+  /// Pre-extension stream check: rebuilds a restored snapshot's stream
+  /// (warm-started from its persisted reverse tree when present) and
+  /// fast-forwards it past the already-materialized paths so the next
+  /// next() yields path |paths|+1. False when extension cannot proceed:
+  /// snapshot exhausted, or `cancel` tripped mid-fast-forward (out.status
+  /// set; a later query resumes where this one stopped).
   bool ensure_stream(PrunedSnapshot& snap, ServeResult& out,
-                     const fault::CancelToken* cancel);
+                     const fault::CancelToken* cancel)
+      PEEK_REQUIRES(snap.mu);
   /// Warm restart: scan + validate snapshot_dir, decode artifacts whose
   /// graph fingerprint matches, insert them into the cache. Quarantines
   /// files that pass checksums but fail semantic decode.
@@ -218,9 +222,9 @@ class QueryEngine {
 
   const graph::CsrGraph* static_graph_ = nullptr;
   const dyn::DynamicGraph* dyn_graph_ = nullptr;
-  std::mutex dyn_mu_;  // guards the two fields below
-  std::shared_ptr<const graph::CsrGraph> dyn_snapshot_;
-  std::uint64_t dyn_version_seen_ = 0;
+  check::Mutex dyn_mu_;
+  std::shared_ptr<const graph::CsrGraph> dyn_snapshot_ PEEK_GUARDED_BY(dyn_mu_);
+  std::uint64_t dyn_version_seen_ PEEK_GUARDED_BY(dyn_mu_) = 0;
 
   ServeOptions opts_;
   std::atomic<std::uint64_t> generation_{0};
@@ -232,11 +236,12 @@ class QueryEngine {
   int restored_artifacts_ = 0;
   /// Tree-cache keys that came from disk, so hits on them can count
   /// serve.cache.restore_hits (snapshots carry a `restored` flag instead).
-  std::mutex restored_mu_;
-  std::set<std::pair<int, vid_t>> restored_trees_;
+  check::Mutex restored_mu_;
+  std::set<std::pair<int, vid_t>> restored_trees_ PEEK_GUARDED_BY(restored_mu_);
 
-  std::mutex inflight_mu_;
-  std::map<std::pair<vid_t, vid_t>, std::shared_ptr<Inflight>> inflight_;
+  check::Mutex inflight_mu_;
+  std::map<std::pair<vid_t, vid_t>, std::shared_ptr<Inflight>> inflight_
+      PEEK_GUARDED_BY(inflight_mu_);
 };
 
 }  // namespace peek::serve

@@ -31,24 +31,24 @@ size_t percentile_index(size_t n, size_t permille) {
 /// hold a shared_ptr; attempts never point back at each other (tokens are
 /// stored by value), so there is no ownership cycle.
 struct ShardFleet::QueryState {
-  std::mutex mu;
-  std::condition_variable cv;
-  int outstanding = 0;
-  bool winner_set = false;
-  serve::ServeResult winner;
-  int winner_index = -1;
-  int winner_replica = -1;
-  bool winner_replica_down = false;
+  check::Mutex mu;
+  check::CondVar cv;
+  int outstanding PEEK_GUARDED_BY(mu) = 0;
+  bool winner_set PEEK_GUARDED_BY(mu) = false;
+  serve::ServeResult winner PEEK_GUARDED_BY(mu);
+  int winner_index PEEK_GUARDED_BY(mu) = -1;
+  int winner_replica PEEK_GUARDED_BY(mu) = -1;
+  bool winner_replica_down PEEK_GUARDED_BY(mu) = false;
   /// Per-attempt cancel handles, indexed by attempt index; the waiter
   /// cancels every loser through them once a winner lands.
-  std::vector<fault::CancelToken> tokens;
+  std::vector<fault::CancelToken> tokens PEEK_GUARDED_BY(mu);
 
   /// First-completion-wins publication. A failed attempt only wins when it
   /// is the last one outstanding — a slower healthy duplicate may still
   /// deliver the real answer.
   void complete(int index, int replica, bool replica_down,
                 serve::ServeResult r) {
-    std::lock_guard<std::mutex> lock(mu);
+    check::MutexLock lock(mu);
     --outstanding;
     const bool ok = r.status.code == fault::Status::kOk;
     if (!winner_set && (ok || outstanding == 0)) {
@@ -85,19 +85,22 @@ struct ShardFleet::Attempt {
 struct ShardFleet::Replica {
   std::unique_ptr<serve::QueryEngine> engine;
   std::atomic<bool> down{false};
-  std::mutex mu;  // guards queue + stopping
-  std::condition_variable cv;
-  std::deque<std::shared_ptr<Attempt>> queue;
-  bool stopping = false;
+  check::Mutex mu;
+  check::CondVar cv;
+  std::deque<std::shared_ptr<Attempt>> queue PEEK_GUARDED_BY(mu);
+  bool stopping PEEK_GUARDED_BY(mu) = false;
+  /// Filled once in the fleet constructor, joined once in the destructor —
+  /// never touched by concurrent phases, hence unguarded.
   std::vector<std::thread> workers;
 };
 
 struct ShardFleet::Shard {
   std::vector<std::unique_ptr<Replica>> replicas;
   std::atomic<unsigned> rr{0};  // round-robin pick cursor
-  mutable std::mutex lat_mu;    // guards the two fields below
-  std::vector<double> lat;      // ring buffer of recent query latencies
-  std::uint64_t lat_count = 0;
+  mutable check::Mutex lat_mu;
+  /// Ring buffer of recent query latencies + total count.
+  std::vector<double> lat PEEK_GUARDED_BY(lat_mu);
+  std::uint64_t lat_count PEEK_GUARDED_BY(lat_mu) = 0;
 };
 
 ShardFleet::ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts)
@@ -136,7 +139,7 @@ ShardFleet::~ShardFleet() {
   for (auto& shard : shards_) {
     for (auto& rep : shard->replicas) {
       {
-        std::lock_guard<std::mutex> lock(rep->mu);
+        check::MutexLock lock(rep->mu);
         rep->stopping = true;
       }
       rep->cv.notify_all();
@@ -153,8 +156,8 @@ void ShardFleet::worker_loop(Replica& rep) {
   for (;;) {
     std::shared_ptr<Attempt> at;
     {
-      std::unique_lock<std::mutex> lock(rep.mu);
-      rep.cv.wait(lock, [&] { return rep.stopping || !rep.queue.empty(); });
+      check::UniqueLock lock(rep.mu);
+      while (!rep.stopping && rep.queue.empty()) rep.cv.wait(lock);
       if (rep.queue.empty()) break;  // stopping, and fully drained
       at = std::move(rep.queue.front());
       rep.queue.pop_front();
@@ -209,7 +212,7 @@ void ShardFleet::launch(int shard, int replica, int index, vid_t s, vid_t t,
                               : fault::CancelToken::cancellable();
   at->state = st;
   {
-    std::lock_guard<std::mutex> lock(st->mu);
+    check::MutexLock lock(st->mu);
     ++st->outstanding;
     if (static_cast<size_t>(index) >= st->tokens.size())
       st->tokens.resize(static_cast<size_t>(index) + 1);
@@ -219,7 +222,7 @@ void ShardFleet::launch(int shard, int replica, int index, vid_t s, vid_t t,
                       ->replicas[static_cast<size_t>(replica)];
   bool shed = false;
   {
-    std::lock_guard<std::mutex> lock(rep.mu);
+    check::MutexLock lock(rep.mu);
     if (opts_.max_queue > 0 &&
         rep.queue.size() >= static_cast<size_t>(opts_.max_queue)) {
       shed = true;  // routing-tier admission: bounce without queueing
@@ -254,10 +257,14 @@ ShardFleet::RunOutcome ShardFleet::run_on_shard(
     launch(shard, r0, 0, s, t, k, base, st);
     bool hedged = false;
     {
-      std::unique_lock<std::mutex> lock(st->mu);
-      if (opts_.hedge.count() > 0 && !st->winner_set &&
-          !st->cv.wait_for(lock, opts_.hedge,
-                           [&] { return st->winner_set; })) {
+      check::UniqueLock lock(st->mu);
+      if (opts_.hedge.count() > 0 && !st->winner_set) {
+        const auto hedge_by = std::chrono::steady_clock::now() + opts_.hedge;
+        while (!st->winner_set &&
+               st->cv.wait_until(lock, hedge_by) != std::cv_status::timeout) {
+        }
+      }
+      if (opts_.hedge.count() > 0 && !st->winner_set) {
         // The primary overran the hedge budget: duplicate on a spare
         // replica here, else (under failover) on the ring successor.
         int hshard = shard;
@@ -277,7 +284,7 @@ ShardFleet::RunOutcome ShardFleet::run_on_shard(
           lock.lock();
         }
       }
-      st->cv.wait(lock, [&] { return st->winner_set; });
+      while (!st->winner_set) st->cv.wait(lock);
       out.result = std::move(st->winner);
       out.replica = st->winner_replica;
       out.hedged = hedged_any;
@@ -287,7 +294,7 @@ ShardFleet::RunOutcome ShardFleet::run_on_shard(
     {
       // First completion won; cancel every losing attempt. Their workers
       // observe the tripped token and bail (shard.hedges.cancelled).
-      std::lock_guard<std::mutex> lock(st->mu);
+      check::MutexLock lock(st->mu);
       for (size_t i = 0; i < st->tokens.size(); ++i) {
         if (static_cast<int>(i) != st->winner_index) st->tokens[i].cancel();
       }
@@ -433,7 +440,7 @@ serve::QueryEngine& ShardFleet::engine(int shard, int replica) {
 
 void ShardFleet::record_latency(int shard, double seconds) {
   Shard& sh = *shards_[static_cast<size_t>(shard)];
-  std::lock_guard<std::mutex> lock(sh.lat_mu);
+  check::MutexLock lock(sh.lat_mu);
   if (sh.lat.size() < kLatencyWindow) {
     sh.lat.push_back(seconds);
   } else {
@@ -449,7 +456,7 @@ std::vector<ShardLatency> ShardFleet::stats() const {
     ShardLatency sl;
     std::vector<double> window;
     {
-      std::lock_guard<std::mutex> lock(sh->lat_mu);
+      check::MutexLock lock(sh->lat_mu);
       window = sh->lat;
       sl.count = sh->lat_count;
     }
@@ -469,7 +476,7 @@ void ShardFleet::publish_latency_metrics() const {
   std::vector<double> all;
   for (size_t i = 0; i < shards_.size(); ++i) {
     {
-      std::lock_guard<std::mutex> lock(shards_[i]->lat_mu);
+      check::MutexLock lock(shards_[i]->lat_mu);
       all.insert(all.end(), shards_[i]->lat.begin(), shards_[i]->lat.end());
     }
     // Per-shard gauge family: names are built at runtime (shard count is a

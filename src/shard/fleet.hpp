@@ -38,15 +38,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "check/thread_safety.hpp"
 #include "serve/query_engine.hpp"
 #include "shard/router.hpp"
 

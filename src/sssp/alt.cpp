@@ -17,6 +17,8 @@ AltOracle::AltOracle(const graph::CsrGraph& g, const AltOptions& opts) : g_(&g) 
   // are skipped so landmarks land in the big component.
   std::vector<weight_t> closeness(static_cast<size_t>(n), kInfDist);
   vid_t next = pick(rng);
+  // no-cancel: constructor-time preprocessing, bounded by opts.landmarks;
+  // the serving path never builds an oracle mid-query
   for (int l = 0; l < L; ++l) {
     landmarks_.push_back(next);
     from_.push_back(dijkstra(GraphView(g), next).dist);

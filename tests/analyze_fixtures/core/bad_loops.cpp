@@ -1,0 +1,52 @@
+// Seeded violations for tools/peek_analyze.py, check `cancel`. NOT compiled
+// — tests/test_peek_analyze.py points the analyzer at this tree and asserts
+// each seeded finding is caught and each compliant variant is not.
+#include "core/peek.hpp"
+
+namespace fixture {
+
+// VIOLATION: unbounded loop, no poll, no waiver.
+int spin_forever() {
+  int x = 0;
+  for (;;) {
+    if (++x > 100) return x;
+  }
+}
+
+// VIOLATION: bounded loop invoking a heavy callee without polling.
+void all_pairs(const peek::graph::CsrGraph& g) {
+  for (peek::vid_t v = 0; v < g.num_vertices(); ++v) {
+    auto r = peek::sssp::dijkstra(peek::sssp::GraphView(g), v);
+    (void)r.dist.size();
+  }
+}
+
+// OK: unbounded loop that polls through a CancelPoll.
+int spin_polled(const peek::fault::CancelToken* cancel) {
+  peek::fault::CancelPoll poll(cancel);
+  int x = 0;
+  while (true) {
+    if (poll.should_stop()) return x;
+    ++x;
+  }
+}
+
+// OK: heavy callee, but the loop forwards the cancel token into it.
+void all_pairs_cancellable(const peek::graph::CsrGraph& g,
+                           const peek::fault::CancelToken* cancel) {
+  for (peek::vid_t v = 0; v < g.num_vertices(); ++v) {
+    peek::sssp::SsspOptions so;
+    so.cancel = cancel;
+    auto r = peek::sssp::dijkstra(peek::sssp::GraphView(g), v, so);
+  }
+}
+
+// OK: waived with a reason on the loop header.
+int spin_waived() {
+  int x = 0;
+  while (true) {  // no-cancel: fixture of the waiver grammar; O(1) body
+    if (++x > 100) return x;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Seeded violations for tools/peek_analyze.py, check `status`. NOT compiled.
+#include "fault/status.hpp"
+
+namespace fixture {
+
+peek::fault::Status flaky_write(int fd);
+Status helper_status();  // declares helper_status as Status-returning
+
+void caller(int fd) {
+  // VIOLATION: bare statement drops the returned Status.
+  flaky_write(fd);
+
+  // VIOLATION: (void) suppression without a reason.
+  (void)flaky_write(fd);
+
+  // OK: consumed.
+  peek::fault::Status st = flaky_write(fd);
+  if (!st.ok()) return;
+
+  // OK: consumed via a multi-line statement (continuation, not a discard).
+  const peek::fault::Status st2 =
+      flaky_write(fd);
+  (void)st2.ok();
+
+  // OK: waived with a reason.
+  (void)flaky_write(fd);  // status-ignored: fixture of the waiver grammar
+}
+
+}  // namespace fixture

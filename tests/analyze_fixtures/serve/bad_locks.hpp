@@ -1,0 +1,51 @@
+// Seeded violations for tools/peek_analyze.py, check `locks`. NOT compiled.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "check/thread_safety.hpp"
+
+namespace fixture {
+
+// VIOLATION: mutex member never named by any annotation in its class.
+class Orphan {
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+// VIOLATION: paired, but with a raw std::mutex the analysis cannot see.
+class RawGuarded {
+ private:
+  std::mutex mu_;
+  int value_ PEEK_GUARDED_BY(mu_) = 0;
+};
+
+// VIOLATION: lock container without a documented per-index discipline.
+class Striped {
+ private:
+  std::vector<std::mutex> stripes_;
+};
+
+// OK: annotated capability with a guarded field.
+class Annotated {
+ private:
+  peek::check::Mutex mu_;
+  int value_ PEEK_GUARDED_BY(mu_) = 0;
+};
+
+// OK: waived with a reason on the declaration line.
+class Waived {
+ private:
+  std::mutex mu_;  // ts-allow: fixture of the waiver grammar
+};
+
+// OK: lock container with the per-index discipline documented above it.
+class StripedWaived {
+ private:
+  // ts-allow: stripes_[i] guards slots_[i]; inexpressible per-index locks
+  std::vector<std::mutex> stripes_;
+};
+
+}  // namespace fixture

@@ -320,5 +320,79 @@ TEST(QueryEngine, InvalidQueriesReturnEmpty) {
   EXPECT_TRUE(engine.query(0, 10, 0).paths.empty());
 }
 
+// -------------------------------------------------------- cached-only probe
+
+TEST(QueryEngine, CachedOnlyEmptyCacheIsOverloadedNotAnAnswer) {
+  auto g = test::random_graph(120, 900, 31);
+  QueryEngine engine(g);
+  // Nothing has been computed: the zero-graph-work probe must refuse, not
+  // fall through to a real computation.
+  auto r = engine.query_cached_only(0, 60, 6);
+  EXPECT_EQ(r.status.code, fault::Status::kOverloaded);
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_FALSE(r.degraded);
+  EXPECT_FALSE(r.snapshot_hit);
+}
+
+TEST(QueryEngine, CachedOnlyServesWarmSnapshot) {
+  auto g = test::random_graph(120, 900, 31);
+  QueryEngine engine(g);
+  auto warm = engine.query(0, 60, 6);
+  ASSERT_EQ(warm.status.code, fault::Status::kOk);
+
+  auto r = engine.query_cached_only(0, 60, 6);
+  EXPECT_EQ(r.status.code, fault::Status::kOk);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_TRUE(r.snapshot_hit);
+  expect_identical(r.paths, warm.paths);
+
+  // A smaller k is a prefix of the cached paths, never a recompute.
+  auto r3 = engine.query_cached_only(0, 60, 3);
+  EXPECT_EQ(r3.status.code, fault::Status::kOk);
+  ASSERT_LE(r3.paths.size(), size_t{3});
+  for (size_t i = 0; i < r3.paths.size(); ++i) {
+    EXPECT_EQ(r3.paths[i].verts, warm.paths[i].verts);
+  }
+}
+
+TEST(QueryEngine, CachedOnlyRefusesStaleGeneration) {
+  auto g = test::random_graph(120, 900, 37);
+  QueryEngine engine(g);
+  auto warm = engine.query(2, 70, 5);
+  ASSERT_EQ(warm.status.code, fault::Status::kOk);
+  EXPECT_EQ(engine.query_cached_only(2, 70, 5).status.code,
+            fault::Status::kOk);
+
+  // invalidate() bumps the generation; the old snapshot must not be served
+  // even though it is still resident in the cache.
+  engine.invalidate();
+  auto stale = engine.query_cached_only(2, 70, 5);
+  EXPECT_EQ(stale.status.code, fault::Status::kOverloaded);
+  EXPECT_TRUE(stale.paths.empty());
+  EXPECT_FALSE(stale.degraded);
+}
+
+TEST(QueryEngine, CachedOnlyRejectsInvalidArguments) {
+  auto g = test::random_graph(60, 400, 5);
+  QueryEngine engine(g);
+  EXPECT_EQ(engine.query_cached_only(-1, 10, 4).status.code,
+            fault::Status::kInvalidArgument);
+  EXPECT_EQ(engine.query_cached_only(0, 600, 4).status.code,
+            fault::Status::kInvalidArgument);
+  EXPECT_EQ(engine.query_cached_only(0, 10, 0).status.code,
+            fault::Status::kInvalidArgument);
+}
+
+TEST(QueryEngine, CachedOnlyHonorsDegradedServingOptOut) {
+  auto g = test::random_graph(120, 900, 41);
+  ServeOptions opts;
+  opts.degraded_serving = false;
+  QueryEngine engine(g, opts);
+  engine.query(0, 60, 6);
+  // Disabled degraded serving means the probe refuses even on a warm cache.
+  EXPECT_EQ(engine.query_cached_only(0, 60, 6).status.code,
+            fault::Status::kOverloaded);
+}
+
 }  // namespace
 }  // namespace peek::serve

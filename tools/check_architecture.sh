@@ -4,7 +4,9 @@
 #   2. every subsystem directory under src/ must have a "### `src/<name>`"
 #      section in ARCHITECTURE.md;
 #   3. every subsystem directory under src/ must appear in the README
-#      "Architecture" tree block (the short map readers actually see).
+#      "Architecture" tree block (the short map readers actually see);
+#   4. the static-analysis toolchain the docs lean on (tools/peek_lint.py,
+#      tools/peek_analyze.py) exists and is named in ARCHITECTURE.md.
 # Run from the repository root (CI does). Exits non-zero on any drift.
 set -u
 cd "$(dirname "$0")/.."
@@ -56,6 +58,19 @@ for d in src/*/; do
   name=$(basename "$d")
   if ! grep -q "^  $name/" README.md; then
     echo "src/$name is missing from the README Architecture tree block"
+    fail=1
+  fi
+done
+
+# 4. The analysis tools the CI gates run exist and are documented — a doc
+# that points at a deleted linter, or a linter nobody can find from the
+# docs, is drift of the same kind as a stale path.
+for t in tools/peek_lint.py tools/peek_analyze.py; do
+  if [ ! -e "$t" ]; then
+    echo "missing analysis tool: $t (CI and the docs expect it)"
+    fail=1
+  elif ! grep -q "$(basename "$t")" ARCHITECTURE.md; then
+    echo "$(basename "$t") exists but ARCHITECTURE.md never mentions it"
     fail=1
   fi
 done

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""PeeK repo-specific lint. Seven checks, all rooted in invariants generic
+"""PeeK repo-specific lint. Eight checks, all rooted in invariants generic
 tools cannot know:
 
   metrics      every metric name the library emits (PEEK_COUNT_* /
@@ -32,6 +32,13 @@ tools cannot know:
                bench-table-begin/end markers) — and vice versa, so the
                committed perf trajectory the CI perf job gates on stays
                valid and documented.
+  waivers      every analyzer waiver in src/ (`// no-cancel:`,
+               `// status-ignored:`, `// ts-allow:` — the escape hatches
+               tools/peek_analyze.py honors) cites a substantive,
+               issue-style reason: several words of actual justification,
+               not a bare marker or filler like "ok"/"todo". A waiver
+               nobody can audit later is a suppressed finding, not a
+               documented exception.
 
 Exit status 0 = clean. Any finding prints `file:line: [check] message` and
 exits 1. Run from anywhere; paths resolve relative to the repo root.
@@ -397,6 +404,38 @@ def check_bench_json():
                 "is committed — stale row?")
 
 
+# --------------------------------------------------------------- waivers
+
+# The escape hatches tools/peek_analyze.py honors. Anything after the colon
+# is the reason the waiver's author owes the next reader.
+WAIVER_RE = re.compile(r'//\s*(no-cancel|status-ignored|ts-allow):(.*)$')
+# Reasons that explain nothing on their own.
+WAIVER_FILLER = {"ok", "okay", "fine", "yes", "todo", "fixme", "temp",
+                 "temporary", "later", "reasons", "legacy", "intentional",
+                 "by design", "safe", "ignore", "wip"}
+
+
+def check_waivers():
+    for path in source_files(SRC):
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                m = WAIVER_RE.search(line)
+                if not m:
+                    continue
+                marker, reason = m.group(1), m.group(2).strip()
+                if reason.startswith("<"):
+                    continue  # grammar documentation (`<reason>` placeholder)
+                if line[:m.start()].count("`") % 2 == 1:
+                    continue  # marker quoted inside a doc comment
+                words = re.findall(r"[A-Za-z0-9_()\[\]./*-]+", reason)
+                if (len(words) < 4 or len(reason) < 20
+                        or reason.rstrip(".!").lower() in WAIVER_FILLER):
+                    finding(path, line_no, "waivers",
+                            f"`// {marker}:` waiver needs a substantive "
+                            "issue-style reason (what makes the suppression "
+                            f"sound), got {reason!r}")
+
+
 CHECKS = {
     "metrics": check_metrics,
     "atomics": check_atomics,
@@ -405,6 +444,7 @@ CHECKS = {
     "fault_sites": check_fault_sites,
     "status_codes": check_status_codes,
     "bench_json": check_bench_json,
+    "waivers": check_waivers,
 }
 
 
