@@ -1,0 +1,351 @@
+// Chaos soak gate (DESIGN.md §14): a multi-threaded Zipf query storm through
+// shard::ShardFleet while the deterministic fault::Injector fires replica
+// stalls (shard.replica.stall), dead-process bounces (shard.replica.down) and
+// answer corruption (shard.replica.corrupt). The harness asserts the fleet's
+// whole self-healing contract end to end:
+//
+//   1. Continuous availability — every storm query comes back kOk (degraded
+//      prefixes allowed, typed failures not), and the process never aborts.
+//   2. Bit-identity — every non-degraded kOk answer equals core::peek_ksp
+//      exactly; degraded answers are exact prefixes of it.
+//   3. The healing cycle actually runs — at least one injected corruption is
+//      caught by the §14 certificate and the victim replica demonstrably
+//      traverses quarantine -> cache drop -> warm restart -> half-open probe
+//      -> closed, without operator intervention: the final sweep requires
+//      every breaker back in kClosed.
+//
+// Unlike bench_shard this is a gate, not a measurement: it prints a summary
+// line and writes a JSON report (--out PATH) that CI uploads on failure.
+// Flags: --seed N (injector seed, default 42), --seconds S (storm time box,
+// default 20; the storm also runs to a minimum query count so fast machines
+// still accumulate enough injector hits), --out PATH. Env knobs:
+// PEEK_SOAK_THREADS (8), PEEK_SOAK_POOL (24), PEEK_SOAK_MIN_QUERIES (4000),
+// PEEK_SOAK_RATE (permille, 20), PEEK_SOAK_MAX_FIRES (per site, 6).
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/peek.hpp"
+#include "obs/metrics.hpp"
+#include "shard/fleet.hpp"
+
+namespace {
+using namespace peek;
+using Clock = std::chrono::steady_clock;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+/// Zipfian CDF sampler over a fixed pool (same shape as bench_shard's storm).
+std::vector<size_t> zipf_ranks(size_t pool, int n, double theta,
+                               std::uint64_t seed) {
+  std::vector<double> cdf(pool);
+  double acc = 0;
+  for (size_t i = 0; i < pool; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -theta);
+    cdf[i] = acc;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, acc);
+  std::vector<size_t> ranks;
+  ranks.reserve(static_cast<size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    const size_t r = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) - cdf.begin());
+    ranks.push_back(std::min(r, pool - 1));
+  }
+  return ranks;
+}
+
+/// Tallies one storm thread accumulates locally and merges at join.
+struct Tally {
+  long total = 0;
+  long ok = 0;        // kOk, non-degraded, bit-identical
+  long degraded = 0;  // kOk degraded exact prefix
+  long non_ok = 0;    // any typed failure (availability violation)
+  long mismatch = 0;  // answer diverged from core::peek_ksp
+  long hedged = 0;
+
+  void merge(const Tally& o) {
+    total += o.total;
+    ok += o.ok;
+    degraded += o.degraded;
+    non_ok += o.non_ok;
+    mismatch += o.mismatch;
+    hedged += o.hedged;
+  }
+};
+
+std::int64_t counter(const char* name) {
+  if (!obs::kEnabled) return -1;  // metrics compiled out: cannot observe
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+/// True when `got` equals `want` (exact == full match required) or, in
+/// degraded mode, is an exact nonempty prefix of it.
+bool answer_matches(const std::vector<sssp::Path>& got,
+                    const std::vector<sssp::Path>& want, bool degraded) {
+  if (degraded ? got.size() > want.size() : got.size() != want.size())
+    return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].verts != want[i].verts || got[i].dist != want[i].dist)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::enable_metrics_dump(argc, argv);
+  std::uint64_t seed = 42;
+  int seconds = 20;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const int threads = env_int("PEEK_SOAK_THREADS", 8);
+  const int pool_size = env_int("PEEK_SOAK_POOL", 24);
+  const int min_queries = env_int("PEEK_SOAK_MIN_QUERIES", 4000);
+  const int rate = env_int("PEEK_SOAK_RATE", 20);
+  const int max_fires = env_int("PEEK_SOAK_MAX_FIRES", 6);
+  const int k = 8;
+
+  const auto g = bench::twitter_like(13);
+  const auto pool = bench::sample_pairs(g, pool_size, /*seed=*/7);
+
+  // Ground truth per pool pair — the certificate catches corruption at
+  // serve time; this catches anything the certificate might miss.
+  std::vector<std::vector<sssp::Path>> want;
+  want.reserve(pool.size());
+  for (const auto& [s, t] : pool) {
+    core::PeekOptions po;
+    po.k = k;
+    want.push_back(core::peek_ksp(g, s, t, po).ksp.paths);
+  }
+
+  const std::filesystem::path snap_root =
+      std::filesystem::temp_directory_path() /
+      ("peek_soak_" + std::to_string(seed));
+  std::filesystem::remove_all(snap_root);
+
+  shard::FleetOptions fo;
+  fo.router.shards = 4;
+  fo.replicas = 2;
+  fo.workers_per_replica = 2;
+  fo.hedge = std::chrono::milliseconds(3);
+  fo.serve.snapshot_dir = snap_root.string();
+  fault::InjectorConfig inj;
+  inj.enabled = true;
+  inj.seed = seed;
+  inj.rate_permille = rate;
+  inj.stall = std::chrono::milliseconds(2);
+  inj.site_filter =
+      "shard.replica.stall,shard.replica.down,shard.replica.corrupt";
+  // Cap every chaos site so a long soak bounds its injected damage: at most
+  // max_fires corruption events total means the cert-retry ladder can always
+  // outrun the chaos (8 replicas > 6 simultaneous quarantines never holds —
+  // heals drain continuously).
+  inj.max_fires = max_fires;
+  fo.injector = inj;
+  shard::ShardFleet fleet(g, fo);
+
+  // Pre-warm every home-shard replica and persist its artifacts so a healing
+  // replica has real snapshots to warm-restart from (and degraded fallback
+  // has warm caches to probe). Storm traffic then exercises the serving
+  // tier, not cold PeeK compute.
+  for (const auto& [s, t] : pool) {
+    const int home = fleet.router().route(s, t);
+    for (int r = 0; r < fleet.replicas(); ++r) {
+      fleet.engine(home, r).query(s, t, k);
+      fleet.engine(home, r).persist();
+    }
+  }
+
+  std::printf("# chaos soak: seed %llu, %ds box (>= %d queries), %d threads, "
+              "pool %d, k %d, 4 shards x 2 replicas, chaos %d permille "
+              "(cap %d/site)\n",
+              static_cast<unsigned long long>(seed), seconds, min_queries,
+              threads, pool_size, k, rate, max_fires);
+
+  const auto t0 = Clock::now();
+  const auto box = std::chrono::seconds(seconds);
+  std::atomic<long> issued{0};
+  std::vector<Tally> tallies(static_cast<size_t>(threads));
+  std::vector<std::thread> storm;
+  storm.reserve(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    storm.emplace_back([&, w] {
+      Tally& tl = tallies[static_cast<size_t>(w)];
+      const auto ranks = zipf_ranks(
+          pool.size(), 1 << 20, /*theta=*/0.99,
+          seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(w + 1)));
+      for (size_t q = 0; q < ranks.size(); ++q) {
+        // Run until the time box elapses AND the fleet has seen enough
+        // queries for the injector's per-site hit counts to make every
+        // chaos site statistically certain to have fired.
+        if (Clock::now() - t0 >= box && issued.load() >= min_queries) break;
+        const auto [s, t] = pool[ranks[q]];
+        auto res = fleet.query(s, t, k);
+        issued.fetch_add(1, std::memory_order_relaxed);
+        ++tl.total;
+        tl.hedged += res.hedged ? 1 : 0;
+        if (res.result.status.code != fault::Status::kOk) {
+          ++tl.non_ok;
+          std::fprintf(stderr, "soak: (%d,%d) -> %s: %s\n",
+                       static_cast<int>(s), static_cast<int>(t),
+                       fault::to_string(res.result.status.code),
+                       res.result.status.message.c_str());
+          continue;
+        }
+        if (!answer_matches(res.result.paths, want[ranks[q]],
+                            res.result.degraded)) {
+          ++tl.mismatch;
+          std::fprintf(stderr, "soak: (%d,%d) answer diverged from "
+                               "core::peek_ksp (degraded=%d)\n",
+                       static_cast<int>(s), static_cast<int>(t),
+                       res.result.degraded ? 1 : 0);
+          continue;
+        }
+        if (res.result.degraded) {
+          ++tl.degraded;
+        } else {
+          ++tl.ok;
+        }
+      }
+    });
+  }
+  for (auto& th : storm) th.join();
+  const double storm_s = std::chrono::duration<double>(Clock::now() - t0)
+                             .count();
+
+  Tally sum;
+  for (const auto& tl : tallies) sum.merge(tl);
+
+  // Capture the injector's per-site counts before disable() resets them.
+  auto& injector = fault::Injector::global();
+  const std::int64_t corrupt_fired = injector.fired("shard.replica.corrupt");
+  const std::int64_t down_fired = injector.fired("shard.replica.down");
+  const std::int64_t stall_fired = injector.fired("shard.replica.stall");
+
+  // Chaos off; let every pending quarantine finish its cache drop + warm
+  // restart, then sweep queries until each half-open breaker has probed its
+  // way back to closed. This is the "without operator intervention" half of
+  // the gate: nothing here touches set_replica_down or force-close.
+  injector.disable();
+  fleet.drain_heals();
+  bool all_closed = false;
+  const auto heal_deadline = Clock::now() + std::chrono::seconds(10);
+  while (!all_closed && Clock::now() < heal_deadline) {
+    for (const auto& [s, t] : pool) fleet.query(s, t, k);
+    all_closed = true;
+    for (int sh = 0; sh < fleet.shards(); ++sh) {
+      for (int r = 0; r < fleet.replicas(); ++r) {
+        all_closed = all_closed && fleet.breaker_state(sh, r) ==
+                                       shard::BreakerState::kClosed;
+      }
+    }
+  }
+  fleet.publish_latency_metrics();
+
+  const std::int64_t quarantines = counter("shard.replica.quarantines");
+  const std::int64_t warm_restarts = counter("shard.replica.warm_restarts");
+  const std::int64_t half_opens = counter("shard.breaker.half_open");
+  const std::int64_t closes = counter("shard.breaker.close");
+  const std::int64_t cert_failures = counter("serve.certify.failures");
+
+  std::printf("storm: %.1fs, %ld queries (%ld ok, %ld degraded, %ld hedged)\n",
+              storm_s, sum.total, sum.ok, sum.degraded, sum.hedged);
+  std::printf("chaos: %lld stalls, %lld bounces, %lld corruptions -> "
+              "%lld cert failures, %lld quarantines, %lld warm restarts, "
+              "%lld half-opens, %lld closes, all_closed=%d\n",
+              static_cast<long long>(stall_fired),
+              static_cast<long long>(down_fired),
+              static_cast<long long>(corrupt_fired),
+              static_cast<long long>(cert_failures),
+              static_cast<long long>(quarantines),
+              static_cast<long long>(warm_restarts),
+              static_cast<long long>(half_opens),
+              static_cast<long long>(closes), all_closed ? 1 : 0);
+
+  // The gate. Each clause is an acceptance criterion from DESIGN.md §14.
+  std::vector<std::string> violations;
+  if (sum.non_ok > 0)
+    violations.push_back("availability: " + std::to_string(sum.non_ok) +
+                         " queries returned a non-kOk status");
+  if (sum.mismatch > 0)
+    violations.push_back("bit-identity: " + std::to_string(sum.mismatch) +
+                         " answers diverged from core::peek_ksp");
+  if (corrupt_fired < 1)
+    violations.push_back("chaos: shard.replica.corrupt never fired — the "
+                         "soak did not exercise certification");
+  if (obs::kEnabled) {
+    if (cert_failures < 1)
+      violations.push_back("certification never caught a corrupt answer");
+    if (quarantines < 1) violations.push_back("no replica was quarantined");
+    if (warm_restarts < 1)
+      violations.push_back("no replica warm-restarted");
+    if (half_opens < 1)
+      violations.push_back("no breaker reached half-open");
+    if (closes < 1) violations.push_back("no breaker closed via probe");
+  }
+  if (!all_closed)
+    violations.push_back("a breaker failed to return to closed after the "
+                         "storm (self-healing did not converge)");
+
+  if (!out_path.empty()) {
+    if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+      std::fprintf(
+          f,
+          "{\n  \"seed\": %llu,\n  \"storm_seconds\": %.3f,\n"
+          "  \"queries\": %ld,\n  \"ok\": %ld,\n  \"degraded\": %ld,\n"
+          "  \"non_ok\": %ld,\n  \"mismatches\": %ld,\n  \"hedged\": %ld,\n"
+          "  \"stalls\": %lld,\n  \"bounces\": %lld,\n"
+          "  \"corruptions\": %lld,\n  \"cert_failures\": %lld,\n"
+          "  \"quarantines\": %lld,\n  \"warm_restarts\": %lld,\n"
+          "  \"half_opens\": %lld,\n  \"closes\": %lld,\n"
+          "  \"all_closed\": %s,\n  \"violations\": %zu\n}\n",
+          static_cast<unsigned long long>(seed), storm_s, sum.total, sum.ok,
+          sum.degraded, sum.non_ok, sum.mismatch, sum.hedged,
+          static_cast<long long>(stall_fired),
+          static_cast<long long>(down_fired),
+          static_cast<long long>(corrupt_fired),
+          static_cast<long long>(cert_failures),
+          static_cast<long long>(quarantines),
+          static_cast<long long>(warm_restarts),
+          static_cast<long long>(half_opens),
+          static_cast<long long>(closes), all_closed ? "true" : "false",
+          violations.size());
+      std::fclose(f);
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(snap_root, ec);
+
+  if (!violations.empty()) {
+    for (const auto& v : violations)
+      std::fprintf(stderr, "soak FAIL: %s\n", v.c_str());
+    return 1;
+  }
+  std::printf("soak PASS\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "check/certify.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace peek::check {
+
+namespace {
+
+std::string path_label(size_t i) {
+  return "path[" + std::to_string(i) + "]";
+}
+
+/// |a - b| within rel_eps of max(1, |a|, |b|) — distances are sums of
+/// nonnegative weights, so a plain relative comparison is enough.
+bool close_enough(weight_t a, weight_t b, double rel_eps) {
+  const double da = static_cast<double>(a);
+  const double db = static_cast<double>(b);
+  const double scale = std::max({1.0, std::fabs(da), std::fabs(db)});
+  return std::fabs(da - db) <= rel_eps * scale;
+}
+
+}  // namespace
+
+fault::Status certify_paths(const graph::CsrGraph& g, vid_t s, vid_t t,
+                            const std::vector<sssp::Path>& paths,
+                            const CertifyOptions& opts) {
+  using fault::Status;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const sssp::Path& p = paths[i];
+    if (p.verts.empty()) {
+      return Status{Status::kInternal, path_label(i) + " is empty"};
+    }
+    if (p.verts.front() != s || p.verts.back() != t) {
+      return Status{Status::kInternal,
+                    path_label(i) + " endpoints are not (s, t)"};
+    }
+    for (const vid_t v : p.verts) {
+      if (v < 0 || v >= g.num_vertices()) {
+        return Status{Status::kInternal,
+                      path_label(i) + " leaves the vertex range"};
+      }
+    }
+    if (!sssp::is_simple(p)) {
+      return Status{Status::kInternal,
+                    path_label(i) + " repeats a vertex (not simple)"};
+    }
+    // Edge-consistency + claimed length: path_distance walks find_edge hop
+    // by hop and returns kInfDist on the first missing edge.
+    const weight_t walked = sssp::path_distance(g, p.verts);
+    if (walked == kInfDist) {
+      return Status{Status::kInternal,
+                    path_label(i) + " uses an edge absent from the CSR"};
+    }
+    if (!close_enough(walked, p.dist, opts.rel_eps)) {
+      return Status{Status::kInternal,
+                    path_label(i) + " claims a distance its edges do not sum "
+                                    "to"};
+    }
+    if (i > 0 && p.dist < paths[i - 1].dist) {
+      return Status{Status::kInternal,
+                    path_label(i) + " is shorter than its predecessor "
+                                    "(order violated)"};
+    }
+    // Sorted (dist, lex) order puts duplicates side by side, so an adjacent
+    // check suffices for the distinctness requirement.
+    if (i > 0 && p.verts == paths[i - 1].verts) {
+      return Status{Status::kInternal,
+                    path_label(i) + " duplicates its predecessor"};
+    }
+    if (opts.upper_bound != kInfDist &&
+        static_cast<double>(p.dist) >
+            static_cast<double>(opts.upper_bound) * (1.0 + opts.rel_eps)) {
+      return Status{Status::kInternal,
+                    path_label(i) + " exceeds the K-bound pruning upper "
+                                    "bound"};
+    }
+  }
+  return Status{};
+}
+
+}  // namespace peek::check

@@ -1,0 +1,43 @@
+// Answer certification for served K-shortest-path results (DESIGN.md §14).
+//
+// An O(K · len) validator over the paths a query is about to return: each
+// path must start at s, end at t, be simple (Definition 1 looplessness),
+// walk only edges that exist in the CSR with weights summing to its claimed
+// distance, and the path list must be nondecreasing in distance and respect
+// the K-bound prune invariant (paper Theorem 4.3: every served path's
+// distance is <= the pruning upper bound of the snapshot that answered).
+//
+// The point is cheap corruption detection at the serving boundary: PeeK's
+// prune-safety theorem makes "every answer re-checkable against the graph"
+// a constant-factor cost on top of producing the paths, which is what lets
+// the sharded fleet distinguish a *slow* replica (breaker territory) from a
+// *wrong* one (quarantine + warm-restart territory) at runtime.
+#pragma once
+
+#include <vector>
+
+#include "fault/status.hpp"
+#include "graph/csr.hpp"
+#include "sssp/path.hpp"
+
+namespace peek::check {
+
+struct CertifyOptions {
+  /// Relative tolerance when comparing a path's claimed distance against the
+  /// left-to-right recomputation over the CSR. Nonzero because Yen-family
+  /// engines accumulate prefix+suffix sums in a different order than the
+  /// certifier's linear walk.
+  double rel_eps = 1e-6;
+  /// K-bound prune invariant: every certified path's distance must be
+  /// <= this bound (within rel_eps). kInfDist disables the check.
+  weight_t upper_bound = kInfDist;
+};
+
+/// Certifies `paths` as a served answer for (s, t). Returns kOk, or
+/// kInternal with a message naming the first offending path and why.
+/// An empty path list certifies trivially (unreachable targets).
+fault::Status certify_paths(const graph::CsrGraph& g, vid_t s, vid_t t,
+                            const std::vector<sssp::Path>& paths,
+                            const CertifyOptions& opts = {});
+
+}  // namespace peek::check

@@ -71,6 +71,8 @@ void Injector::configure_from_env() {
     cfg.stall = std::chrono::milliseconds(std::strtol(stall, nullptr, 10));
   if (const char* sites = std::getenv("PEEK_FAULT_SITES"))
     cfg.site_filter = sites;
+  if (const char* max = std::getenv("PEEK_FAULT_MAX"))
+    cfg.max_fires = std::strtoll(max, nullptr, 10);
   // NOLINTEND(concurrency-mt-unsafe)
   configure(cfg);
 }
@@ -92,7 +94,8 @@ bool Injector::should_fire(const char* site) {
                    st.hits * 0x9e3779b97f4a7c15ull);
     st.hits++;
     fire = cfg_.rate_permille > 0 &&
-           h % 1000 < static_cast<std::uint64_t>(cfg_.rate_permille);
+           h % 1000 < static_cast<std::uint64_t>(cfg_.rate_permille) &&
+           (cfg_.max_fires <= 0 || st.fired < cfg_.max_fires);
     if (fire) st.fired++;
   }
   if (fire) PEEK_COUNT_INC("fault.injected");

@@ -39,6 +39,11 @@ struct InjectorConfig {
   std::chrono::milliseconds stall{0};
   /// Comma-separated site allowlist; empty = every site may fire.
   std::string site_filter;
+  /// Per-site fire cap: once a site has fired this many probes, later
+  /// probes at it never fire (hit indices still advance, so the decision
+  /// sequence below the cap is unchanged). <= 0 = uncapped. Lets soak runs
+  /// bound total injected failures deterministically (PEEK_FAULT_MAX).
+  std::int64_t max_fires = 0;
 };
 
 /// Thrown by PEEK_FAULT_ALLOC probes. Derives from std::bad_alloc so code
@@ -62,8 +67,9 @@ class Injector {
   void configure(const InjectorConfig& cfg);
   /// PEEK_FAULT_SEED (presence enables, value seeds), PEEK_FAULT_RATE
   /// (permille, default 100), PEEK_FAULT_STALL_MS (default 0),
-  /// PEEK_FAULT_SITES (comma allowlist). Called once from serving/test
-  /// entry points; harmless when the variables are unset.
+  /// PEEK_FAULT_SITES (comma allowlist), PEEK_FAULT_MAX (per-site fire
+  /// cap, default uncapped). Called once from serving/test entry points;
+  /// harmless when the variables are unset.
   void configure_from_env();
   void disable() { configure(InjectorConfig{}); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "check/certify.hpp"
 #include "ksp/stream.hpp"
 #include "obs/metrics.hpp"
 #include "recover/artifacts.hpp"
@@ -422,6 +423,7 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
     if (out.status.code == fault::Status::kDeadlineExceeded) {
       PEEK_COUNT_INC("serve.deadline_exceeded");
     }
+    certify_result(*g, s, t, out);
     out.seconds = seconds_since(t0);
     return out;
   }
@@ -545,8 +547,27 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
   if (out.status.code == fault::Status::kDeadlineExceeded) {
     PEEK_COUNT_INC("serve.deadline_exceeded");
   }
+  certify_result(*g, s, t, out);
   out.seconds = seconds_since(t0);
   return out;
+}
+
+void QueryEngine::certify_result(const graph::CsrGraph& g, vid_t s, vid_t t,
+                                 ServeResult& out) {
+  if (!opts_.certify || out.status.code != fault::Status::kOk ||
+      out.degraded) {
+    return;
+  }
+  PEEK_COUNT_INC("serve.certify.checks");
+  check::CertifyOptions co;
+  co.upper_bound = out.upper_bound;
+  fault::Status cert = check::certify_paths(g, s, t, out.paths, co);
+  if (!cert.ok()) {
+    PEEK_COUNT_INC("serve.certify.failures");
+    out.certificate_failed = true;
+    out.status = {fault::Status::kInternal,
+                  "answer failed certification: " + cert.message};
+  }
 }
 
 void QueryEngine::restore_from_dir() {

@@ -85,6 +85,12 @@ struct ServeOptions {
   /// Restore from snapshot_dir at construction. Off = write-only (persist()
   /// still works; existing snapshots are ignored, not deleted).
   bool warm_restart = true;
+  /// Certify every non-degraded kOk answer against the CSR before returning
+  /// it (check/certify.hpp: simple, edge-consistent, nondecreasing, within
+  /// the prune bound — O(K·len)). A failed certificate turns the result
+  /// into Status::kInternal with ServeResult::certificate_failed set; the
+  /// sharded fleet treats that as replica corruption (DESIGN.md §14).
+  bool certify = false;
 };
 
 /// Per-query knobs of QueryEngine::query.
@@ -112,6 +118,9 @@ struct ServeResult {
   bool rev_tree_hit = false;  // pruning reused the cached reverse tree
   bool uncached = false;      // served via plain PeeK (budget 0 / oversize)
   bool degraded = false;      // shed query answered from cached paths only
+  /// ServeOptions::certify rejected the answer (status is kInternal): the
+  /// paths failed the §14 certificate and must not be served.
+  bool certificate_failed = false;
   double seconds = 0;         // wall time of this query() call
 };
 
@@ -217,6 +226,11 @@ class QueryEngine {
   /// Shed-path degraded answer: cached already-produced paths only, no graph
   /// work. False when nothing usable is cached.
   bool serve_degraded(vid_t s, vid_t t, int k, std::uint64_t gen,
+                      ServeResult& out);
+  /// ServeOptions::certify hook: validates a non-degraded kOk answer
+  /// against `g` and downgrades it to kInternal on a failed certificate
+  /// (serve.certify.checks / serve.certify.failures).
+  void certify_result(const graph::CsrGraph& g, vid_t s, vid_t t,
                       ServeResult& out);
   int budget_for(int k) const;
 

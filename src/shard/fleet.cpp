@@ -1,9 +1,11 @@
 #include "shard/fleet.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "check/certify.hpp"
 #include "check/invariants.hpp"
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
@@ -37,16 +39,18 @@ struct ShardFleet::QueryState {
   bool winner_set PEEK_GUARDED_BY(mu) = false;
   serve::ServeResult winner PEEK_GUARDED_BY(mu);
   int winner_index PEEK_GUARDED_BY(mu) = -1;
+  int winner_shard PEEK_GUARDED_BY(mu) = -1;
   int winner_replica PEEK_GUARDED_BY(mu) = -1;
-  bool winner_replica_down PEEK_GUARDED_BY(mu) = false;
+  bool winner_retryable PEEK_GUARDED_BY(mu) = false;
   /// Per-attempt cancel handles, indexed by attempt index; the waiter
   /// cancels every loser through them once a winner lands.
   std::vector<fault::CancelToken> tokens PEEK_GUARDED_BY(mu);
 
   /// First-completion-wins publication. A failed attempt only wins when it
   /// is the last one outstanding — a slower healthy duplicate may still
-  /// deliver the real answer.
-  void complete(int index, int replica, bool replica_down,
+  /// deliver the real answer. `retryable` marks dead-replica bounces and
+  /// failed half-open probes, which the ladder retries on a peer.
+  void complete(int index, int shard, int replica, bool retryable,
                 serve::ServeResult r) {
     check::MutexLock lock(mu);
     --outstanding;
@@ -55,8 +59,9 @@ struct ShardFleet::QueryState {
       winner_set = true;
       winner = std::move(r);
       winner_index = index;
+      winner_shard = shard;
       winner_replica = replica;
-      winner_replica_down = replica_down;
+      winner_retryable = retryable;
       cv.notify_all();
     } else if (winner_set && r.status.code == fault::Status::kCancelled) {
       // A losing attempt whose cancellation actually cut it short.
@@ -74,17 +79,23 @@ struct ShardFleet::Attempt {
   int index = 0;  // 0 = primary, >0 = hedge duplicates
   int shard = -1;
   int replica = -1;
-  bool replica_down = false;  // completion was a dead-replica bounce
+  bool probe = false;      // half-open breaker probe (budgeted admission)
+  bool retryable = false;  // dead-replica bounce or failed probe
+  std::chrono::steady_clock::time_point enqueued{};
   fault::CancelToken token;
   std::shared_ptr<QueryState> state;
 };
 
-/// A thread-simulated replica process: engine + queue + workers. `down`
-/// models a crashed process — queued work bounces and the cache is
-/// unreachable until it is marked up again.
+/// A thread-simulated replica process: engine + breaker + queue + workers.
+/// The breaker is the availability source of truth (forced-open models a
+/// crashed process); the engine is swappable under engine_mu so the healer
+/// can warm-restart a quarantined replica while traffic drains elsewhere.
 struct ShardFleet::Replica {
-  std::unique_ptr<serve::QueryEngine> engine;
-  std::atomic<bool> down{false};
+  explicit Replica(const HealthOptions& h) : breaker(h) {}
+
+  ReplicaBreaker breaker;
+  mutable check::Mutex engine_mu;
+  std::shared_ptr<serve::QueryEngine> engine PEEK_GUARDED_BY(engine_mu);
   check::Mutex mu;
   check::CondVar cv;
   std::deque<std::shared_ptr<Attempt>> queue PEEK_GUARDED_BY(mu);
@@ -92,6 +103,12 @@ struct ShardFleet::Replica {
   /// Filled once in the fleet constructor, joined once in the destructor —
   /// never touched by concurrent phases, hence unguarded.
   std::vector<std::thread> workers;
+
+  /// Pin the current engine: holders keep it alive across a heal swap.
+  std::shared_ptr<serve::QueryEngine> engine_snapshot() const {
+    check::MutexLock lock(engine_mu);
+    return engine;
+  }
 };
 
 struct ShardFleet::Shard {
@@ -105,11 +122,24 @@ struct ShardFleet::Shard {
 
 ShardFleet::ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts)
     : graph_(&g), opts_(opts), router_(g.num_vertices(), opts.router) {
-  if (opts_.replicas < 1) opts_.replicas = 1;
-  if (opts_.workers_per_replica < 1) opts_.workers_per_replica = 1;
+  // kInvalidArgument at construction instead of silently clamping: a fleet
+  // shaped differently than its config claims would undermine every placement
+  // and capacity assumption the caller derived from that config.
+  if (opts_.replicas < 1)
+    throw std::invalid_argument("FleetOptions::replicas must be >= 1");
+  if (opts_.workers_per_replica < 1)
+    throw std::invalid_argument(
+        "FleetOptions::workers_per_replica must be >= 1");
+  if (opts_.hedge.count() < 0)
+    throw std::invalid_argument("FleetOptions::hedge must be >= 0");
+  if (opts_.default_deadline.count() < 0)
+    throw std::invalid_argument("FleetOptions::default_deadline must be >= 0");
+  if (opts_.max_queue < 0)
+    throw std::invalid_argument("FleetOptions::max_queue must be >= 0");
   if (opts_.injector) fault::Injector::global().configure(*opts_.injector);
   // The fleet installs the injector once; per-replica engines must not each
-  // re-install it (configure() resets the fired counters).
+  // re-install it (configure() resets the fired counters) — and neither may
+  // a healing rebuild mid-soak.
   opts_.serve.injector.reset();
 
   shards_.reserve(static_cast<size_t>(router_.shards()));
@@ -117,14 +147,21 @@ ShardFleet::ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts)
     auto shard = std::make_unique<Shard>();
     shard->replicas.reserve(static_cast<size_t>(opts_.replicas));
     for (int r = 0; r < opts_.replicas; ++r) {
-      auto rep = std::make_unique<Replica>();
-      rep->engine = std::make_unique<serve::QueryEngine>(g, opts_.serve);
+      auto rep = std::make_unique<Replica>(opts_.health);
+      {
+        // Uncontended (no worker exists yet); taken so the annotation on
+        // `engine` holds unconditionally.
+        check::MutexLock lock(rep->engine_mu);
+        rep->engine =
+            std::make_shared<serve::QueryEngine>(g, engine_options(sh, r));
+      }
       shard->replicas.push_back(std::move(rep));
     }
     shards_.push_back(std::move(shard));
   }
-  // Workers start only after every replica exists: a worker's failover path
-  // may touch engines on other shards.
+  // Workers and the healer start only after every replica exists: a worker's
+  // failover path may touch engines on other shards, and a heal swaps them.
+  healer_ = std::thread([this] { healer_loop(); });
   for (auto& shard : shards_) {
     for (auto& rep : shard->replicas) {
       for (int w = 0; w < opts_.workers_per_replica; ++w) {
@@ -136,6 +173,12 @@ ShardFleet::ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts)
 }
 
 ShardFleet::~ShardFleet() {
+  {
+    check::MutexLock lock(heal_mu_);
+    heal_stopping_ = true;
+  }
+  heal_cv_.notify_all();
+  if (healer_.joinable()) healer_.join();
   for (auto& shard : shards_) {
     for (auto& rep : shard->replicas) {
       {
@@ -152,6 +195,17 @@ ShardFleet::~ShardFleet() {
   }
 }
 
+serve::ServeOptions ShardFleet::engine_options(int shard, int replica) const {
+  serve::ServeOptions eo = opts_.serve;
+  if (!eo.snapshot_dir.empty()) {
+    // Per-replica snapshot directory: replicas never clobber each other's
+    // artifacts, and a healing rebuild warm-restarts from its own.
+    eo.snapshot_dir += "/s" + std::to_string(shard) + ".r" +
+                       std::to_string(replica);
+  }
+  return eo;
+}
+
 void ShardFleet::worker_loop(Replica& rep) {
   for (;;) {
     std::shared_ptr<Attempt> at;
@@ -163,41 +217,82 @@ void ShardFleet::worker_loop(Replica& rep) {
       rep.queue.pop_front();
     }
     serve::ServeResult r;
-    if (rep.down.load(std::memory_order_acquire) ||
-        PEEK_FAULT_FIRE("shard.replica.down")) {
+    const double queue_age = seconds_since(at->enqueued);
+    bool bounced = false;
+    bool dispatched = false;
+    if (rep.breaker.forced_open() || PEEK_FAULT_FIRE("shard.replica.down")) {
       // Dead-process bounce: no engine work, no cache access.
-      at->replica_down = true;
+      at->retryable = true;
+      bounced = true;
       r.status = {fault::Status::kOverloaded, "replica down"};
     } else if (at->token.triggered()) {
       // Cancelled while still queued (lost hedge, tripped deadline).
       r.status = {at->token.why(), "cancelled before dispatch"};
     } else {
+      dispatched = true;
       PEEK_FAULT_STALL("shard.replica.stall");
       serve::QueryOptions qo;
       qo.cancel = &at->token;
-      r = rep.engine->query(at->s, at->t, at->k, qo);
+      // Pin the engine across the call: a concurrent heal may swap it.
+      auto engine = rep.engine_snapshot();
+      r = engine->query(at->s, at->t, at->k, qo);
+      if (r.status.code == fault::Status::kOk && !r.degraded &&
+          !r.paths.empty() && PEEK_FAULT_FIRE("shard.replica.corrupt")) {
+        // Simulated replica corruption: the served distance no longer sums
+        // from its edges, which the §14 certificate catches downstream.
+        r.paths.back().dist += weight_t{1};
+      }
     }
-    at->state->complete(at->index, at->replica, at->replica_down,
+    // Every real completion (served or bounced) feeds the EWMA; attempts
+    // cancelled before dispatch say nothing about this replica's health.
+    if (bounced || dispatched) {
+      HealthSignal sig;
+      sig.ok = r.status.code == fault::Status::kOk;
+      sig.timeout = r.status.code == fault::Status::kDeadlineExceeded;
+      sig.error = bounced || r.status.code == fault::Status::kInternal ||
+                  r.status.code == fault::Status::kDataLoss ||
+                  r.status.code == fault::Status::kResourceExhausted;
+      sig.queue_age_s = queue_age;
+      rep.breaker.record(sig);
+    }
+    if (at->probe) {
+      using PO = ReplicaBreaker::ProbeOutcome;
+      PO po = PO::kFailure;
+      if (r.status.code == fault::Status::kOk) {
+        po = PO::kSuccess;
+      } else if (r.status.code == fault::Status::kCancelled) {
+        po = PO::kAbandoned;  // lost hedge race, not the replica's fault
+      } else {
+        at->retryable = true;  // failed probe: the ladder moves on
+      }
+      rep.breaker.probe_done(po);
+    }
+    at->state->complete(at->index, at->shard, at->replica, at->retryable,
                         std::move(r));
   }
 }
 
-int ShardFleet::pick_replica(Shard& sh, int skip) {
+ShardFleet::Pick ShardFleet::pick_replica(Shard& sh, int skip) {
   const unsigned count = static_cast<unsigned>(opts_.replicas);
   const unsigned start = sh.rr.fetch_add(1, std::memory_order_relaxed);
   for (unsigned i = 0; i < count; ++i) {
     const int r = static_cast<int>((start + i) % count);
     if (r == skip) continue;
-    if (sh.replicas[static_cast<size_t>(r)]->down.load(
-            std::memory_order_acquire))
-      continue;
-    return r;
+    switch (sh.replicas[static_cast<size_t>(r)]->breaker.admit()) {
+      case ReplicaBreaker::Admission::kAdmit:
+        return Pick{r, false};
+      case ReplicaBreaker::Admission::kProbe:
+        return Pick{r, true};
+      case ReplicaBreaker::Admission::kReject:
+        break;
+    }
   }
-  return -1;
+  return Pick{};
 }
 
-void ShardFleet::launch(int shard, int replica, int index, vid_t s, vid_t t,
-                        int k, const fault::CancelToken* base,
+void ShardFleet::launch(int shard, int replica, int index, bool probe,
+                        vid_t s, vid_t t, int k,
+                        const fault::CancelToken* base,
                         const std::shared_ptr<QueryState>& st) {
   auto at = std::make_shared<Attempt>();
   at->s = s;
@@ -206,10 +301,20 @@ void ShardFleet::launch(int shard, int replica, int index, vid_t s, vid_t t,
   at->index = index;
   at->shard = shard;
   at->replica = replica;
+  at->probe = probe;
+  at->enqueued = std::chrono::steady_clock::now();
   // Per-attempt handle under the caller's token/deadline: cancelling it
-  // abandons just this attempt; the parent tripping abandons them all.
-  at->token = base != nullptr ? fault::CancelToken::linked(*base)
-                              : fault::CancelToken::cancellable();
+  // abandons just this attempt; the parent tripping abandons them all. A
+  // probe additionally rides the breaker's probe_deadline so a wedged
+  // replica fails its probe instead of wedging the prober.
+  const auto pd = opts_.health.probe_deadline;
+  if (probe && pd.count() > 0) {
+    at->token = base != nullptr ? fault::CancelToken::linked(*base, pd)
+                                : fault::CancelToken::after(pd);
+  } else {
+    at->token = base != nullptr ? fault::CancelToken::linked(*base)
+                                : fault::CancelToken::cancellable();
+  }
   at->state = st;
   {
     check::MutexLock lock(st->mu);
@@ -233,9 +338,11 @@ void ShardFleet::launch(int shard, int replica, int index, vid_t s, vid_t t,
   }
   if (shed) {
     PEEK_COUNT_INC("shard.shed");
+    // A probe that cannot even enqueue is a failed probe.
+    if (probe) rep.breaker.probe_done(ReplicaBreaker::ProbeOutcome::kFailure);
     serve::ServeResult r;
     r.status = {fault::Status::kOverloaded, "replica queue full"};
-    st->complete(index, replica, /*replica_down=*/false, std::move(r));
+    st->complete(index, shard, replica, /*retryable=*/false, std::move(r));
   }
 }
 
@@ -246,15 +353,15 @@ ShardFleet::RunOutcome ShardFleet::run_on_shard(
   int skip = -1;
   bool hedged_any = false;
   for (int attempt = 0; attempt < opts_.replicas; ++attempt) {
-    const int r0 = pick_replica(sh, skip);
-    if (r0 < 0) {
+    const Pick p0 = pick_replica(sh, skip);
+    if (p0.replica < 0) {
       out.hedged = hedged_any;
       out.unavailable = true;
       return out;
     }
     if (attempt > 0) PEEK_COUNT_INC("shard.replica_retries");
     auto st = std::make_shared<QueryState>();
-    launch(shard, r0, 0, s, t, k, base, st);
+    launch(shard, p0.replica, 0, p0.probe, s, t, k, base, st);
     bool hedged = false;
     {
       check::UniqueLock lock(st->mu);
@@ -268,16 +375,17 @@ ShardFleet::RunOutcome ShardFleet::run_on_shard(
         // The primary overran the hedge budget: duplicate on a spare
         // replica here, else (under failover) on the ring successor.
         int hshard = shard;
-        int hr = pick_replica(sh, r0);
-        if (hr < 0 && opts_.failover) {
-          for (int step = 1; step < router_.shards() && hr < 0; ++step) {
+        Pick hp = pick_replica(sh, p0.replica);
+        if (hp.replica < 0 && opts_.failover) {
+          for (int step = 1; step < router_.shards() && hp.replica < 0;
+               ++step) {
             hshard = router_.successor(shard, step);
-            hr = pick_replica(*shards_[static_cast<size_t>(hshard)], -1);
+            hp = pick_replica(*shards_[static_cast<size_t>(hshard)], -1);
           }
         }
-        if (hr >= 0) {
+        if (hp.replica >= 0) {
           lock.unlock();
-          launch(hshard, hr, 1, s, t, k, base, st);
+          launch(hshard, hp.replica, 1, hp.probe, s, t, k, base, st);
           PEEK_COUNT_INC("shard.hedges.fired");
           hedged = true;
           hedged_any = true;
@@ -286,10 +394,11 @@ ShardFleet::RunOutcome ShardFleet::run_on_shard(
       }
       while (!st->winner_set) st->cv.wait(lock);
       out.result = std::move(st->winner);
+      out.shard = st->winner_shard;
       out.replica = st->winner_replica;
       out.hedged = hedged_any;
       out.hedge_won = hedged && st->winner_index > 0;
-      out.unavailable = st->winner_replica_down;
+      out.unavailable = st->winner_retryable;
     }
     {
       // First completion won; cancel every losing attempt. Their workers
@@ -305,7 +414,10 @@ ShardFleet::RunOutcome ShardFleet::run_on_shard(
       PEEK_COUNT_INC("shard.hedges.wasted");
     }
     if (!out.unavailable) return out;
-    skip = out.replica;  // that replica just bounced — try its peers
+    // That replica just bounced — try its peers (only meaningful when the
+    // bounce came from this shard; a bounced cross-shard hedge says nothing
+    // about the home replicas).
+    if (out.shard == shard) skip = out.replica;
   }
   out.unavailable = true;
   return out;
@@ -315,14 +427,17 @@ bool ShardFleet::try_degraded(vid_t s, vid_t t, int k, int home,
                               FleetResult& out) {
   // Read-only cache peek across surviving replicas, ring order from home.
   // query_cached_only does zero graph work, so bypassing the queues here is
-  // safe even while those replicas serve their own traffic.
+  // safe even while those replicas serve their own traffic. Crashed
+  // (forced-open) and corruption-quarantined replicas are skipped — the
+  // former's cache is unreachable, the latter's is suspect.
   for (int step = 0; step < router_.shards(); ++step) {
     const int sh = router_.successor(home, step);
     Shard& shard = *shards_[static_cast<size_t>(sh)];
     for (int r = 0; r < opts_.replicas; ++r) {
       Replica& rep = *shard.replicas[static_cast<size_t>(r)];
-      if (rep.down.load(std::memory_order_acquire)) continue;
-      serve::ServeResult res = rep.engine->query_cached_only(s, t, k);
+      if (rep.breaker.forced_open() || rep.breaker.quarantined()) continue;
+      serve::ServeResult res =
+          rep.engine_snapshot()->query_cached_only(s, t, k);
       if (res.status.code == fault::Status::kOk) {
         out.result = std::move(res);
         out.shard = sh;
@@ -368,6 +483,10 @@ FleetResult ShardFleet::query(vid_t s, vid_t t, int k,
     base = &deadline_token;
   }
 
+  // One certification retry per fleet replica: quarantining cannot free more
+  // replicas than exist, so the loop is bounded even if every answer fails.
+  const int max_cert_rounds = router_.shards() * opts_.replicas;
+  int cert_rounds = 0;
   int shard = home;
   int step = 0;
   for (;;) {
@@ -375,10 +494,39 @@ FleetResult ShardFleet::query(vid_t s, vid_t t, int k,
     out.hedged = out.hedged || ro.hedged;
     out.hedge_won = out.hedge_won || ro.hedge_won;
     if (!ro.unavailable) {
+      const int won_shard = ro.shard >= 0 ? ro.shard : shard;
+      if (opts_.certify && ro.result.status.code == fault::Status::kOk &&
+          !ro.result.degraded) {
+        PEEK_COUNT_INC("serve.certify.checks");
+        check::CertifyOptions co;
+        co.upper_bound = ro.result.upper_bound;
+        fault::Status cert =
+            check::certify_paths(*graph_, s, t, ro.result.paths, co);
+        if (!cert.ok()) {
+          // A certificate failure is replica corruption, not query failure:
+          // quarantine + heal the replica, retry the ladder on its peers.
+          PEEK_COUNT_INC("serve.certify.failures");
+          if (ro.replica >= 0) quarantine_replica(won_shard, ro.replica);
+          if (++cert_rounds < max_cert_rounds &&
+              !(base != nullptr && base->triggered())) {
+            shard = home;
+            step = 0;
+            continue;
+          }
+          out.result = serve::ServeResult{};
+          out.result.certificate_failed = true;
+          out.result.status = {fault::Status::kInternal,
+                               "no replica produced a certified answer: " +
+                                   cert.message};
+          out.shard = won_shard;
+          out.replica = ro.replica;
+          break;
+        }
+      }
       out.result = std::move(ro.result);
-      out.shard = shard;
+      out.shard = won_shard;
       out.replica = ro.replica;
-      out.failover = shard != home;
+      out.failover = won_shard != home;
       break;
     }
     if (opts_.failover && step + 1 < router_.shards() &&
@@ -414,12 +562,81 @@ FleetResult ShardFleet::query(vid_t s, vid_t t, int k,
   return out;
 }
 
+void ShardFleet::quarantine_replica(int shard, int replica) {
+  Replica& rep = *shards_[static_cast<size_t>(shard)]
+                      ->replicas[static_cast<size_t>(replica)];
+  rep.breaker.quarantine();
+  PEEK_COUNT_INC("shard.replica.quarantines");
+  {
+    check::MutexLock lock(heal_mu_);
+    heal_queue_.emplace_back(shard, replica);
+  }
+  heal_cv_.notify_one();
+}
+
+void ShardFleet::healer_loop() {
+  for (;;) {
+    std::pair<int, int> job;
+    {
+      check::UniqueLock lock(heal_mu_);
+      while (!heal_stopping_ && heal_queue_.empty()) heal_cv_.wait(lock);
+      if (heal_queue_.empty()) break;  // stopping, and fully drained
+      job = heal_queue_.front();
+      heal_queue_.pop_front();
+      healing_ = true;
+    }
+    heal_replica(job.first, job.second);
+    {
+      check::MutexLock lock(heal_mu_);
+      healing_ = false;
+    }
+    heal_cv_.notify_all();  // drain_heals() waiters
+  }
+}
+
+void ShardFleet::heal_replica(int shard, int replica) {
+  Replica& rep = *shards_[static_cast<size_t>(shard)]
+                      ->replicas[static_cast<size_t>(replica)];
+  // Drop the suspect caches first: queries still running on the old engine
+  // see a bumped generation immediately, before the swap even lands.
+  auto old = rep.engine_snapshot();
+  old->invalidate();
+  old->cache().clear();
+  // Warm restart: a fresh engine restores this replica's persisted artifacts
+  // through recover::RecoveryManager (checksum-validated; corrupt files are
+  // quarantined on disk, not loaded). No injector config here — rebuilding
+  // mid-soak must not reset the global injector's fired counters.
+  std::shared_ptr<serve::QueryEngine> fresh;
+  try {
+    fresh = std::make_shared<serve::QueryEngine>(
+        *graph_, engine_options(shard, replica));
+  } catch (const std::exception&) {
+    // Rebuild failed (e.g. injected allocation failure): keep the old
+    // engine — its caches are already dropped, which is restart-equivalent
+    // minus the warm state.
+    fresh = nullptr;
+  }
+  if (fresh) {
+    check::MutexLock lock(rep.engine_mu);
+    rep.engine = std::move(fresh);
+  }
+  PEEK_COUNT_INC("shard.replica.warm_restarts");
+  // Re-admission is gated by the breaker: release the sticky quarantine so
+  // the next pick may half-open and probe the rebuilt replica.
+  rep.breaker.release_quarantine();
+}
+
 void ShardFleet::set_replica_down(int shard, int replica, bool down) {
   PEEK_DCHECK(shard >= 0 && shard < router_.shards());
   PEEK_DCHECK(replica >= 0 && replica < opts_.replicas);
-  shards_[static_cast<size_t>(shard)]
-      ->replicas[static_cast<size_t>(replica)]
-      ->down.store(down, std::memory_order_release);
+  ReplicaBreaker& b = shards_[static_cast<size_t>(shard)]
+                          ->replicas[static_cast<size_t>(replica)]
+                          ->breaker;
+  if (down) {
+    b.force_open();
+  } else {
+    b.force_close();
+  }
 }
 
 bool ShardFleet::replica_down(int shard, int replica) const {
@@ -427,7 +644,28 @@ bool ShardFleet::replica_down(int shard, int replica) const {
   PEEK_DCHECK(replica >= 0 && replica < opts_.replicas);
   return shards_[static_cast<size_t>(shard)]
       ->replicas[static_cast<size_t>(replica)]
-      ->down.load(std::memory_order_acquire);
+      ->breaker.forced_open();
+}
+
+BreakerState ShardFleet::breaker_state(int shard, int replica) const {
+  PEEK_DCHECK(shard >= 0 && shard < router_.shards());
+  PEEK_DCHECK(replica >= 0 && replica < opts_.replicas);
+  return shards_[static_cast<size_t>(shard)]
+      ->replicas[static_cast<size_t>(replica)]
+      ->breaker.state();
+}
+
+double ShardFleet::replica_health(int shard, int replica) const {
+  PEEK_DCHECK(shard >= 0 && shard < router_.shards());
+  PEEK_DCHECK(replica >= 0 && replica < opts_.replicas);
+  return shards_[static_cast<size_t>(shard)]
+      ->replicas[static_cast<size_t>(replica)]
+      ->breaker.health();
+}
+
+void ShardFleet::drain_heals() {
+  check::UniqueLock lock(heal_mu_);
+  while (!heal_queue_.empty() || healing_) heal_cv_.wait(lock);
 }
 
 serve::QueryEngine& ShardFleet::engine(int shard, int replica) {
@@ -435,7 +673,7 @@ serve::QueryEngine& ShardFleet::engine(int shard, int replica) {
   PEEK_DCHECK(replica >= 0 && replica < opts_.replicas);
   return *shards_[static_cast<size_t>(shard)]
               ->replicas[static_cast<size_t>(replica)]
-              ->engine;
+              ->engine_snapshot();
 }
 
 void ShardFleet::record_latency(int shard, double seconds) {
@@ -473,6 +711,7 @@ std::vector<ShardLatency> ShardFleet::stats() const {
 void ShardFleet::publish_latency_metrics() const {
   if (!obs::kEnabled) return;  // honor the PEEK_OBS=OFF kill switch
   const auto per = stats();
+  auto& reg = obs::MetricsRegistry::global();
   std::vector<double> all;
   for (size_t i = 0; i < shards_.size(); ++i) {
     {
@@ -482,7 +721,6 @@ void ShardFleet::publish_latency_metrics() const {
     // Per-shard gauge family: names are built at runtime (shard count is a
     // config value), so they are documented in README prose rather than the
     // lint-enforced literal-name metric tables.
-    auto& reg = obs::MetricsRegistry::global();
     const std::string prefix = "shard.s" + std::to_string(i);
     reg.gauge(prefix + ".p50_seconds").set(per[i].p50_s);
     reg.gauge(prefix + ".p99_seconds").set(per[i].p99_s);
@@ -494,6 +732,20 @@ void ShardFleet::publish_latency_metrics() const {
     PEEK_GAUGE_SET("shard.p99_seconds",
                    all[percentile_index(all.size(), 990)]);
   }
+  // Per-replica health gauges (runtime names, README prose) plus the
+  // fleet-wide minimum as a literal, alertable gauge.
+  double min_health = 1.0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (int r = 0; r < opts_.replicas; ++r) {
+      const double h =
+          shards_[i]->replicas[static_cast<size_t>(r)]->breaker.health();
+      const std::string name = "shard.s" + std::to_string(i) + ".r" +
+                               std::to_string(r) + ".health";
+      reg.gauge(name).set(h);
+      min_health = std::min(min_health, h);
+    }
+  }
+  PEEK_GAUGE_SET("shard.replica.health.min", min_health);
 }
 
 }  // namespace peek::shard

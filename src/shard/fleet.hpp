@@ -1,39 +1,54 @@
-// Sharded serving fleet (DESIGN.md §12): N shards × R replicas of
+// Sharded serving fleet (DESIGN.md §12, §14): N shards × R replicas of
 // serve::QueryEngine behind a consistent-hash ShardRouter, with hedged
-// duplicate requests to cut tail latency.
+// duplicate requests to cut tail latency and a self-healing control loop —
+// per-replica EWMA health, circuit breakers, answer certification, and
+// quarantine → warm-restart recovery — to survive replicas that are slow,
+// crash-looping, or silently corrupt.
 //
 // Each replica is a thread-simulated process: its own QueryEngine (own
 // ArtifactCache, admission slots, warm-restart state), its own bounded
 // request queue, and its own worker threads. The graph itself is replicated
 // (every replica serves the full CSR — it is the caches that the router
 // partitions), so any replica's answer to (s, t, K) is bit-identical to
-// single-engine core::peek_ksp; hedging and failover can therefore never
-// change an answer, only who computes it.
+// single-engine core::peek_ksp; hedging, failover and healing can therefore
+// never change an answer, only who computes it.
 //
 // Query lifecycle (see the §12 state machine):
 //   route    — ShardRouter::route(s, t) picks the home shard; a round-robin
-//              scan of its live replicas picks the primary.
+//              scan of its replicas picks the first whose breaker admits.
 //   hedge    — if FleetOptions::hedge > 0 and no completion arrives within
 //              it, one duplicate attempt is enqueued on a different replica
 //              (ring-successor shard when the home shard has no spare). The
 //              first completion wins; every losing attempt is cancelled
 //              through its per-attempt fault::CancelToken, which is linked()
 //              under the caller's token/deadline.
-//   retry    — a "replica down" completion (marked down, or the injected
-//              shard.replica.down probe) retries on the shard's next live
-//              replica — hot-shard replication — before failing over.
-//   failover — a shard with no live replica reroutes to ring-successor
+//   retry    — a "replica down" completion (forced-open breaker, the
+//              injected shard.replica.down probe, or a failed half-open
+//              probe) retries on the shard's next admitting replica — hot-
+//              shard replication — before failing over.
+//   failover — a shard with no admitting replica reroutes to ring-successor
 //              shards in deterministic order (FleetOptions::failover).
-//   degrade  — when no live replica exists anywhere reachable, the fleet
-//              probes surviving replicas' caches via
-//              QueryEngine::query_cached_only (zero graph work) and returns
-//              a degraded prefix, else Status::kOverloaded. Never a wrong
-//              answer: every non-degraded kOk result is the exact K-path
-//              set.
+//   certify  — every non-degraded kOk answer is validated against the CSR
+//              (check/certify.hpp). A failed certificate marks the serving
+//              replica corrupt: quarantine, cache drop, warm restart from
+//              recover::RecoveryManager snapshots, then breaker probes gate
+//              re-admission — and the query retries through the ladder.
+//   degrade  — when no replica anywhere admits the query, the fleet probes
+//              surviving replicas' caches via QueryEngine::query_cached_only
+//              (zero graph work) and returns a degraded prefix, else
+//              Status::kOverloaded. Never a wrong answer: every non-degraded
+//              kOk result is the exact, certified K-path set.
 //
-// Shutdown: the destructor stops every worker after draining its queue, so
-// in-flight query() calls complete; callers must not destroy the fleet while
-// calling query() (same contract as QueryEngine vs its graph).
+// Replica availability is a per-replica circuit breaker (shard/health.hpp),
+// not a boolean: closed replicas take traffic, open ones divert it through
+// the retry/failover/degraded ladder, half-open ones admit budgeted probe
+// queries whose success closes the breaker. set_replica_down() remains as
+// the operator force-open/force-close on that breaker.
+//
+// Shutdown: the destructor stops the healer and every worker after draining
+// its queue, so in-flight query() calls complete; callers must not destroy
+// the fleet while calling query() (same contract as QueryEngine vs its
+// graph).
 #pragma once
 
 #include <atomic>
@@ -43,10 +58,12 @@
 #include <memory>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "check/thread_safety.hpp"
 #include "serve/query_engine.hpp"
+#include "shard/health.hpp"
 #include "shard/router.hpp"
 
 namespace peek::shard {
@@ -60,22 +77,34 @@ struct FleetOptions {
   /// Worker threads per replica (>= 1).
   int workers_per_replica = 1;
   /// Hedge trigger latency: fire one duplicate attempt if the primary has
-  /// not completed within this budget. <= 0 disables hedging.
+  /// not completed within this budget. <= 0 disables hedging (< 0 is
+  /// rejected at construction).
   std::chrono::milliseconds hedge{0};
-  /// Deadline for queries that do not pass their own (<= 0 = none); linked
-  /// with the caller token exactly as in serve::ServeOptions.
+  /// Deadline for queries that do not pass their own (0 = none; < 0 is
+  /// rejected); linked with the caller token exactly as in
+  /// serve::ServeOptions.
   std::chrono::milliseconds default_deadline{0};
-  /// Per-replica queue bound (routing-tier admission; <= 0 = unbounded).
-  /// A full queue sheds the attempt with Status::kOverloaded.
+  /// Per-replica queue bound (routing-tier admission; 0 = unbounded; < 0 is
+  /// rejected). A full queue sheds the attempt with Status::kOverloaded.
   int max_queue = 0;
-  /// Reroute to ring-successor shards when a shard has no live replica.
+  /// Reroute to ring-successor shards when a shard has no admitting replica.
   /// Off = strict placement: such queries go straight to degraded/reject.
   bool failover = true;
   /// Probe surviving replicas' caches (query_cached_only) before rejecting
   /// a query whose shard is down.
   bool degraded_fallback = true;
+  /// Per-replica health/breaker tuning (DESIGN.md §14).
+  HealthOptions health;
+  /// Certify every non-degraded kOk answer against the CSR; a failed
+  /// certificate quarantines + warm-restarts the serving replica and the
+  /// query retries on its peers.
+  bool certify = true;
   /// Per-replica engine template. The engine's own default_deadline is left
   /// to the fleet (set this one instead); cache.byte_budget is per replica.
+  /// A non-empty serve.snapshot_dir is split into per-replica
+  /// `<dir>/s<shard>.r<replica>` subdirectories so replicas never clobber
+  /// each other's snapshots and a healing replica warm-restarts from its
+  /// own.
   serve::ServeOptions serve;
   /// Installed into fault::Injector::global() at construction (tests/CI).
   std::optional<fault::InjectorConfig> injector;
@@ -103,6 +132,9 @@ struct ShardLatency {
 /// query() may be called concurrently from any number of threads.
 class ShardFleet {
  public:
+  /// Throws std::invalid_argument for replicas/workers_per_replica < 1 or
+  /// negative hedge/default_deadline/max_queue (the router validates its own
+  /// options the same way).
   explicit ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts = {});
   ~ShardFleet();
 
@@ -119,19 +151,31 @@ class ShardFleet {
   int shards() const { return router_.shards(); }
   int replicas() const { return opts_.replicas; }
 
-  /// Ops/test hook: mark one replica crashed (true) or recovered (false).
-  /// A down replica answers nothing — its queue drains as "replica down"
-  /// and its cache is unreachable, like a dead process.
+  /// Ops/test hook: force one replica's breaker open (crashed, true) or
+  /// closed (recovered, false). A forced-open replica answers nothing — its
+  /// queue drains as "replica down" and its cache is unreachable, like a
+  /// dead process — and never half-opens on its own.
   void set_replica_down(int shard, int replica, bool down);
   bool replica_down(int shard, int replica) const;
 
-  /// Direct engine access (tests: cache warming, drain assertions).
+  /// Breaker/health introspection (tests, soak harness, ops dashboards).
+  BreakerState breaker_state(int shard, int replica) const;
+  double replica_health(int shard, int replica) const;
+
+  /// Blocks until every queued quarantine heal (cache drop + engine warm
+  /// restart) has completed. Test/soak hook.
+  void drain_heals();
+
+  /// Direct engine access (tests: cache warming, drain assertions). The
+  /// reference is stable only while no heal swaps this replica's engine.
   serve::QueryEngine& engine(int shard, int replica);
 
   /// Per-shard latency digests over a sliding window of recent queries.
   std::vector<ShardLatency> stats() const;
-  /// Publishes shard.p50_seconds / shard.p99_seconds (fleet-wide) and the
-  /// per-shard shard.s<i>.{p50,p99}_seconds gauge families.
+  /// Publishes shard.p50_seconds / shard.p99_seconds (fleet-wide), the
+  /// per-shard shard.s<i>.{p50,p99}_seconds gauge families, the per-replica
+  /// shard.s<i>.r<j>.health gauges, and the fleet-wide
+  /// shard.replica.health.min gauge.
   void publish_latency_metrics() const;
 
  private:
@@ -143,29 +187,54 @@ class ShardFleet {
   /// Outcome of launching (and possibly hedging) on one shard.
   struct RunOutcome {
     serve::ServeResult result;
+    int shard = -1;    // shard of the winning replica (hedges may cross)
     int replica = -1;
     bool hedged = false;
     bool hedge_won = false;
-    bool unavailable = false;  // no live replica, or winner was replica-down
+    bool unavailable = false;  // no admitting replica, or winner bounced
   };
 
-  /// Round-robin live-replica pick; -1 when none (skip >= 0 excludes one).
-  int pick_replica(Shard& sh, int skip);
+  /// One admission pick: a replica index plus whether the breaker admitted
+  /// it as a half-open probe (probe attempts ride probe_deadline tokens).
+  struct Pick {
+    int replica = -1;
+    bool probe = false;
+  };
+
+  /// Round-robin breaker-admitted pick; replica < 0 when none admits
+  /// (skip >= 0 excludes one index).
+  Pick pick_replica(Shard& sh, int skip);
   /// Enqueue one attempt (index 0 = primary). Sheds to Status::kOverloaded
   /// synchronously when the replica queue is full.
-  void launch(int shard, int replica, int index, vid_t s, vid_t t, int k,
-              const fault::CancelToken* base,
+  void launch(int shard, int replica, int index, bool probe, vid_t s, vid_t t,
+              int k, const fault::CancelToken* base,
               const std::shared_ptr<QueryState>& st);
   RunOutcome run_on_shard(int shard, vid_t s, vid_t t, int k,
                           const fault::CancelToken* base);
   bool try_degraded(vid_t s, vid_t t, int k, int home, FleetResult& out);
   void worker_loop(Replica& rep);
+  /// Certification failure handling: breaker quarantine + async heal.
+  void quarantine_replica(int shard, int replica);
+  void healer_loop();
+  /// Cache drop + engine rebuild (warm restart) + quarantine release.
+  void heal_replica(int shard, int replica);
+  /// Engine options for one replica (per-replica snapshot subdirectory).
+  serve::ServeOptions engine_options(int shard, int replica) const;
   void record_latency(int shard, double seconds);
 
   const graph::CsrGraph* graph_;
   FleetOptions opts_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Quarantine -> warm-restart pipeline, drained by one healer thread so
+  /// query() never blocks on an engine rebuild.
+  check::Mutex heal_mu_;
+  check::CondVar heal_cv_;
+  std::deque<std::pair<int, int>> heal_queue_ PEEK_GUARDED_BY(heal_mu_);
+  bool heal_stopping_ PEEK_GUARDED_BY(heal_mu_) = false;
+  bool healing_ PEEK_GUARDED_BY(heal_mu_) = false;
+  std::thread healer_;
 };
 
 }  // namespace peek::shard

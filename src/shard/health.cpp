@@ -1,0 +1,148 @@
+#include "shard/health.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace peek::shard {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+ReplicaBreaker::ReplicaBreaker(const HealthOptions& opts) : opts_(opts) {
+  if (opts_.alpha <= 0 || opts_.alpha > 1) opts_.alpha = 0.25;
+  if (opts_.min_samples < 1) opts_.min_samples = 1;
+  if (opts_.probe_budget < 1) opts_.probe_budget = 1;
+}
+
+void ReplicaBreaker::open_locked() {
+  state_ = BreakerState::kOpen;
+  open_until_ = std::chrono::steady_clock::now() + opts_.cooldown;
+  probes_inflight_ = 0;
+}
+
+ReplicaBreaker::Admission ReplicaBreaker::admit() {
+  check::MutexLock lock(mu_);
+  if (forced_ || quarantined_) return Admission::kReject;
+  if (state_ == BreakerState::kClosed) return Admission::kAdmit;
+  if (state_ == BreakerState::kOpen) {
+    if (std::chrono::steady_clock::now() < open_until_)
+      return Admission::kReject;
+    // Cooldown elapsed: this admit() itself performs the open -> half-open
+    // transition, so probing is driven by traffic arrival (no timer thread).
+    state_ = BreakerState::kHalfOpen;
+    probes_inflight_ = 0;
+    PEEK_COUNT_INC("shard.breaker.half_open");
+  }
+  if (probes_inflight_ >= opts_.probe_budget) return Admission::kReject;
+  ++probes_inflight_;
+  PEEK_COUNT_INC("shard.breaker.probes");
+  return Admission::kProbe;
+}
+
+void ReplicaBreaker::record(const HealthSignal& sig) {
+  check::MutexLock lock(mu_);
+  double sample = (sig.error || sig.timeout) ? 0.0 : (sig.ok ? 1.0 : 0.0);
+  if (sample > 0 && opts_.queue_age_ref_s > 0 && sig.queue_age_s > 0) {
+    // Queue-age attenuation: a backed-up replica is degrading even when its
+    // answers are eventually correct.
+    sample *= opts_.queue_age_ref_s / (opts_.queue_age_ref_s + sig.queue_age_s);
+  }
+  health_ = opts_.alpha * sample + (1.0 - opts_.alpha) * health_;
+  ++samples_;
+  if (state_ == BreakerState::kClosed && !forced_ && !quarantined_ &&
+      samples_ >= opts_.min_samples && health_ < opts_.trip_threshold) {
+    open_locked();
+    PEEK_COUNT_INC("shard.breaker.open");
+  }
+}
+
+void ReplicaBreaker::probe_done(ProbeOutcome outcome) {
+  check::MutexLock lock(mu_);
+  if (probes_inflight_ > 0) --probes_inflight_;
+  if (state_ != BreakerState::kHalfOpen || forced_ || quarantined_) return;
+  switch (outcome) {
+    case ProbeOutcome::kSuccess:
+      state_ = BreakerState::kClosed;
+      health_ = 1.0;
+      samples_ = 0;  // re-arm min_samples: one bad post-recovery query must
+                     // not instantly re-trip
+      PEEK_COUNT_INC("shard.breaker.close");
+      break;
+    case ProbeOutcome::kFailure:
+      open_locked();
+      PEEK_COUNT_INC("shard.breaker.reopen");
+      break;
+    case ProbeOutcome::kAbandoned:
+      break;  // slot already returned above; no evidence either way
+  }
+}
+
+void ReplicaBreaker::force_open() {
+  check::MutexLock lock(mu_);
+  forced_ = true;
+  if (state_ != BreakerState::kOpen) {
+    open_locked();
+    PEEK_COUNT_INC("shard.breaker.open");
+  }
+}
+
+void ReplicaBreaker::force_close() {
+  check::MutexLock lock(mu_);
+  forced_ = false;
+  quarantined_ = false;
+  if (state_ != BreakerState::kClosed) {
+    state_ = BreakerState::kClosed;
+    PEEK_COUNT_INC("shard.breaker.close");
+  }
+  health_ = 1.0;
+  samples_ = 0;
+  probes_inflight_ = 0;
+}
+
+bool ReplicaBreaker::forced_open() const {
+  check::MutexLock lock(mu_);
+  return forced_;
+}
+
+void ReplicaBreaker::quarantine() {
+  check::MutexLock lock(mu_);
+  quarantined_ = true;
+  if (state_ != BreakerState::kOpen) {
+    open_locked();
+    PEEK_COUNT_INC("shard.breaker.open");
+  }
+}
+
+void ReplicaBreaker::release_quarantine() {
+  check::MutexLock lock(mu_);
+  quarantined_ = false;
+  if (!forced_ && state_ == BreakerState::kOpen) {
+    // Healed: make the next admit() eligible to half-open immediately
+    // instead of waiting out whatever cooldown remains.
+    open_until_ = std::chrono::steady_clock::now();
+  }
+}
+
+bool ReplicaBreaker::quarantined() const {
+  check::MutexLock lock(mu_);
+  return quarantined_;
+}
+
+BreakerState ReplicaBreaker::state() const {
+  check::MutexLock lock(mu_);
+  return state_;
+}
+
+double ReplicaBreaker::health() const {
+  check::MutexLock lock(mu_);
+  return health_;
+}
+
+}  // namespace peek::shard

@@ -1,0 +1,124 @@
+// Per-replica health tracking and circuit breaking (DESIGN.md §14).
+//
+// Every attempt completion feeds a HealthSignal into an EWMA health score in
+// [0, 1]; a score collapsing under the trip threshold opens the replica's
+// breaker. The breaker is the fleet's single source of truth for replica
+// availability — it subsumes the boolean `replica_down` flag of earlier
+// revisions (operator force-open/-close keep that API working) and adds two
+// automatic paths back to service:
+//
+//   closed ──(health < trip, samples >= min)──> open
+//   open   ──(cooldown elapsed, next admit)──> half-open
+//   half-open ──(budgeted probe succeeds)────> closed
+//   half-open ──(probe fails)────────────────> open   (cooldown restarts)
+//
+// Half-open admits at most `probe_budget` concurrent probe attempts; probes
+// are real queries that ride a fault::CancelToken::linked(parent,
+// probe_deadline) token so a wedged replica cannot hold the prober hostage.
+// Quarantine (answer-certification failure, shard/fleet.cpp) is a sticky
+// open that only the healer releases after the replica's warm restart.
+//
+// Thread-safe: one mutex per breaker; every method is safe from any thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "check/thread_safety.hpp"
+
+namespace peek::shard {
+
+struct HealthOptions {
+  /// EWMA weight of the newest sample (0 < alpha <= 1).
+  double alpha = 0.25;
+  /// The breaker opens when health drops below this.
+  double trip_threshold = 0.5;
+  /// Samples required before automatic trips arm (a single cold-start
+  /// failure must not open a fresh replica).
+  int min_samples = 8;
+  /// Open -> half-open delay: how long an open breaker rejects before the
+  /// next admit() is allowed to probe.
+  std::chrono::milliseconds cooldown{50};
+  /// Concurrent probe attempts a half-open breaker admits.
+  int probe_budget = 2;
+  /// Deadline each probe rides (linked under the caller token); a wedged
+  /// replica fails its probe instead of wedging the prober. <= 0 = none.
+  std::chrono::milliseconds probe_deadline{250};
+  /// Queue age that halves an otherwise-healthy sample: health decays when
+  /// a replica's queue backs up even if every answer is eventually ok.
+  double queue_age_ref_s = 0.25;
+};
+
+/// One attempt completion, as seen by the replica that ran (or bounced) it.
+struct HealthSignal {
+  bool ok = false;       // completed with Status::kOk
+  bool timeout = false;  // completed with Status::kDeadlineExceeded
+  bool error = false;    // bounced, corrupted, or failed internally
+  double queue_age_s = 0;  // enqueue -> dispatch wait
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState s);
+
+/// EWMA health + circuit breaker for one replica. The fleet calls admit()
+/// per candidate pick, record() per completion, and probe_done() per probe.
+class ReplicaBreaker {
+ public:
+  enum class Admission : std::uint8_t {
+    kAdmit,   // closed: normal traffic
+    kProbe,   // half-open: this attempt is a budgeted probe
+    kReject,  // open (or half-open with no probe slot left)
+  };
+
+  enum class ProbeOutcome : std::uint8_t {
+    kSuccess,    // kOk answer: close the breaker
+    kFailure,    // error/timeout: re-open, cooldown restarts
+    kAbandoned,  // cancelled (lost hedge): return the slot, no transition
+  };
+
+  explicit ReplicaBreaker(const HealthOptions& opts = {});
+
+  /// Admission decision for one attempt; half-open probe slots are claimed
+  /// here and must be returned through probe_done().
+  Admission admit();
+
+  /// Feed one attempt completion into the EWMA; may trip closed -> open.
+  void record(const HealthSignal& sig);
+
+  /// Report a probe attempt's outcome (success closes, failure re-opens).
+  void probe_done(ProbeOutcome outcome);
+
+  /// Operator force states — the set_replica_down(true/false) semantics: a
+  /// forced-open breaker models a crashed process (no automatic half-open
+  /// until force_close(), which also lifts any quarantine).
+  void force_open();
+  void force_close();
+  bool forced_open() const;
+
+  /// Sticky open for a corruption-suspect replica; only release_quarantine()
+  /// (the healer, after the warm restart) re-arms the half-open path.
+  void quarantine();
+  void release_quarantine();
+  bool quarantined() const;
+
+  BreakerState state() const;
+  double health() const;
+
+ private:
+  /// -> open with the cooldown armed; callers count the shard.breaker.*
+  /// transition metric at the call site (lint-enforced literals, §14).
+  void open_locked() PEEK_REQUIRES(mu_);
+
+  HealthOptions opts_;
+  mutable check::Mutex mu_;
+  BreakerState state_ PEEK_GUARDED_BY(mu_) = BreakerState::kClosed;
+  bool forced_ PEEK_GUARDED_BY(mu_) = false;
+  bool quarantined_ PEEK_GUARDED_BY(mu_) = false;
+  double health_ PEEK_GUARDED_BY(mu_) = 1.0;
+  std::int64_t samples_ PEEK_GUARDED_BY(mu_) = 0;
+  int probes_inflight_ PEEK_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point open_until_ PEEK_GUARDED_BY(mu_){};
+};
+
+}  // namespace peek::shard

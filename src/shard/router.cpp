@@ -1,6 +1,7 @@
 #include "shard/router.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "check/invariants.hpp"
 #include "dist/partition.hpp"
@@ -21,9 +22,16 @@ std::uint64_t mix64(std::uint64_t x) {
 }  // namespace
 
 ShardRouter::ShardRouter(vid_t n, const RouterOptions& opts) : opts_(opts) {
-  if (opts_.shards < 1) opts_.shards = 1;
-  if (opts_.vnodes < 1) opts_.vnodes = 1;
-  if (opts_.blocks < 1) opts_.blocks = 1;
+  // kInvalidArgument at construction instead of silently reshaping the ring:
+  // a clamped shard/vnode count would route differently than the caller's
+  // config says, which is exactly the placement drift consistent hashing
+  // exists to prevent.
+  if (opts_.shards < 1)
+    throw std::invalid_argument("RouterOptions::shards must be >= 1");
+  if (opts_.vnodes < 1)
+    throw std::invalid_argument("RouterOptions::vnodes must be >= 1");
+  if (opts_.blocks < 1)
+    throw std::invalid_argument("RouterOptions::blocks must be >= 1");
   points_ = dist::partition_points(n, opts_.blocks);
 
   ring_.reserve(static_cast<size_t>(opts_.shards) *

@@ -52,8 +52,9 @@ struct RouterOptions {
 /// construction; safe to share across threads by const reference.
 class ShardRouter {
  public:
-  /// Builds the ring for a graph of `n` vertices. `opts.shards` and
-  /// `opts.vnodes` are clamped to >= 1.
+  /// Builds the ring for a graph of `n` vertices. Throws
+  /// std::invalid_argument when opts.shards, opts.vnodes, or opts.blocks is
+  /// < 1 — a silently clamped ring would route differently than configured.
   explicit ShardRouter(vid_t n, const RouterOptions& opts = {});
 
   int shards() const { return opts_.shards; }

@@ -230,6 +230,53 @@ TEST_F(FaultTest, InjectorRateEndpointsAndSiteFilter) {
     EXPECT_FALSE(fault::Injector::global().should_fire("allowed.site"));
 }
 
+TEST_F(FaultTest, MaxFiresCapsPerSiteButKeepsSequence) {
+  fault::InjectorConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 42;
+  cfg.rate_permille = 500;
+  auto run = [&cfg] {
+    fault::Injector::global().configure(cfg);
+    std::vector<bool> seq;
+    for (int i = 0; i < 200; ++i)
+      seq.push_back(fault::Injector::global().should_fire("test.site"));
+    return seq;
+  };
+  const auto uncapped = run();
+  const auto total =
+      std::count(uncapped.begin(), uncapped.end(), true);
+  ASSERT_GT(total, 3);  // enough fires for the cap to bite
+
+  cfg.max_fires = 3;
+  const auto capped = run();
+  EXPECT_EQ(std::count(capped.begin(), capped.end(), true), 3);
+  EXPECT_EQ(fault::Injector::global().fired("test.site"), 3);
+  // Hit indices keep advancing under the cap, so the decision sequence below
+  // it is the uncapped one exactly; above it, nothing ever fires.
+  std::int64_t fires = 0;
+  for (size_t i = 0; i < uncapped.size(); ++i) {
+    if (fires < 3) {
+      EXPECT_EQ(capped[i], uncapped[i]) << "probe " << i;
+    } else {
+      EXPECT_FALSE(capped[i]) << "probe " << i << " fired beyond the cap";
+    }
+    if (uncapped[i]) ++fires;
+  }
+}
+
+TEST_F(FaultTest, MaxFiresConfiguredFromEnv) {
+  setenv("PEEK_FAULT_SEED", "1", /*overwrite=*/0);
+  setenv("PEEK_FAULT_RATE", "1000", 1);
+  setenv("PEEK_FAULT_MAX", "2", 1);
+  fault::Injector::global().configure_from_env();
+  EXPECT_EQ(fault::Injector::global().config().max_fires, 2);
+  for (int i = 0; i < 10; ++i)
+    fault::Injector::global().should_fire("env.capped.site");
+  EXPECT_EQ(fault::Injector::global().fired("env.capped.site"), 2);
+  unsetenv("PEEK_FAULT_RATE");
+  unsetenv("PEEK_FAULT_MAX");
+}
+
 TEST_F(FaultTest, DisabledProbesAreInert) {
   fault::Injector::global().disable();
   EXPECT_FALSE(PEEK_FAULT_FIRE("test.site"));

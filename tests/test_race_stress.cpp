@@ -32,6 +32,8 @@
 #include "parallel/prefix_sum.hpp"
 #include "parallel/sort.hpp"
 #include "serve/query_engine.hpp"
+#include "shard/fleet.hpp"
+#include "shard/health.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
 #include "test_util.hpp"
@@ -519,6 +521,133 @@ TEST(RaceStressQueryEngine, ParallelPipelineUnderConcurrentCallers) {
       expect_prefix_of(out.paths, ref.at({s, t}), kMaxK);
     }
   });
+}
+
+// ------------------------------------------------------------ breakers
+
+TEST(RaceStressBreaker, AdmitRecordProbeFromManyThreads) {
+  // Hammer one ReplicaBreaker's whole surface from kThreads threads: the
+  // admission path, health recording with mixed signals, probe completions,
+  // and operator force-open/close — TSan models every transition edge.
+  shard::HealthOptions ho;
+  ho.min_samples = 4;
+  // Zero cooldown: a tripped breaker is immediately probe-eligible, so the
+  // microsecond-scale storm exercises open -> half-open -> close edges.
+  ho.cooldown = std::chrono::milliseconds(0);
+  ho.probe_budget = 2;
+  shard::ReplicaBreaker breaker(ho);
+  std::atomic<long> probes{0};
+  run_threads([&](int w) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(w) + 97);
+    std::uniform_int_distribution<int> coin(0, 99);
+    for (int i = 0; i < 400; ++i) {
+      const auto adm = breaker.admit();
+      if (adm == shard::ReplicaBreaker::Admission::kProbe) {
+        ++probes;
+        breaker.probe_done(coin(rng) < 50
+                               ? shard::ReplicaBreaker::ProbeOutcome::kSuccess
+                               : shard::ReplicaBreaker::ProbeOutcome::kFailure);
+      }
+      shard::HealthSignal sig;
+      sig.ok = coin(rng) < 55;  // hover near the trip threshold
+      sig.error = !sig.ok;
+      breaker.record(sig);
+      if (coin(rng) == 0) breaker.force_open();
+      if (coin(rng) == 1) breaker.force_close();
+      // Invariants that must hold at every interleaving.
+      const double h = breaker.health();
+      ASSERT_GE(h, 0.0);
+      ASSERT_LE(h, 1.0);
+    }
+  });
+  // The storm must actually have exercised the half-open path.
+  EXPECT_GT(probes.load(), 0);
+  breaker.force_close();
+  EXPECT_EQ(breaker.state(), shard::BreakerState::kClosed);
+}
+
+TEST(RaceStressBreaker, FleetStormWithChaosTogglesStaysTyped) {
+  // The §14 state machine under real traffic: concurrent fleet queries with
+  // injected bounces and stalls, while a chaos thread force-opens and
+  // force-closes replicas. Every result must be typed and every non-degraded
+  // kOk answer exact; breakers trip, half-open and close concurrently.
+  const auto g = test::random_graph(300, 2400, 23);
+  std::vector<std::pair<vid_t, vid_t>> pool;
+  for (vid_t i = 0; i < 6; ++i)
+    pool.emplace_back(i, static_cast<vid_t>(250 + i));
+  constexpr int kMaxK = 4;
+  const auto ref = reference_answers(g, pool, kMaxK);
+
+  shard::FleetOptions fo;
+  fo.router.shards = 2;
+  fo.replicas = 2;
+  fo.workers_per_replica = 2;
+  fo.hedge = std::chrono::milliseconds(1);
+  fo.health.cooldown = std::chrono::milliseconds(5);
+  fault::InjectorConfig inj;
+  inj.enabled = true;
+  inj.seed = 17;
+  inj.rate_permille = 150;
+  inj.stall = std::chrono::milliseconds(1);
+  inj.site_filter = "shard.replica.down,shard.replica.stall";
+  fo.injector = inj;
+  {
+    shard::ShardFleet fleet(g, fo);
+    std::atomic<bool> stop{false};
+    std::thread chaos([&] {
+      std::mt19937_64 rng(5);
+      std::uniform_int_distribution<int> sh(0, fleet.shards() - 1);
+      std::uniform_int_distribution<int> rep(0, fleet.replicas() - 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int a = sh(rng), b = rep(rng);
+        fleet.set_replica_down(a, b, true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        fleet.set_replica_down(a, b, false);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    run_threads([&](int w) {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(w) + 3);
+      std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+      for (int i = 0; i < 20; ++i) {
+        const auto [s, t] = pool[pick(rng)];
+        const auto r = fleet.query(s, t, kMaxK);
+        const auto code = r.result.status.code;
+        ASSERT_TRUE(code == fault::Status::kOk ||
+                    code == fault::Status::kOverloaded ||
+                    code == fault::Status::kDeadlineExceeded)
+            << fault::to_string(code);
+        if (code == fault::Status::kOk && !r.result.degraded) {
+          const auto& want = ref.at({s, t});
+          ASSERT_EQ(r.result.paths.size(), want.size());
+          for (size_t p = 0; p < want.size(); ++p) {
+            ASSERT_EQ(r.result.paths[p].verts, want[p].verts);
+            ASSERT_EQ(r.result.paths[p].dist, want[p].dist);
+          }
+        }
+      }
+    });
+    stop.store(true);
+    chaos.join();
+    // Chaos off: the fleet converges back to full health on its own.
+    fault::Injector::global().disable();
+    for (int sh = 0; sh < fleet.shards(); ++sh)
+      for (int rp = 0; rp < fleet.replicas(); ++rp)
+        fleet.set_replica_down(sh, rp, false);
+    bool all_closed = false;
+    for (int i = 0; i < 500 && !all_closed; ++i) {
+      for (const auto& [s, t] : pool) fleet.query(s, t, kMaxK);
+      all_closed = true;
+      for (int sh = 0; sh < fleet.shards(); ++sh)
+        for (int rp = 0; rp < fleet.replicas(); ++rp)
+          all_closed = all_closed && fleet.breaker_state(sh, rp) ==
+                                         shard::BreakerState::kClosed;
+      if (!all_closed) std::this_thread::sleep_for(
+          std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(all_closed);
+  }
+  fault::Injector::global().disable();
 }
 
 }  // namespace

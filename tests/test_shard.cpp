@@ -4,7 +4,9 @@
 // shard-crash behaviour — degraded or kOverloaded, never a wrong answer.
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -373,6 +375,239 @@ TEST(ShardFleet, QueueAdmissionShedsButNeverLies) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(wrong.load(), 0);
+  wait_drained(fleet);
+}
+
+// ----------------------------------------------------- health and breakers
+
+TEST(ReplicaBreaker, TripCooldownProbeCloseCycle) {
+  HealthOptions ho;
+  ho.min_samples = 4;
+  ho.trip_threshold = 0.5;
+  ho.cooldown = 30ms;
+  ho.probe_budget = 1;
+  ReplicaBreaker b(ho);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.admit(), ReplicaBreaker::Admission::kAdmit);
+
+  // Feed errors until the EWMA trips: closed -> open.
+  HealthSignal bad;
+  bad.error = true;
+  for (int i = 0; i < 8; ++i) b.record(bad);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_LT(b.health(), ho.trip_threshold);
+  // During the cooldown every admission is rejected.
+  EXPECT_EQ(b.admit(), ReplicaBreaker::Admission::kReject);
+
+  // After the cooldown the next admission half-opens and is the probe;
+  // the budget (1) rejects a second concurrent probe.
+  std::this_thread::sleep_for(ho.cooldown + 10ms);
+  EXPECT_EQ(b.admit(), ReplicaBreaker::Admission::kProbe);
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(b.admit(), ReplicaBreaker::Admission::kReject);
+
+  // A failed probe re-opens; a successful one closes with health reset.
+  b.probe_done(ReplicaBreaker::ProbeOutcome::kFailure);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  std::this_thread::sleep_for(ho.cooldown + 10ms);
+  EXPECT_EQ(b.admit(), ReplicaBreaker::Admission::kProbe);
+  b.probe_done(ReplicaBreaker::ProbeOutcome::kSuccess);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.health(), 1.0);
+  EXPECT_EQ(b.admit(), ReplicaBreaker::Admission::kAdmit);
+}
+
+TEST(ReplicaBreaker, ForcedOpenBlocksAutoRecovery) {
+  HealthOptions ho;
+  ho.cooldown = 1ms;
+  ReplicaBreaker b(ho);
+  b.force_open();
+  EXPECT_TRUE(b.forced_open());
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  std::this_thread::sleep_for(5ms);
+  // Cooldown elapsed, but a forced-open breaker never half-opens by itself.
+  EXPECT_EQ(b.admit(), ReplicaBreaker::Admission::kReject);
+  b.force_close();
+  EXPECT_FALSE(b.forced_open());
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.admit(), ReplicaBreaker::Admission::kAdmit);
+}
+
+TEST(ReplicaBreaker, AbandonedProbeReturnsSlotWithoutTransition) {
+  HealthOptions ho;
+  ho.min_samples = 2;
+  ho.cooldown = 1ms;
+  ho.probe_budget = 1;
+  ReplicaBreaker b(ho);
+  HealthSignal bad;
+  bad.error = true;
+  for (int i = 0; i < 8; ++i) b.record(bad);
+  std::this_thread::sleep_for(5ms);
+  ASSERT_EQ(b.admit(), ReplicaBreaker::Admission::kProbe);
+  // A probe cancelled by a lost hedge race says nothing about the replica:
+  // the slot comes back, the breaker stays half-open, the next pick probes.
+  b.probe_done(ReplicaBreaker::ProbeOutcome::kAbandoned);
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(b.admit(), ReplicaBreaker::Admission::kProbe);
+}
+
+TEST(ShardFleet, InvalidOptionsThrow) {
+  const auto g = test_graph(100);
+  {
+    FleetOptions fo;
+    fo.replicas = 0;
+    EXPECT_THROW(ShardFleet(g, fo), std::invalid_argument);
+  }
+  {
+    FleetOptions fo;
+    fo.workers_per_replica = 0;
+    EXPECT_THROW(ShardFleet(g, fo), std::invalid_argument);
+  }
+  {
+    FleetOptions fo;
+    fo.hedge = -1ms;
+    EXPECT_THROW(ShardFleet(g, fo), std::invalid_argument);
+  }
+  {
+    FleetOptions fo;
+    fo.default_deadline = -5ms;
+    EXPECT_THROW(ShardFleet(g, fo), std::invalid_argument);
+  }
+  {
+    FleetOptions fo;
+    fo.max_queue = -1;
+    EXPECT_THROW(ShardFleet(g, fo), std::invalid_argument);
+  }
+  {
+    FleetOptions fo;
+    fo.router.shards = 0;  // the router validates its own options
+    EXPECT_THROW(ShardFleet(g, fo), std::invalid_argument);
+  }
+  EXPECT_THROW(ShardRouter(100, {.shards = 4, .vnodes = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(ShardRouter(100, {.shards = 4, .vnodes = 64, .blocks = 0}),
+               std::invalid_argument);
+}
+
+// The tentpole acceptance cycle: an injected corruption is caught by the
+// answer certificate, the victim replica is quarantined, drops its caches,
+// warm-restarts from its persisted snapshots, and probes its way back to
+// closed — while the query that hit the corruption still returns the exact
+// answer via a peer.
+TEST(ShardFleet, CertFailureQuarantinesHealsAndReadmits) {
+  const auto g = test_graph();
+  const auto snap_root = std::filesystem::temp_directory_path() /
+                         "peek_test_quarantine";
+  std::filesystem::remove_all(snap_root);
+  const int k = 5;
+  const auto pool = pair_pool(g.num_vertices(), 6);
+
+  FleetOptions fo;
+  fo.router.shards = 1;  // all traffic on one shard: deterministic victim
+  fo.replicas = 2;
+  fo.serve.snapshot_dir = snap_root.string();
+  fault::InjectorConfig inj;
+  inj.enabled = true;
+  inj.seed = 9;
+  inj.rate_permille = 1000;  // first corrupt probe fires...
+  inj.max_fires = 1;         // ...and only the first
+  inj.site_filter = "shard.replica.corrupt";
+  fo.injector = inj;
+
+  const auto quarantines_before = counter_value("shard.replica.quarantines");
+  const auto restarts_before = counter_value("shard.replica.warm_restarts");
+  const auto certfail_before = counter_value("serve.certify.failures");
+  {
+    ShardFleet fleet(g, fo);
+    // Warm both replicas engine-direct (bypasses the fleet's corrupt probe)
+    // and persist, so the healed replica has snapshots to warm-restart from.
+    for (const auto& [s, t] : pool) {
+      for (int r = 0; r < fleet.replicas(); ++r) fleet.engine(0, r).query(s, t, k);
+    }
+    for (int r = 0; r < fleet.replicas(); ++r) fleet.engine(0, r).persist();
+
+    // This query's answer is corrupted in the worker; certification must
+    // catch it, quarantine the replica, and still return the exact answer
+    // from the peer.
+    auto res = fleet.query(pool[0].first, pool[0].second, k);
+    ASSERT_EQ(res.result.status.code, fault::Status::kOk)
+        << res.result.status.message;
+    EXPECT_FALSE(res.result.degraded);
+    expect_identical(res.result.paths,
+                     fresh_peek(g, pool[0].first, pool[0].second, k));
+    if (obs::kEnabled) {
+      EXPECT_EQ(counter_value("serve.certify.failures") - certfail_before, 1);
+      EXPECT_EQ(counter_value("shard.replica.quarantines") -
+                    quarantines_before, 1);
+    }
+
+    // Exactly one replica is out (quarantined or already healing); service
+    // continues bit-identical throughout.
+    fleet.drain_heals();
+    if (obs::kEnabled) {
+      EXPECT_GE(counter_value("shard.replica.warm_restarts") -
+                    restarts_before, 1);
+    }
+    // The healed engine restored its persisted artifacts (true warm restart,
+    // not a cold rebuild).
+    int restored = 0;
+    for (int r = 0; r < fleet.replicas(); ++r)
+      restored += fleet.engine(0, r).restored_artifacts();
+    EXPECT_GT(restored, 0);
+
+    // Re-admission without operator intervention: keep querying until both
+    // breakers are closed again (half-open probes ride regular traffic).
+    bool all_closed = false;
+    for (int i = 0; i < 500 && !all_closed; ++i) {
+      for (const auto& [s, t] : pool) {
+        auto r = fleet.query(s, t, k);
+        ASSERT_EQ(r.result.status.code, fault::Status::kOk);
+        if (!r.result.degraded)
+          expect_identical(r.result.paths, fresh_peek(g, s, t, k));
+      }
+      all_closed = fleet.breaker_state(0, 0) == BreakerState::kClosed &&
+                   fleet.breaker_state(0, 1) == BreakerState::kClosed;
+      if (!all_closed) std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_TRUE(all_closed);
+    wait_drained(fleet);
+  }
+  fault::Injector::global().disable();
+  std::error_code ec;
+  std::filesystem::remove_all(snap_root, ec);
+}
+
+// Compound failure: hedging enabled, a replica hard-down, and a 1 ms
+// deadline all in the same query. Whatever wins the race must be typed —
+// kOk (bit-identical), kDeadlineExceeded (exact partial prefix), or
+// kOverloaded — never a wrong answer, never a crash.
+TEST(ShardFleet, CompoundHedgeDownReplicaTightDeadline) {
+  const auto g = test_graph();
+  FleetOptions fo;
+  fo.router.shards = 2;
+  fo.replicas = 2;
+  fo.hedge = 1ms;
+  ShardFleet fleet(g, fo);
+  const int k = 5;
+  const auto pool = pair_pool(g.num_vertices(), 24);
+  // Down one replica on every shard so half the picks bounce into retries.
+  for (int sh = 0; sh < fleet.shards(); ++sh)
+    fleet.set_replica_down(sh, 0, true);
+  for (const auto& [s, t] : pool) {
+    serve::QueryOptions qo;
+    qo.deadline = 1ms;
+    auto r = fleet.query(s, t, k, qo);
+    const auto code = r.result.status.code;
+    EXPECT_TRUE(code == fault::Status::kOk ||
+                code == fault::Status::kDeadlineExceeded ||
+                code == fault::Status::kOverloaded)
+        << fault::to_string(code) << ": " << r.result.status.message;
+    if (code == fault::Status::kOk && !r.result.degraded) {
+      expect_identical(r.result.paths, fresh_peek(g, s, t, k));
+    } else if (code == fault::Status::kDeadlineExceeded) {
+      expect_prefix(r.result.paths, fresh_peek(g, s, t, k));
+    }
+  }
   wait_drained(fleet);
 }
 

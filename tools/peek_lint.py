@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""PeeK repo-specific lint. Eight checks, all rooted in invariants generic
+"""PeeK repo-specific lint. Nine checks, all rooted in invariants generic
 tools cannot know:
 
   metrics      every metric name the library emits (PEEK_COUNT_* /
@@ -32,6 +32,12 @@ tools cannot know:
                bench-table-begin/end markers) — and vice versa, so the
                committed perf trajectory the CI perf job gates on stays
                valid and documented.
+  breaker_transitions
+               every `shard.breaker.*` metric the library emits appears in
+               the DESIGN.md §14 breaker transition table (between the
+               breaker-transition-table-begin/end markers) and vice versa,
+               so every circuit-breaker state machine edge stays observable
+               and documented.
   waivers      every analyzer waiver in src/ (`// no-cancel:`,
                `// status-ignored:`, `// ts-allow:` — the escape hatches
                tools/peek_analyze.py honors) cites a substantive,
@@ -404,6 +410,59 @@ def check_bench_json():
                 "is committed — stale row?")
 
 
+# ----------------------------------------------------- breaker transitions
+
+# DESIGN.md §14 names a metric for every circuit-breaker state transition.
+# Cross-check the table against the `shard.breaker.*` names actually emitted
+# in src/ (reusing EMIT_RE's literal-first-argument extraction), both
+# directions: a transition without a metric is unobservable, a breaker
+# metric outside the table is an undocumented state machine edge.
+BREAKER_TABLE_BEGIN = "<!-- breaker-transition-table-begin -->"
+BREAKER_TABLE_END = "<!-- breaker-transition-table-end -->"
+BREAKER_ROW_RE = re.compile(r'`(shard\.breaker\.[a-z0-9_.]+)`')
+BREAKER_PREFIX = "shard.breaker."
+
+
+def check_breaker_transitions():
+    emitted = {}  # metric -> (path, line_no) of first emission
+    for path in source_files(SRC):
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                for m in EMIT_RE.finditer(line):
+                    if m.group(1).startswith(BREAKER_PREFIX):
+                        emitted.setdefault(m.group(1), (path, line_no))
+
+    design = os.path.join(REPO, "DESIGN.md")
+    documented = {}
+    in_table = False
+    with open(design, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            if BREAKER_TABLE_BEGIN in line:
+                in_table = True
+                continue
+            if BREAKER_TABLE_END in line:
+                in_table = False
+                continue
+            if in_table:
+                for m in BREAKER_ROW_RE.finditer(line):
+                    documented.setdefault(m.group(1), line_no)
+
+    if not documented:
+        finding(design, 1, "breaker_transitions",
+                "no breaker transition table found between the "
+                "breaker-transition-table-begin/end markers (DESIGN.md §14)")
+    for name in sorted(set(emitted) - set(documented)):
+        path, line_no = emitted[name]
+        finding(path, line_no, "breaker_transitions",
+                f"breaker metric `{name}` is emitted here but missing from "
+                "the DESIGN.md §14 transition table — undocumented state "
+                "machine edge")
+    for name in sorted(set(documented) - set(emitted)):
+        finding(design, documented[name], "breaker_transitions",
+                f"transition metric `{name}` is documented but nothing in "
+                "src/ emits it — the state machine edge lost its metric?")
+
+
 # --------------------------------------------------------------- waivers
 
 # The escape hatches tools/peek_analyze.py honors. Anything after the colon
@@ -444,6 +503,7 @@ CHECKS = {
     "fault_sites": check_fault_sites,
     "status_codes": check_status_codes,
     "bench_json": check_bench_json,
+    "breaker_transitions": check_breaker_transitions,
     "waivers": check_waivers,
 }
 
