@@ -9,6 +9,11 @@
 // is not bit-identical to untiled, or if arena-backed Yen returns different
 // paths than the allocating path.
 //
+// Each graph also carries the live-mutation A/B (dyn.repair.{incremental,
+// full}): cone repair of 16 cached SSSP trees after a single-edge reweight
+// vs rebuilding them from scratch — gated on bit-identity AND on the repair
+// being at least 5x faster (DESIGN.md §15).
+//
 // On R21 the driver additionally runs the sharded-serving Zipf storm
 // (shard.storm.{unhedged,hedged}.R21): a warm 4-shard × 2-replica fleet
 // under deterministic injected replica stalls, hedging off vs on. Those two
@@ -27,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
@@ -36,6 +42,9 @@
 #include "compact/adaptive.hpp"
 #include "core/peek.hpp"
 #include "core/upper_bound.hpp"
+#include "dyn/dynamic_graph.hpp"
+#include "dyn/repair.hpp"
+#include "dyn/update_batch.hpp"
 #include "ksp/yen.hpp"
 #include "recover/artifacts.hpp"
 #include "shard/fleet.hpp"
@@ -313,6 +322,157 @@ void run_shard_storm(const bench::BenchGraph& bg, std::uint64_t seed,
   storm[key("shard.storm.hedged")] = hedged;
 }
 
+// -- Live-mutation repair: cone repair vs full recompute (DESIGN.md §15) -----
+
+/// Times the surgical repair of 16 cached SSSP trees (8 forward + 8 reverse)
+/// after a single-edge reweight against rebuilding all 16 from scratch on the
+/// post-mutation CSR. Two gates ride along: every repaired tree must be
+/// bit-identical to the from-scratch Dijkstra (soundness), and the repair
+/// must be at least 5x faster (the point of the §15 pipeline — a repair no
+/// cheaper than recompute would make the bounded-staleness machinery pure
+/// overhead).
+void run_dyn_repair(const bench::BenchGraph& bg, int reps, std::uint64_t seed,
+                    MetricMap& metrics) {
+  const graph::CsrGraph& g = bg.g;
+  constexpr int kTreePairs = 8;
+  const auto pool = bench::sample_pairs(g, kTreePairs, seed ^ 0xd15ea5e);
+  if (pool.empty()) {
+    std::fprintf(stderr, "bench_canonical: no repair pairs on %s\n",
+                 bg.name.c_str());
+    std::exit(1);
+  }
+
+  g.warm_reverse();
+  std::vector<std::shared_ptr<const sssp::SsspResult>> fwd, rev;
+  for (const auto& [s, t] : pool) {
+    fwd.push_back(std::make_shared<sssp::SsspResult>(
+        sssp::dijkstra(sssp::GraphView(g), s)));
+    rev.push_back(std::make_shared<sssp::SsspResult>(
+        sssp::dijkstra(sssp::GraphView(g.reverse()), t)));
+  }
+
+  // Pick the reweighted edge by how deep it sits in the cached trees: a
+  // reweight of (u, v) opens a cone starting at dist_f[u] in a forward tree
+  // and dist_r[v] in a reverse tree, so deeper edges open smaller cones.
+  // The 7/8 depth quantile keeps the bench representative — neither the
+  // adversarial near-root edge (cone == whole graph) nor a fringe edge no
+  // cached tree can see. (High-diameter graphs spread depths uniformly, so
+  // a shallower quantile would repair a quarter of the graph 16 times over
+  // and measure Dijkstra, not surgery.)
+  struct Cand {
+    weight_t depth;
+    vid_t u, v;
+    weight_t w;
+  };
+  std::vector<Cand> cands;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (g.degree(u) == 0) continue;
+    const eid_t e = g.edge_begin(u);
+    const vid_t v = g.edge_target(e);
+    weight_t depth = kInfDist;
+    for (const auto& f : fwd) depth = std::min(depth, f->dist[u]);
+    for (const auto& r : rev) depth = std::min(depth, r->dist[v]);
+    if (depth == kInfDist) continue;  // invisible to every cached tree
+    cands.push_back({depth, u, v, g.edge_weight(e)});
+  }
+  if (cands.empty()) {
+    std::fprintf(stderr, "bench_canonical: no cached tree sees any edge on "
+                 "%s\n", bg.name.c_str());
+    std::exit(1);
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    return a.depth != b.depth ? a.depth < b.depth : a.u < b.u;
+  });
+  const Cand pick = cands[cands.size() * 7 / 8];
+
+  dyn::DynamicGraph dg(g);
+  const dyn::AppliedBatch applied = dyn::apply(
+      dg, dyn::UpdateBatch{}.reweight(pick.u, pick.v, pick.w * 1.5 + 0.05));
+  if (!applied.any_applied() || applied.structural()) {
+    std::fprintf(stderr, "bench_canonical: repair batch did not land as a "
+                 "pure reweight on %s\n", bg.name.c_str());
+    std::exit(1);
+  }
+  const graph::CsrGraph post = dyn::patched_csr(dg, g, applied);
+  post.warm_reverse();
+  const sssp::GraphView post_fwd(post);
+  const sssp::GraphView post_rev(post.reverse());
+
+  const auto key = [&bg](const char* metric) {
+    return std::string(metric) + "." + bg.name;
+  };
+
+  // Incremental path: cone thresholds + repair_trees, seeded from the cached
+  // pre-mutation trees. Threshold computation is part of the cost the
+  // serving layer pays per batch, so it stays inside the timed region.
+  dyn::RepairResult repaired;
+  metrics[key("dyn.repair.incremental")] = bench::time_stats(reps, [&] {
+    std::vector<dyn::RepairJob> jobs;
+    jobs.reserve(pool.size() * 2);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      dyn::RepairJob jf;
+      jf.root = pool[i].first;
+      jf.reverse = false;
+      jf.threshold = dyn::cone_threshold(applied, *fwd[i], /*reverse=*/false);
+      jf.base = fwd[i];
+      jobs.push_back(std::move(jf));
+      dyn::RepairJob jr;
+      jr.root = pool[i].second;
+      jr.reverse = true;
+      jr.threshold = dyn::cone_threshold(applied, *rev[i], /*reverse=*/true);
+      jr.base = rev[i];
+      jobs.push_back(std::move(jr));
+    }
+    repaired = dyn::repair_trees(post, jobs);
+  });
+  if (repaired.status.code != fault::Status::kOk) {
+    std::fprintf(stderr, "bench_canonical: repair_trees failed on %s: %s\n",
+                 bg.name.c_str(), repaired.status.message.c_str());
+    std::exit(1);
+  }
+
+  // Full-recompute path: what the engine falls back to when a repair
+  // crashes — a fresh Dijkstra per cached tree on the post-mutation CSR.
+  std::vector<sssp::SsspResult> fresh;
+  metrics[key("dyn.repair.full")] = bench::time_stats(reps, [&] {
+    fresh.clear();
+    fresh.reserve(pool.size() * 2);
+    for (const auto& [s, t] : pool) {
+      fresh.push_back(sssp::dijkstra(post_fwd, s));
+      fresh.push_back(sssp::dijkstra(post_rev, t));
+    }
+  });
+
+  // Soundness gate: job order interleaves fwd_i, rev_i — same order the
+  // recompute loop produces.
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const bool fwd_ok = repaired.trees[2 * i] != nullptr &&
+                        same_dists(*repaired.trees[2 * i], fresh[2 * i]);
+    const bool rev_ok = repaired.trees[2 * i + 1] != nullptr &&
+                        same_dists(*repaired.trees[2 * i + 1],
+                                   fresh[2 * i + 1]);
+    if (!fwd_ok || !rev_ok) {
+      std::fprintf(stderr,
+                   "bench_canonical: cone repair diverged from from-scratch "
+                   "Dijkstra on %s (pair %zu) — refusing to emit numbers for "
+                   "broken code\n",
+                   bg.name.c_str(), i);
+      std::exit(1);
+    }
+  }
+
+  const double inc = metrics[key("dyn.repair.incremental")].median_s;
+  const double full = metrics[key("dyn.repair.full")].median_s;
+  if (full < 5.0 * inc) {
+    std::fprintf(stderr,
+                 "bench_canonical: cone repair (%.6fs) is not >= 5x faster "
+                 "than full recompute (%.6fs) on %s after a single-edge "
+                 "reweight\n",
+                 inc, full, bg.name.c_str());
+    std::exit(1);
+  }
+}
+
 void write_json(const char* path, int pr, int reps, std::uint64_t seed,
                 const std::vector<GraphEntry>& graphs,
                 const MetricMap& metrics, const StormMap& storm) {
@@ -390,7 +550,7 @@ void write_json(const char* path, int pr, int reps, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   bench::enable_metrics_dump(argc, argv);
-  int pr = 7;
+  int pr = 10;
   int reps = 5;
   std::uint64_t seed = 42;
   std::string out;
@@ -444,6 +604,7 @@ int main(int argc, char** argv) {
                  bg.name.c_str(), static_cast<long long>(bg.g.num_vertices()),
                  static_cast<long long>(bg.g.num_edges()));
     run_graph(bg, reps, seed, metrics, entries);
+    run_dyn_repair(bg, reps, seed, metrics);
     if (bg.name == "R21") {
       std::fprintf(stderr, "bench_canonical: %s sharded-serving storm\n",
                    bg.name.c_str());

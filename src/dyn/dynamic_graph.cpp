@@ -37,7 +37,7 @@ void DynamicGraph::insert_edge(vid_t u, vid_t v, weight_t w) {
     row.overflow.insert(it, {v, w});
   }
   m_++;
-  version_++;
+  bump_version();
 }
 
 bool DynamicGraph::delete_edge(vid_t u, vid_t v) {
@@ -55,7 +55,7 @@ bool DynamicGraph::delete_edge(vid_t u, vid_t v) {
         row.inline_count--;
       }
       m_--;
-      version_++;
+      bump_version();
       return true;
     }
   }
@@ -65,17 +65,62 @@ bool DynamicGraph::delete_edge(vid_t u, vid_t v) {
   if (it != row.overflow.end() && it->to == v) {
     row.overflow.erase(it);
     m_--;
-    version_++;
+    bump_version();
     return true;
   }
   auto tit = row.tree.find(v);
   if (tit != row.tree.end()) {
     row.tree.erase(tit);
     m_--;
-    version_++;
+    bump_version();
     return true;
   }
   return false;
+}
+
+weight_t DynamicGraph::reweight_edge(vid_t u, vid_t v, weight_t w) {
+  Row& row = rows_[u];
+  for (int i = 0; i < row.inline_count; ++i) {
+    Edge& e = row.inline_buf[static_cast<size_t>(i)];
+    if (e.to == v) {
+      const weight_t old = e.weight;
+      e.weight = w;
+      bump_version();
+      return old;
+    }
+  }
+  auto it = std::lower_bound(
+      row.overflow.begin(), row.overflow.end(), v,
+      [](const Edge& e, vid_t target) { return e.to < target; });
+  if (it != row.overflow.end() && it->to == v) {
+    const weight_t old = it->weight;
+    it->weight = w;
+    bump_version();
+    return old;
+  }
+  auto tit = row.tree.find(v);
+  if (tit != row.tree.end()) {
+    const weight_t old = tit->second;
+    tit->second = w;
+    bump_version();
+    return old;
+  }
+  return kInfDist;
+}
+
+weight_t DynamicGraph::edge_weight(vid_t u, vid_t v) const {
+  const Row& row = rows_[u];
+  for (int i = 0; i < row.inline_count; ++i) {
+    const Edge& e = row.inline_buf[static_cast<size_t>(i)];
+    if (e.to == v) return e.weight;
+  }
+  auto it = std::lower_bound(
+      row.overflow.begin(), row.overflow.end(), v,
+      [](const Edge& e, vid_t target) { return e.to < target; });
+  if (it != row.overflow.end() && it->to == v) return it->weight;
+  auto tit = row.tree.find(v);
+  if (tit != row.tree.end()) return tit->second;
+  return kInfDist;
 }
 
 DynamicGraph::Level DynamicGraph::level_of(vid_t v) const {
@@ -89,7 +134,7 @@ void DynamicGraph::delete_vertex(vid_t v) {
   Row& row = rows_[v];
   if (!row.alive) return;
   m_ -= out_degree(v);
-  version_++;
+  bump_version();
   row.alive = false;
   row.inline_count = 0;
   row.overflow.clear();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -34,11 +35,17 @@ class DynamicGraph {
   eid_t num_edges() const { return m_; }
 
   /// Monotonic structural version: bumped by every successful insert_edge /
-  /// delete_edge / delete_vertex (bulk-load counts as its insertions). The
-  /// serving layer (serve/query_engine) compares this against the version it
-  /// last snapshotted to generation-tag — and thereby lazily invalidate —
-  /// every cached cross-query artifact.
-  std::uint64_t version() const { return version_; }
+  /// delete_edge / reweight_edge / delete_vertex (bulk-load counts as its
+  /// insertions). The serving layer (serve/query_engine) compares this
+  /// against the version it last snapshotted to generation-tag — and thereby
+  /// lazily invalidate — every cached cross-query artifact. Release on the
+  /// mutation side / acquire here pairs the version read with the edge data
+  /// it covers, so a reader that observes version N also observes every
+  /// mutation up to N (readers must still not overlap a mutation in time —
+  /// the container itself is single-writer, see serve/query_engine).
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   bool vertex_alive(vid_t v) const { return rows_[v].alive; }
 
@@ -50,6 +57,17 @@ class DynamicGraph {
   /// Deletes one u -> v edge; returns true if found. O(inline) or
   /// O(log d + d) overflow.
   bool delete_edge(vid_t u, vid_t v);
+
+  /// Reweights the first u -> v edge in level order to `w` and returns the
+  /// old weight, or kInfDist if no such edge exists (no insertion happens in
+  /// that case). Structure-preserving: edge count and adjacency are
+  /// unchanged, only the weight moves — the cheapest mutation the update
+  /// pipeline (dyn/update_batch.hpp) repairs.
+  weight_t reweight_edge(vid_t u, vid_t v, weight_t w);
+
+  /// Weight of the first u -> v edge in level order (the one reweight_edge /
+  /// delete_edge would pick), or kInfDist when absent.
+  weight_t edge_weight(vid_t u, vid_t v) const;
 
   /// Deletes the vertex and its out-edges; in-edges toward it are skipped at
   /// traversal time (and discounted from num_edges lazily).
@@ -96,9 +114,12 @@ class DynamicGraph {
     std::map<vid_t, weight_t> tree;    // hub level (B-tree stand-in)
   };
 
+  /// Release-publishes a completed mutation (see version()).
+  void bump_version() { version_.fetch_add(1, std::memory_order_release); }
+
   std::vector<Row> rows_;
   eid_t m_ = 0;
-  std::uint64_t version_ = 0;
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace peek::dyn

@@ -1,0 +1,45 @@
+#include "dyn/repair.hpp"
+
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+
+namespace peek::dyn {
+
+RepairResult repair_trees(const graph::CsrGraph& post,
+                          const std::vector<RepairJob>& jobs,
+                          const fault::CancelToken* cancel) {
+  RepairResult out;
+  out.trees.assign(jobs.size(), nullptr);
+  if (jobs.empty()) return out;
+  post.warm_reverse();
+  const sssp::GraphView fwd(post);
+  const sssp::GraphView rev(post.reverse());
+  fault::CancelPoll poll(cancel, 1);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (poll.should_stop()) {
+      out.status = fault::Status(poll.why(), "tree repair stopped");
+      return out;
+    }
+    PEEK_FAULT_STALL("dyn.repair.stall");
+    if (PEEK_FAULT_FIRE("dyn.repair.crash")) {
+      PEEK_COUNT_INC("dyn.repair.crashes");
+      out.status =
+          fault::Status(fault::Status::kInternal, "injected repair crash");
+      return out;
+    }
+    const RepairJob& job = jobs[i];
+    if (job.base == nullptr) continue;
+    // A reverse tree is a forward tree of the transpose, so search and
+    // boundary views swap roles.
+    const sssp::GraphView& search = job.reverse ? rev : fwd;
+    const sssp::GraphView& boundary = job.reverse ? fwd : rev;
+    sssp::ResumableDijkstra rd(search, boundary, job.root, *job.base,
+                               job.threshold);
+    rd.run_to_completion();
+    out.trees[i] = std::make_shared<sssp::SsspResult>(rd.snapshot());
+    PEEK_COUNT_INC("dyn.repair.trees");
+  }
+  return out;
+}
+
+}  // namespace peek::dyn

@@ -76,7 +76,8 @@ std::shared_ptr<void> ArtifactCache::get(const Key& k,
 }
 
 bool ArtifactCache::put(const Key& k, std::shared_ptr<void> value,
-                        std::size_t bytes, std::uint64_t generation) {
+                        std::size_t bytes, std::uint64_t generation,
+                        std::uint64_t epoch) {
   if (bytes > shard_budget_) {
     // Bigger than a whole shard: caching it would immediately evict
     // everything else — serve it uncached instead (memory-pressure
@@ -92,7 +93,7 @@ bool ArtifactCache::put(const Key& k, std::shared_ptr<void> value,
     sh.lru.erase(it->second);
     sh.index.erase(it);
   }
-  sh.lru.push_front(Entry{k, std::move(value), bytes, generation});
+  sh.lru.push_front(Entry{k, std::move(value), bytes, generation, epoch});
   sh.index[k] = sh.lru.begin();
   sh.bytes += bytes;
   while (sh.bytes > shard_budget_ && sh.lru.size() > 1) {
@@ -114,11 +115,11 @@ std::shared_ptr<const sssp::SsspResult> ArtifactCache::get_tree(
 
 bool ArtifactCache::put_tree(ArtifactKind kind, vid_t v,
                              std::shared_ptr<const sssp::SsspResult> tree,
-                             std::uint64_t generation) {
+                             std::uint64_t generation, std::uint64_t epoch) {
   const std::size_t b = tree_bytes(*tree);
   return put(Key{kind, v, kNoVertex},
              std::const_pointer_cast<sssp::SsspResult>(std::move(tree)), b,
-             generation);
+             generation, epoch);
 }
 
 std::shared_ptr<PrunedSnapshot> ArtifactCache::get_snapshot(
@@ -129,10 +130,47 @@ std::shared_ptr<PrunedSnapshot> ArtifactCache::get_snapshot(
 
 bool ArtifactCache::put_snapshot(vid_t s, vid_t t,
                                  std::shared_ptr<PrunedSnapshot> snap,
-                                 std::uint64_t generation) {
+                                 std::uint64_t generation,
+                                 std::uint64_t epoch) {
   const std::size_t b = snap->bytes();
   return put(Key{ArtifactKind::kSnapshot, s, t}, std::move(snap), b,
-             generation);
+             generation, epoch);
+}
+
+ArtifactCache::SweepStats ArtifactCache::sweep(
+    std::uint64_t new_epoch,
+    const std::function<bool(ArtifactKind, vid_t, vid_t, std::uint64_t)>&
+        keep) {
+  SweepStats stats;
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    check::MutexLock lock(sh.mu);
+    for (auto it = sh.lru.begin(); it != sh.lru.end();) {
+      if (keep(it->key.kind, it->key.a, it->key.b, it->epoch)) {
+        it->epoch = new_epoch;
+        ++stats.kept;
+        ++it;
+      } else {
+        sh.bytes -= it->bytes;
+        sh.index.erase(it->key);
+        it = sh.lru.erase(it);
+        ++stats.erased;
+      }
+    }
+  }
+  PEEK_COUNT_ADD("serve.cache.region_drops", stats.erased);
+  PEEK_COUNT_ADD("serve.cache.restamps", stats.kept);
+  return stats;
+}
+
+std::optional<std::uint64_t> ArtifactCache::epoch_of(ArtifactKind kind,
+                                                     vid_t a, vid_t b) const {
+  const Key k{kind, a, b};
+  const Shard& sh = *shards_[KeyHash{}(k) & shard_mask_];
+  check::MutexLock lock(sh.mu);
+  auto it = sh.index.find(k);
+  if (it == sh.index.end()) return std::nullopt;
+  return it->second->epoch;
 }
 
 void ArtifactCache::clear() {

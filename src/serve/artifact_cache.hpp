@@ -25,6 +25,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -124,7 +125,7 @@ class ArtifactCache {
   /// whole shard) — the caller served it, but nobody else will reuse it.
   bool put_tree(ArtifactKind kind, vid_t v,
                 std::shared_ptr<const sssp::SsspResult> tree,
-                std::uint64_t generation);
+                std::uint64_t generation, std::uint64_t epoch = 0);
 
   /// Cached pipeline snapshot for the (s, t) pair. The returned pointer
   /// stays valid (shared ownership) even if the entry is evicted while the
@@ -132,11 +133,33 @@ class ArtifactCache {
   std::shared_ptr<PrunedSnapshot> get_snapshot(vid_t s, vid_t t,
                                                std::uint64_t generation);
   bool put_snapshot(vid_t s, vid_t t, std::shared_ptr<PrunedSnapshot> snap,
-                    std::uint64_t generation);
+                    std::uint64_t generation, std::uint64_t epoch = 0);
 
   /// Drops every entry (eager invalidation; generation bumps make this
   /// optional).
   void clear();
+
+  /// Surgical invalidation (dyn update pipeline, DESIGN.md §15): visits
+  /// every resident entry and asks `keep(kind, a, b, epoch)` whether it
+  /// survived the mutation. Keepers are restamped to `new_epoch` (their
+  /// region stamp — the mutation epoch they are provably valid for); the
+  /// rest are erased in place. After a sweep the cache holds only entries
+  /// valid at `new_epoch`, so lookups need no epoch comparison — the
+  /// generation tag stays reserved for wholesale invalidation. The shard
+  /// lock is held across each callback — callbacks must not call back into
+  /// the cache. Emits serve.cache.region_drops / serve.cache.restamps.
+  struct SweepStats {
+    std::size_t kept = 0;
+    std::size_t erased = 0;
+  };
+  SweepStats sweep(std::uint64_t new_epoch,
+                   const std::function<bool(ArtifactKind, vid_t, vid_t,
+                                            std::uint64_t)>& keep);
+
+  /// Region stamp of a resident entry (tests/diagnostics); empty key miss
+  /// returns no value. Does not touch LRU order.
+  std::optional<std::uint64_t> epoch_of(ArtifactKind kind, vid_t a,
+                                        vid_t b) const;
 
   /// Snapshot-persistence iteration (recover/): visits every resident tree /
   /// snapshot entry with its key and generation, LRU order within a shard.
@@ -182,6 +205,9 @@ class ArtifactCache {
     std::shared_ptr<void> value;
     std::size_t bytes = 0;
     std::uint64_t generation = 0;
+    /// Region stamp: the mutation epoch this artifact is valid for
+    /// (restamped by sweep(); 0 until the first batch lands).
+    std::uint64_t epoch = 0;
   };
   struct Shard {
     mutable check::Mutex mu;
@@ -197,7 +223,7 @@ class ArtifactCache {
   }
   std::shared_ptr<void> get(const Key& k, std::uint64_t generation);
   bool put(const Key& k, std::shared_ptr<void> value, std::size_t bytes,
-           std::uint64_t generation);
+           std::uint64_t generation, std::uint64_t epoch);
 
   std::size_t budget_ = 0;
   std::size_t shard_budget_ = 0;

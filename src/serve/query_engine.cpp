@@ -22,6 +22,11 @@ void to_original_ids(sssp::Path& p, const compact::VertexMap& map) {
   for (auto& v : p.verts) v = map.to_old(v);
 }
 
+/// Live mode: how often one query re-runs after its compute raced a batch
+/// (or an invalidation) before giving up with kOverloaded. Each retry works
+/// against a refreshed snapshot, so in practice one suffices.
+constexpr int kMaxEpochRetries = 8;
+
 }  // namespace
 
 namespace {
@@ -55,11 +60,61 @@ QueryEngine::QueryEngine(const dyn::DynamicGraph& dg, const ServeOptions& opts)
     init_recovery(recovery_, opts_.snapshot_dir);
     if (opts_.warm_restart) restore_from_dir();
   }
+  if (live()) {
+    {
+      // Eager first snapshot: a lazily-created one (first query) could read
+      // the DynamicGraph concurrently with a fleet apply_batch mutating it.
+      // Construction is the caller's last single-threaded moment, so the
+      // to_csr here is race-free.
+      check::MutexLock lock(dyn_mu_);
+      if (!dyn_snapshot_) {
+        dyn_snapshot_ =
+            std::make_shared<const graph::CsrGraph>(dyn_graph_->to_csr());
+      }
+    }
+    repair_thread_ = std::thread([this] { repair_loop(); });
+  }
+}
+
+QueryEngine::QueryEngine(dyn::DynamicGraph& dg, const ServeOptions& opts)
+    : QueryEngine(static_cast<const dyn::DynamicGraph&>(dg), opts) {
+  // Safe post-delegation: the repair thread never touches mutable_dyn_.
+  mutable_dyn_ = &dg;
+}
+
+QueryEngine::~QueryEngine() {
+  if (repair_thread_.joinable()) {
+    {
+      check::MutexLock lock(repair_mu_);
+      repair_stop_ = true;
+    }
+    repair_cv_.notify_all();
+    repair_thread_.join();
+  }
 }
 
 void QueryEngine::invalidate() {
   generation_.fetch_add(1, std::memory_order_acq_rel);
   PEEK_COUNT_INC("serve.invalidations");
+  // Unpin the coalescing map: in-flight owners are computing against the old
+  // generation, so abort them (via the per-entry token their pipeline polls)
+  // and wake their waiters — both sides then retry against the new
+  // generation instead of blocking on, and serving, a doomed snapshot.
+  std::vector<std::shared_ptr<Inflight>> pinned;
+  {
+    check::MutexLock lock(inflight_mu_);
+    pinned.reserve(inflight_.size());
+    for (auto& [key, inf] : inflight_) pinned.push_back(inf);
+  }
+  for (auto& inf : pinned) {
+    inf->abort.cancel();
+    {
+      check::MutexLock lock(inf->mu);
+      inf->invalidated = true;
+    }
+    inf->cv.notify_all();
+    PEEK_COUNT_INC("serve.inflight_invalidations");
+  }
 }
 
 size_t QueryEngine::inflight_entries() {
@@ -82,6 +137,16 @@ std::shared_ptr<const graph::CsrGraph> QueryEngine::active_graph() {
                                                   });
   }
   check::MutexLock lock(dyn_mu_);
+  if (live()) {
+    // Live-mutation mode: the snapshot only moves through adopt_batch(), so
+    // the legacy version check (wholesale re-snapshot + generation bump)
+    // must not run — it would defeat the surgical invalidation.
+    if (!dyn_snapshot_) {
+      dyn_snapshot_ =
+          std::make_shared<const graph::CsrGraph>(dyn_graph_->to_csr());
+    }
+    return dyn_snapshot_;
+  }
   if (!dyn_snapshot_ || dyn_graph_->version() != dyn_version_seen_) {
     dyn_version_seen_ = dyn_graph_->version();
     dyn_snapshot_ =
@@ -90,6 +155,319 @@ std::shared_ptr<const graph::CsrGraph> QueryEngine::active_graph() {
     PEEK_COUNT_INC("serve.dynamic_resnapshots");
   }
   return dyn_snapshot_;
+}
+
+// ---------------------------------------------------------------------------
+// Live-mutation pipeline (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+dyn::AppliedBatch QueryEngine::apply_batch(const dyn::UpdateBatch& batch) {
+  dyn::AppliedBatch b;
+  if (mutable_dyn_ == nullptr || !live()) return b;  // misuse: no-op record
+  check::MutexLock lock(dyn_mu_);
+  // Mutation and adoption under one dyn_mu_ hold: no query can observe the
+  // mutated DynamicGraph before the serving state has caught up.
+  b = dyn::apply(*mutable_dyn_, batch);
+  adopt_batch(b, nullptr);
+  return b;
+}
+
+void QueryEngine::note_batch(const dyn::AppliedBatch& batch,
+                             std::shared_ptr<const graph::CsrGraph> post) {
+  if (!live()) return;
+  dyn::AppliedBatch b = batch;
+  check::MutexLock lock(dyn_mu_);
+  adopt_batch(b, std::move(post));
+}
+
+void QueryEngine::adopt_batch(dyn::AppliedBatch& b,
+                              std::shared_ptr<const graph::CsrGraph> post) {
+  const std::uint64_t prev = mutation_epoch_.load(std::memory_order_relaxed);
+  if (b.epoch != 0 && b.epoch <= prev) {
+    // Stale redelivery (a fleet heal raced a pending-queue drain): this
+    // engine's content already reflects every batch up to `prev` — its
+    // snapshot was taken from the post-mutation graph — so adopting an older
+    // epoch would only move the counters backwards. No-op.
+    return;
+  }
+  const std::uint64_t e = b.epoch != 0 ? b.epoch : prev + 1;
+  b.epoch = e;
+  PEEK_COUNT_INC("serve.batches");
+
+  // Swap in the post-mutation snapshot: the caller-provided one when the
+  // fleet already built it (see note_batch), else a cheap weight patch when
+  // the batch was reweight-only, else a full re-pack.
+  const std::shared_ptr<const graph::CsrGraph> pre = dyn_snapshot_;
+  dyn_snapshot_ =
+      post ? std::move(post)
+           : std::make_shared<const graph::CsrGraph>(
+                 pre ? dyn::patched_csr(*dyn_graph_, *pre, b)
+                     : dyn_graph_->to_csr());
+
+  batch_history_.push_back({e, b.structural(), b.weight_delta_sum()});
+  while (batch_history_.size() > 64) batch_history_.pop_front();
+
+  const std::uint64_t gen = generation();
+
+  // Collect this generation's resident artifacts; affectedness is decided
+  // here (outside the shard locks), then applied by one sweep below.
+  std::unordered_map<vid_t, std::shared_ptr<const sssp::SsspResult>> fwd_roots;
+  std::unordered_map<vid_t, std::shared_ptr<const sssp::SsspResult>> rev_roots;
+  cache_.for_each_tree(
+      [&](ArtifactKind kind, vid_t v,
+          const std::shared_ptr<const sssp::SsspResult>& tree,
+          std::uint64_t tgen) {
+        if (tgen != gen) return;
+        (kind == ArtifactKind::kForwardTree ? fwd_roots : rev_roots)[v] = tree;
+      });
+  struct SnapRef {
+    vid_t s, t;
+    std::shared_ptr<PrunedSnapshot> snap;
+  };
+  std::vector<SnapRef> snaps;
+  cache_.for_each_snapshot([&](vid_t s, vid_t t,
+                               const std::shared_ptr<PrunedSnapshot>& snap,
+                               std::uint64_t sgen) {
+    if (sgen == gen) snaps.push_back({s, t, snap});
+  });
+
+  // Trees: a finite cone threshold means part of the tree is in the affected
+  // region — it becomes a background repair job seeded with itself.
+  std::map<std::tuple<int, vid_t, vid_t>, bool> keep;
+  std::vector<dyn::RepairJob> jobs;
+  std::vector<std::pair<ArtifactKind, vid_t>> keys;
+  auto classify_trees =
+      [&](const std::unordered_map<
+              vid_t, std::shared_ptr<const sssp::SsspResult>>& roots,
+          ArtifactKind kind, bool reverse) {
+        for (const auto& [root, tree] : roots) {
+          const weight_t th = dyn::cone_threshold(b, *tree, reverse);
+          keep[{static_cast<int>(kind), root, kNoVertex}] = th == kInfDist;
+          if (th != kInfDist) {
+            jobs.push_back({root, reverse, th, tree});
+            keys.emplace_back(kind, root);
+          }
+        }
+      };
+  classify_trees(fwd_roots, ArtifactKind::kForwardTree, /*reverse=*/false);
+  classify_trees(rev_roots, ArtifactKind::kReverseTree, /*reverse=*/true);
+
+  // Snapshots: the pair test needs the pair's PRE-mutation trees, which is
+  // why impacts are evaluated before any repair runs.
+  std::vector<std::pair<SnapRef, weight_t>> newly_stale;
+  for (const SnapRef& sr : snaps) {
+    auto fit = fwd_roots.find(sr.s);
+    auto rit = rev_roots.find(sr.t);
+    const dyn::PairImpact pi = dyn::pair_impact(
+        b, fit != fwd_roots.end() ? fit->second.get() : nullptr,
+        rit != rev_roots.end() ? rit->second.get() : nullptr,
+        sr.snap->upper_bound);
+    keep[{static_cast<int>(ArtifactKind::kSnapshot), sr.s, sr.t}] =
+        !pi.affected;
+    // Reweight-only impact: the displaced snapshot stays servable with an
+    // explicit bound while the repair is in flight. Structural impact: never
+    // stale-served — the pair recomputes fresh against the post graph.
+    if (pi.affected && !pi.structural) {
+      newly_stale.push_back({sr, pi.weight_bound});
+    }
+  }
+
+  // Stale side table + epoch store under stale_mu_: a reader holding
+  // stale_mu_ sees a table consistent with the epoch it reads.
+  {
+    check::MutexLock slock(stale_mu_);
+    for (auto it = stale_snaps_.begin(); it != stale_snaps_.end();) {
+      if (b.structural()) {
+        // The entry's pre-mutation trees are gone, so a structural batch
+        // cannot be pair-tested against it — and without the test no finite
+        // weight bound is sound. Drop it; the pair recomputes fresh.
+        it = stale_snaps_.erase(it);
+      } else {
+        // Conservative: widen by the whole batch's reweight mass without
+        // re-testing (the entry may well be unaffected by this batch).
+        it->second.bound += b.weight_delta_sum();
+        ++it;
+      }
+    }
+    for (auto& [sr, bound] : newly_stale) {
+      stale_snaps_[{sr.s, sr.t}] = StaleEntry{sr.snap, prev, bound};
+    }
+    mutation_epoch_.store(e, std::memory_order_release);
+  }
+
+  // One sweep applies the decisions: keepers are restamped to epoch `e`
+  // (still valid, served fresh with zero work), the rest erased in place.
+  // Entries from older generations miss the decision map and are erased too.
+  cache_.sweep(e, [&](ArtifactKind kind, vid_t a, vid_t bb, std::uint64_t) {
+    const auto it = keep.find(
+        {static_cast<int>(kind), a,
+         kind == ArtifactKind::kSnapshot ? bb : kNoVertex});
+    return it != keep.end() && it->second;
+  });
+
+  // Merge the repair work and wake the repair thread. Cone thresholds
+  // against the same base tree min-compose across batches (the first-batch-
+  // edge argument ranges over the union of all ops), so a pending job hit by
+  // this batch just tightens its threshold; an in-flight repair's results
+  // will fail their epoch check and be discarded.
+  {
+    check::MutexLock rlock(repair_mu_);
+    if (repair_pending_) {
+      for (dyn::RepairJob& j : repair_pending_->jobs) {
+        j.threshold =
+            std::min(j.threshold, dyn::cone_threshold(b, *j.base, j.reverse));
+      }
+      repair_pending_->jobs.insert(repair_pending_->jobs.end(), jobs.begin(),
+                                   jobs.end());
+      repair_pending_->keys.insert(repair_pending_->keys.end(), keys.begin(),
+                                   keys.end());
+      repair_pending_->epoch = e;
+      repair_pending_->post = dyn_snapshot_;
+    } else {
+      repair_pending_ = RepairTask{e, dyn_snapshot_, std::move(jobs),
+                                   std::move(keys)};
+    }
+  }
+  repair_cv_.notify_all();
+}
+
+void QueryEngine::repair_loop() {
+  for (;;) {
+    RepairTask task;
+    {
+      check::UniqueLock lock(repair_mu_);
+      while (!repair_stop_ && !repair_pending_) repair_cv_.wait(lock);
+      if (repair_stop_) return;
+      task = std::move(*repair_pending_);
+      repair_pending_.reset();
+      repair_busy_ = true;
+    }
+    const dyn::RepairResult rr = dyn::repair_trees(*task.post, task.jobs);
+    if (rr.status.ok()) {
+      check::MutexLock lock(dyn_mu_);
+      if (mutation_epoch_.load(std::memory_order_relaxed) == task.epoch) {
+        if (opts_.cache_trees) {
+          for (std::size_t i = 0; i < task.jobs.size(); ++i) {
+            if (rr.trees[i]) {
+              cache_.put_tree(task.keys[i].first, task.keys[i].second,
+                              rr.trees[i], generation(), task.epoch);
+            }
+          }
+        }
+        check::MutexLock slock(stale_mu_);
+        stale_snaps_.clear();  // fresh computes are cheap again: trees are back
+        repaired_epoch_.store(task.epoch, std::memory_order_release);
+      }
+      // else: a newer batch landed mid-repair — these trees answer a
+      // superseded epoch, so they are dropped (roots recompute on demand)
+      // and the merged pending task catches up instead.
+    } else {
+      // Injected repair crash (dyn.repair.crash): fall back to wholesale
+      // invalidation. Nothing stays cached, nothing stays stale-servable,
+      // and the epochs equalize — so no answer can ever be served with an
+      // unbounded staleness.
+      PEEK_COUNT_INC("dyn.repair.fallbacks");
+      check::MutexLock lock(dyn_mu_);
+      invalidate();
+      {
+        check::MutexLock rlock(repair_mu_);
+        repair_pending_.reset();  // superseded by the wholesale invalidation
+      }
+      check::MutexLock slock(stale_mu_);
+      stale_snaps_.clear();
+      repaired_epoch_.store(mutation_epoch_.load(std::memory_order_relaxed),
+                            std::memory_order_release);
+    }
+    {
+      check::MutexLock lock(repair_mu_);
+      repair_busy_ = false;
+    }
+    repair_cv_.notify_all();
+  }
+}
+
+void QueryEngine::drain_repairs() {
+  if (!repair_thread_.joinable()) return;
+  check::UniqueLock lock(repair_mu_);
+  while (repair_busy_ || repair_pending_) repair_cv_.wait(lock);
+}
+
+void QueryEngine::reset_epoch(std::uint64_t epoch) {
+  check::MutexLock lock(dyn_mu_);
+  if (dyn_graph_ != nullptr) {
+    dyn_snapshot_ =
+        std::make_shared<const graph::CsrGraph>(dyn_graph_->to_csr());
+  }
+  batch_history_.clear();
+  {
+    check::MutexLock rlock(repair_mu_);
+    repair_pending_.reset();
+  }
+  check::MutexLock slock(stale_mu_);
+  stale_snaps_.clear();
+  mutation_epoch_.store(epoch, std::memory_order_release);
+  repaired_epoch_.store(epoch, std::memory_order_release);
+}
+
+std::size_t QueryEngine::stale_entries() {
+  check::MutexLock lock(stale_mu_);
+  return stale_snaps_.size();
+}
+
+bool QueryEngine::publish_tree(
+    ArtifactKind kind, vid_t v,
+    const std::shared_ptr<const sssp::SsspResult>& tree, std::uint64_t gen,
+    std::uint64_t epoch0) {
+  if (!live()) {
+    cache_.put_tree(kind, v, tree, gen);
+    return true;
+  }
+  check::MutexLock lock(dyn_mu_);
+  if (mutation_epoch_.load(std::memory_order_relaxed) != epoch0) return false;
+  cache_.put_tree(kind, v, tree, gen, epoch0);
+  return true;
+}
+
+bool QueryEngine::publish_snapshot(vid_t s, vid_t t,
+                                   const std::shared_ptr<PrunedSnapshot>& snap,
+                                   std::uint64_t gen, std::uint64_t epoch0,
+                                   ServeResult& out) {
+  if (!live()) {
+    if (!cache_.put_snapshot(s, t, snap, gen)) out.uncached = true;
+    return true;
+  }
+  check::MutexLock lock(dyn_mu_);
+  if (mutation_epoch_.load(std::memory_order_relaxed) != epoch0) return false;
+  if (!cache_.put_snapshot(s, t, snap, gen, epoch0)) out.uncached = true;
+  return true;
+}
+
+bool QueryEngine::stale_bound_since(std::uint64_t epoch0, Staleness* out) {
+  check::MutexLock lock(dyn_mu_);
+  const std::uint64_t now = mutation_epoch_.load(std::memory_order_relaxed);
+  if (now == epoch0) {
+    // The epoch settled back by the time we got the lock — the answer is
+    // current after all.
+    out->stale = false;
+    return true;
+  }
+  // Coverage check: the bounded history must contain every batch in
+  // (epoch0, now] — adoption is in epoch order without gaps, so it does iff
+  // the oldest retained record is <= epoch0 + 1.
+  if (batch_history_.empty() || batch_history_.front().epoch > epoch0 + 1) {
+    return false;
+  }
+  weight_t bound = 0;
+  for (const BatchImpact& bi : batch_history_) {
+    if (bi.epoch <= epoch0 || bi.epoch > now) continue;
+    if (bi.structural) return false;  // no weight bound covers a topology change
+    bound += bi.bound;
+  }
+  out->stale = true;
+  out->epoch = epoch0;
+  out->epochs_behind = now - epoch0;
+  out->weight_bound = bound;
+  return true;
 }
 
 bool QueryEngine::ensure_stream(PrunedSnapshot& snap, ServeResult& out,
@@ -229,7 +607,7 @@ ServeResult QueryEngine::query_cached_only(vid_t s, vid_t t, int k) {
 
 std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
     const graph::CsrGraph& g, vid_t s, vid_t t, int k_budget,
-    std::uint64_t generation, ServeResult& out,
+    std::uint64_t generation, std::uint64_t epoch0, ServeResult& out,
     const fault::CancelToken* cancel) {
   PEEK_TIMER_SCOPE("serve.compute");
   std::shared_ptr<const sssp::SsspResult> fwd, rev;
@@ -275,15 +653,18 @@ std::shared_ptr<PrunedSnapshot> QueryEngine::compute_snapshot(
   }
 
   if (opts_.cache_trees) {
+    // Epoch-guarded in live mode: a tree computed against a superseded
+    // snapshot is simply not cached (the answer itself is handled by the
+    // caller's epoch check).
     if (!fwd) {
-      cache_.put_tree(ArtifactKind::kForwardTree, s,
-                      std::make_shared<sssp::SsspResult>(pruned.from_source),
-                      generation);
+      publish_tree(ArtifactKind::kForwardTree, s,
+                   std::make_shared<sssp::SsspResult>(pruned.from_source),
+                   generation, epoch0);
     }
     if (!rev && !pruned.to_target.dist.empty()) {
-      cache_.put_tree(ArtifactKind::kReverseTree, t,
-                      std::make_shared<sssp::SsspResult>(pruned.to_target),
-                      generation);
+      publish_tree(ArtifactKind::kReverseTree, t,
+                   std::make_shared<sssp::SsspResult>(pruned.to_target),
+                   generation, epoch0);
     }
   }
 
@@ -353,8 +734,12 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
   PEEK_COUNT_INC("serve.queries");
   PEEK_TIMER_SCOPE("serve.query");
 
+  // Live mode: epoch0 is read before the graph snapshot, so a batch landing
+  // in between makes the publish guard fail conservatively (the snapshot is
+  // newer than the claimed epoch, never older).
+  std::uint64_t epoch0 = live() ? mutation_epoch() : 0;
   auto g = active_graph();
-  const std::uint64_t gen = generation();
+  std::uint64_t gen = generation();
   if (k <= 0 || s < 0 || s >= g->num_vertices() || t < 0 ||
       t >= g->num_vertices()) {
     out.status = {fault::Status::kInvalidArgument,
@@ -410,26 +795,62 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
 
   if (cache_.byte_budget() == 0 ||
       (!opts_.cache_snapshots && !opts_.cache_trees)) {
-    // Memory-pressure / cache-off degradation: plain uncached PeeK.
-    core::PeekOptions po = opts_.peek;
-    po.k = k;
-    po.cancel = cancel;
-    auto r = core::peek_ksp(*g, s, t, po);
-    out.paths = std::move(r.ksp.paths);
-    out.upper_bound = r.upper_bound;
-    out.status.code = r.status;
-    out.uncached = true;
+    // Memory-pressure / cache-off degradation: plain uncached PeeK. In live
+    // mode the compute can race a batch; retry against the fresh snapshot,
+    // or serve with an explicit bound when the races were reweight-only.
+    for (int attempt = 0;; ++attempt) {
+      if (live()) {
+        epoch0 = mutation_epoch();
+        g = active_graph();
+      }
+      core::PeekOptions po = opts_.peek;
+      po.k = k;
+      po.cancel = cancel;
+      auto r = core::peek_ksp(*g, s, t, po);
+      out.paths = std::move(r.ksp.paths);
+      out.upper_bound = r.upper_bound;
+      out.status.code = r.status;
+      out.uncached = true;
+      if (live() && mutation_epoch() != epoch0) {
+        if (!stale_bound_since(epoch0, &out.staleness)) {
+          if (attempt < kMaxEpochRetries) {
+            out = ServeResult{};
+            continue;
+          }
+          out.status = {fault::Status::kOverloaded,
+                        "mutation storm outran the query"};
+        } else if (out.staleness.stale) {
+          PEEK_COUNT_INC("serve.stale_answers");
+          PEEK_GAUGE_SET("serve.staleness.epochs_behind",
+                         static_cast<std::int64_t>(out.staleness.epochs_behind));
+        }
+      }
+      break;
+    }
     PEEK_COUNT_INC("serve.uncached_fallbacks");
     if (out.status.code == fault::Status::kDeadlineExceeded) {
       PEEK_COUNT_INC("serve.deadline_exceeded");
     }
+    // Content-epoch stamp (see Staleness::epoch): fresh answers claim the
+    // epoch their compute was validated against.
+    if (live() && !out.staleness.stale) out.staleness.epoch = epoch0;
     certify_result(*g, s, t, out);
     out.seconds = seconds_since(t0);
     return out;
   }
 
   const std::pair<vid_t, vid_t> key{s, t};
+  int epoch_races = 0;
   for (;;) {
+    // Refreshed every iteration: an invalidation (generation) or a batch
+    // (snapshot + epoch) may have landed while this query waited coalesced
+    // or lost an epoch race.
+    gen = generation();
+    if (live()) {
+      epoch0 = mutation_epoch();
+      g = active_graph();
+    }
+
     if (opts_.cache_snapshots) {
       if (auto snap = cache_.get_snapshot(s, t, gen)) {
         if (PEEK_FAULT_FIRE("serve.snapshot.corrupt")) {
@@ -437,12 +858,65 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
           // snapshot replaces the doubted entry.
           PEEK_COUNT_INC("serve.cache.corruption_drops");
         } else if (serve_from_snapshot(*snap, k, out, cancel)) {
+          if (live() && mutation_epoch() != epoch0 &&
+              cache_.get_snapshot(s, t, generation()) != snap) {
+            // A batch landed mid-serve AND swept this entry: the answer
+            // belongs to epoch0. Bound it or retry. (A surviving entry was
+            // restamped — the batch provably did not affect this pair, so
+            // the answer is fresh and falls through.)
+            if (stale_bound_since(epoch0, &out.staleness) &&
+                out.staleness.stale) {
+              out.snapshot_hit = true;
+              PEEK_COUNT_INC("serve.stale_answers");
+              PEEK_GAUGE_SET(
+                  "serve.staleness.epochs_behind",
+                  static_cast<std::int64_t>(out.staleness.epochs_behind));
+              break;
+            }
+            if (++epoch_races <= kMaxEpochRetries) {
+              out = ServeResult{};
+              continue;
+            }
+            out.status = {fault::Status::kOverloaded,
+                          "mutation storm outran the query"};
+            break;
+          }
           out.snapshot_hit = true;
           PEEK_COUNT_INC("serve.snapshot_hits");
           break;
         }
         // Budget too small for this K: recompute below with a wider bound
         // (the new snapshot replaces the old entry).
+      }
+    }
+
+    // Bounded-staleness serving (live mode): the pair's snapshot was
+    // displaced by a reweight-only batch and its repair is still in flight —
+    // answer from the pre-mutation snapshot with an explicit staleness
+    // bound rather than blocking on a fresh compute. Entry, epoch and bound
+    // are read under one stale_mu_ hold (adopt_batch stores the epoch inside
+    // its stale_mu_ section), so the tuple is internally consistent.
+    if (live() && opts_.cache_snapshots) {
+      std::shared_ptr<PrunedSnapshot> stale_snap;
+      Staleness st;
+      {
+        check::MutexLock slock(stale_mu_);
+        auto it = stale_snaps_.find(key);
+        if (it != stale_snaps_.end() && repaired_epoch() < mutation_epoch()) {
+          stale_snap = it->second.snap;
+          st.stale = true;
+          st.epoch = it->second.epoch;
+          st.epochs_behind = mutation_epoch() - it->second.epoch;
+          st.weight_bound = it->second.bound;
+        }
+      }
+      if (stale_snap && serve_from_snapshot(*stale_snap, k, out, cancel)) {
+        out.snapshot_hit = true;
+        out.staleness = st;
+        PEEK_COUNT_INC("serve.stale_answers");
+        PEEK_GAUGE_SET("serve.staleness.epochs_behind",
+                       static_cast<std::int64_t>(st.epochs_behind));
+        break;
       }
     }
 
@@ -467,6 +941,9 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
       } else {
         inf = std::make_shared<Inflight>();
         inf->k_budget = budget_for(k);
+        // Abortable by invalidate() without touching the caller's token.
+        inf->abort = cancel != nullptr ? fault::CancelToken::linked(*cancel)
+                                       : fault::CancelToken::cancellable();
         inflight_[key] = inf;
         owner = true;
       }
@@ -474,13 +951,26 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
 
     if (!owner) {
       bool published = false;
+      bool retry = false;
       // Copied out under the lock: the owner publishes snap and done
       // together, and reading snap after the scope would be an unlocked
       // access to guarded state.
       std::shared_ptr<PrunedSnapshot> published_snap;
       {
         check::UniqueLock lock(inf->mu);
-        while (!inf->done) {
+        for (;;) {
+          if (inf->done) {
+            published = true;
+            published_snap = inf->snap;
+            break;
+          }
+          if (inf->invalidated) {
+            // The generation moved under this entry: the owner is being
+            // aborted, so retry against the new generation instead of
+            // waiting for (and serving) its doomed snapshot.
+            retry = true;
+            break;
+          }
           if (cancel != nullptr) {
             fault::CancelPoll poll(cancel, /*stride=*/1);
             if (poll.should_stop()) {
@@ -498,14 +988,19 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
             inf->cv.wait(lock);
           }
         }
-        if (inf->done) {
-          published = true;
-          published_snap = inf->snap;
-        }
+      }
+      if (retry) {
+        PEEK_COUNT_INC("serve.coalesce_retries");
+        continue;
       }
       if (!published) break;  // cancelled while coalesced; status already set
       out.coalesced = true;
       PEEK_COUNT_INC("serve.coalesced_waits");
+      // Live mode: revalidate through the cache instead of serving the
+      // owner's direct reference — a batch may have swept the entry between
+      // the owner's publish and this wake-up, and the loop top re-checks
+      // freshness (cache hit, stale table, or recompute).
+      if (live()) continue;
       if (published_snap &&
           serve_from_snapshot(*published_snap, k, out, cancel))
         break;
@@ -515,7 +1010,8 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
     PEEK_COUNT_INC("serve.snapshot_misses");
     std::shared_ptr<PrunedSnapshot> snap;
     try {
-      snap = compute_snapshot(*g, s, t, inf->k_budget, gen, out, cancel);
+      snap = compute_snapshot(*g, s, t, inf->k_budget, gen, epoch0, out,
+                              &inf->abort);
     } catch (const std::bad_alloc& e) {
       // Real or injected allocation failure outside the hardened kernels
       // (e.g. while copying a tree into the cache).
@@ -523,10 +1019,13 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
     } catch (const std::exception& e) {
       out.status = {fault::Status::kInternal, e.what()};
     }
+    bool epoch_ok = true;
     if (snap) {
       serve_from_snapshot(*snap, k, out, cancel);
       if (opts_.cache_snapshots) {
-        if (!cache_.put_snapshot(s, t, snap, gen)) out.uncached = true;
+        epoch_ok = publish_snapshot(s, t, snap, gen, epoch0, out);
+      } else if (live()) {
+        epoch_ok = mutation_epoch() == epoch0;
       }
     }
     // Publish (null on failure: waiters retry on their own token) and always
@@ -535,18 +1034,53 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
       check::MutexLock lock(inflight_mu_);
       inflight_.erase(key);
     }
+    bool was_invalidated = false;
     {
       check::MutexLock lock(inf->mu);
+      was_invalidated = inf->invalidated;
       inf->snap = snap;
       inf->done = true;
     }
     inf->cv.notify_all();
+    if (!snap && was_invalidated) {
+      // invalidate() aborted this compute mid-flight. Unless the caller's
+      // own token also tripped, retry against the new generation.
+      fault::CancelPoll poll(cancel, /*stride=*/1);
+      if (!poll.should_stop()) {
+        out = ServeResult{};
+        continue;
+      }
+    }
+    if (!epoch_ok) {
+      // The compute raced a batch: the answer is exact for epoch0 but the
+      // engine has moved on. Serve it with an explicit bound when every
+      // intervening batch was reweight-only; otherwise recompute.
+      PEEK_COUNT_INC("serve.epoch_races");
+      if (stale_bound_since(epoch0, &out.staleness) && out.staleness.stale) {
+        PEEK_COUNT_INC("serve.stale_answers");
+        PEEK_GAUGE_SET("serve.staleness.epochs_behind",
+                       static_cast<std::int64_t>(out.staleness.epochs_behind));
+        break;
+      }
+      if (++epoch_races <= kMaxEpochRetries) {
+        out = ServeResult{};
+        continue;
+      }
+      out.status = {fault::Status::kOverloaded,
+                    "mutation storm outran the query"};
+    }
     break;
   }
 
   if (out.status.code == fault::Status::kDeadlineExceeded) {
     PEEK_COUNT_INC("serve.deadline_exceeded");
   }
+  // Content-epoch stamp (see Staleness::epoch): a fresh answer is exact for
+  // the loop's last validated epoch0 — cache hits were looked up at it, and
+  // computes passed the epoch0 publish guard. (A hit that survived a
+  // concurrent sweep is exact for a *newer* epoch too; claiming epoch0
+  // under-claims, which the fleet fence treats conservatively.)
+  if (live() && !out.staleness.stale) out.staleness.epoch = epoch0;
   certify_result(*g, s, t, out);
   out.seconds = seconds_since(t0);
   return out;
@@ -554,8 +1088,10 @@ ServeResult QueryEngine::query(vid_t s, vid_t t, int k,
 
 void QueryEngine::certify_result(const graph::CsrGraph& g, vid_t s, vid_t t,
                                  ServeResult& out) {
+  // Stale answers are exact for an earlier epoch, not for `g` — certifying
+  // them against the post-mutation weights would reject correct answers.
   if (!opts_.certify || out.status.code != fault::Status::kOk ||
-      out.degraded) {
+      out.degraded || out.staleness.stale) {
     return;
   }
   PEEK_COUNT_INC("serve.certify.checks");

@@ -22,7 +22,16 @@
 //
 // Mutability: a QueryEngine over a dyn::DynamicGraph re-snapshots the CSR
 // and bumps the cache generation whenever the graph's structural version
-// changed — stale artifacts then die lazily on their next lookup.
+// changed — stale artifacts then die lazily on their next lookup. With
+// ServeOptions::live_mutations the engine instead runs the surgical
+// live-mutation pipeline (DESIGN.md §15): batches arrive through
+// apply_batch()/note_batch(), which compute each cached artifact's affected
+// region (dyn/update_batch.hpp), keep provably-unaffected entries valid via
+// per-artifact region stamps, queue cone repairs of affected SSSP trees on a
+// background thread (dyn/repair.hpp), and park reweight-affected snapshots
+// in a stale side table that serves bounded-staleness answers while the
+// repair is in flight — every such answer carries ServeResult::staleness
+// (epochs behind + a conservative per-rank weight error bound).
 //
 // Degradation: with a zero cache budget every query runs plain peek_ksp;
 // artifacts larger than a cache shard are served but not retained.
@@ -35,15 +44,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "check/thread_safety.hpp"
 #include "core/peek.hpp"
 #include "dyn/dynamic_graph.hpp"
+#include "dyn/repair.hpp"
+#include "dyn/update_batch.hpp"
 #include "fault/injector.hpp"
 #include "recover/manager.hpp"
 #include "serve/artifact_cache.hpp"
@@ -91,6 +105,14 @@ struct ServeOptions {
   /// into Status::kInternal with ServeResult::certificate_failed set; the
   /// sharded fleet treats that as replica corruption (DESIGN.md §14).
   bool certify = false;
+  /// Surgical live-mutation mode (DESIGN.md §15), dynamic-graph engines
+  /// only: mutations arrive exclusively through apply_batch()/note_batch()
+  /// — which surgically invalidate affected artifacts, queue background
+  /// cone repairs, and serve bounded-staleness answers meanwhile — instead
+  /// of the legacy wholesale re-snapshot on every version change. In this
+  /// mode the caller must not mutate the DynamicGraph behind the engine's
+  /// back. Ignored for static graphs.
+  bool live_mutations = false;
 };
 
 /// Per-query knobs of QueryEngine::query.
@@ -100,6 +122,29 @@ struct QueryOptions {
   /// Caller-owned cancellation handle, combined with the deadline. Must
   /// outlive the query() call. Null = deadline only.
   const fault::CancelToken* cancel = nullptr;
+};
+
+/// Bounded-staleness provenance of a served answer (DESIGN.md §15). A stale
+/// answer is the exact top-K of the graph as of mutation epoch `epoch`,
+/// served `epochs_behind` batches later because the post-mutation artifacts
+/// were still being repaired. All intervening batches were reweight-only, so
+/// path identities are unchanged and every true rank-i weight at the current
+/// epoch is within `weight_bound` of the served rank-i weight (the sum of
+/// |Δw| over the intervening batches — a per-path bound, hence a per-rank
+/// one). Structurally-affected snapshots are never stale-served: they are
+/// recomputed fresh against the post-mutation graph.
+struct Staleness {
+  bool stale = false;
+  /// Mutation epoch the served paths are exact for. Live-mutation engines
+  /// stamp this on every answer, stale or not (epochs_behind is 0 and the
+  /// bound exact for fresh ones) — `epoch + epochs_behind` is the engine's
+  /// mutation epoch at serve time, which the sharded fleet's epoch fencing
+  /// compares against the fleet-wide fence (DESIGN.md §15).
+  std::uint64_t epoch = 0;
+  /// Engine mutation epoch at serve time minus `epoch`.
+  std::uint64_t epochs_behind = 0;
+  /// Two-sided per-rank weight error bound vs. epoch `epoch + epochs_behind`.
+  weight_t weight_bound = 0;
 };
 
 /// One served query: the paths plus where the work was (not) spent.
@@ -121,6 +166,9 @@ struct ServeResult {
   /// ServeOptions::certify rejected the answer (status is kInternal): the
   /// paths failed the §14 certificate and must not be served.
   bool certificate_failed = false;
+  /// Bounded-staleness provenance (live-mutation mode only; stale is false
+  /// for every exact answer).
+  Staleness staleness;
   double seconds = 0;         // wall time of this query() call
 };
 
@@ -129,12 +177,21 @@ struct ServeResult {
 class QueryEngine {
  public:
   explicit QueryEngine(const graph::CsrGraph& g, const ServeOptions& opts = {});
-  /// Serve a dynamic graph: each query first reconciles against
-  /// dg.version(), re-packing the CSR snapshot and invalidating the cache
-  /// when the structure changed. Mutate-vs-query interleaving is the
-  /// caller's concern (mutations must not race the version check itself).
+  /// Serve a dynamic graph. Legacy mode (live_mutations off): each query
+  /// reconciles against dg.version() — an atomic with release/acquire
+  /// ordering, so mutations may race queries freely — re-packing the CSR
+  /// snapshot and invalidating the cache when the version moved. Live mode:
+  /// see ServeOptions::live_mutations and apply_batch().
   explicit QueryEngine(const dyn::DynamicGraph& dg,
                        const ServeOptions& opts = {});
+  /// Mutable-graph overload: additionally enables apply_batch() (the engine
+  /// owns mutation ordering). Required for live_mutations' apply_batch
+  /// entry point; note_batch() works with either constructor.
+  explicit QueryEngine(dyn::DynamicGraph& dg, const ServeOptions& opts = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// The K shortest simple paths from s to t (identical to
   /// core::peek_ksp(g, s, t, {.k = k, ...}).ksp.paths — see
@@ -152,8 +209,55 @@ class QueryEngine {
   ServeResult query_cached_only(vid_t s, vid_t t, int k);
 
   /// Manual cache invalidation (e.g. out-of-band graph edits): bumps the
-  /// generation so every cached artifact becomes stale.
+  /// generation so every cached artifact becomes stale, and unpins the
+  /// coalescing map — stale in-flight owners are cancelled (via their
+  /// per-entry abort token) and their waiters woken so both retry against
+  /// the new generation instead of serving a pre-invalidation snapshot.
   void invalidate();
+
+  // -- Live-mutation pipeline (DESIGN.md §15) --------------------------------
+
+  /// Applies `batch` to the engine's mutable DynamicGraph (mutable-graph
+  /// constructor required) and adopts it via note_batch(). Returns the
+  /// applied record, epoch-stamped; a no-op record when the engine has no
+  /// mutable graph.
+  dyn::AppliedBatch apply_batch(const dyn::UpdateBatch& batch);
+
+  /// Adopts an already-applied batch (fleet delivery path): swaps in the
+  /// patched post-mutation CSR, sweeps the artifact cache — provably
+  /// unaffected entries are restamped to the new epoch, affected trees
+  /// become background cone-repair jobs, reweight-affected snapshots move
+  /// to the bounded-staleness side table, structurally-affected snapshots
+  /// are dropped — and wakes the repair thread. `batch.epoch` of 0 means
+  /// "next local epoch"; nonzero adopts the caller's (fleet fence) epoch.
+  /// `post`, when provided, is the post-mutation CSR to swap in — the fleet
+  /// builds it once under its fence lock and fans it out, so replica engines
+  /// never read the shared DynamicGraph concurrently with a later mutation.
+  /// Null = derive locally from the current snapshot (standalone engines,
+  /// where apply_batch serializes mutation and adoption under dyn_mu_).
+  /// No-op outside live-mutation mode.
+  void note_batch(const dyn::AppliedBatch& batch,
+                  std::shared_ptr<const graph::CsrGraph> post = nullptr);
+
+  /// Mutation epochs: batches adopted vs. batches whose repairs completed.
+  /// repaired < mutation means a repair is in flight (stale serving window).
+  std::uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
+  std::uint64_t repaired_epoch() const {
+    return repaired_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until every queued repair completed (tests / orderly shutdown).
+  void drain_repairs();
+
+  /// Fleet healing hook: a freshly constructed replacement engine snapshots
+  /// the current graph, so its content is already at fence epoch `epoch` —
+  /// this aligns its counters without queueing repairs.
+  void reset_epoch(std::uint64_t epoch);
+
+  /// Bounded-staleness side-table occupancy (test hook).
+  std::size_t stale_entries();
 
   /// Spills every current-generation cached artifact (SSSP trees, pruned
   /// snapshots) into ServeOptions::snapshot_dir as checksummed v2 snapshot
@@ -186,11 +290,48 @@ class QueryEngine {
     check::Mutex mu;
     check::CondVar cv;
     bool done PEEK_GUARDED_BY(mu) = false;
+    /// invalidate() happened while this entry was pinned: the owner's
+    /// compute is doomed (its generation is stale), so waiters stop waiting
+    /// and retry, and the owner retries instead of publishing.
+    bool invalidated PEEK_GUARDED_BY(mu) = false;
     /// Written by the owner before the entry is published under
     /// inflight_mu_, immutable afterwards — hence not guarded by mu.
     int k_budget = 0;
+    /// Owner's cancellation handle: a child of the owner's caller token (or
+    /// standalone), so invalidate() can abort the stale compute without
+    /// touching the caller's token. Set before publication, immutable after
+    /// (cancel() is thread-safe on the handle).
+    fault::CancelToken abort;
     /// Published result (null when the owner failed or was cancelled).
     std::shared_ptr<PrunedSnapshot> snap PEEK_GUARDED_BY(mu);
+  };
+
+  /// A snapshot displaced by a batch but admissible for bounded-stale
+  /// serving: every batch since `epoch` was reweight-only for this pair.
+  struct StaleEntry {
+    std::shared_ptr<PrunedSnapshot> snap;
+    std::uint64_t epoch = 0;     // the epoch the content is exact for
+    weight_t bound = 0;          // cumulative per-rank weight error bound
+  };
+
+  /// Pending background repair work, coalesced across batches: a second
+  /// batch landing before the repair runs min-composes each job's cone
+  /// threshold (sound: cone thresholds against the same base tree compose
+  /// by taking the minimum) and retargets the post graph/epoch.
+  struct RepairTask {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const graph::CsrGraph> post;
+    std::vector<dyn::RepairJob> jobs;
+    /// Cache keys parallel to `jobs` (kind + root) for re-insertion.
+    std::vector<std::pair<ArtifactKind, vid_t>> keys;
+  };
+
+  /// One adopted batch's impact summary, kept for bounding answers whose
+  /// compute raced a batch (see query()'s epoch-race retry).
+  struct BatchImpact {
+    std::uint64_t epoch = 0;
+    bool structural = false;
+    weight_t bound = 0;  // sum of |Δw| over applied reweights
   };
 
   /// The CSR to serve this query from (re-snapshots a dynamic source).
@@ -202,6 +343,7 @@ class QueryEngine {
                                                    vid_t s, vid_t t,
                                                    int k_budget,
                                                    std::uint64_t generation,
+                                                   std::uint64_t epoch0,
                                                    ServeResult& out,
                                                    const fault::CancelToken* cancel);
   /// Serves `k` paths out of `snap` (extending its stream if needed); false
@@ -234,11 +376,61 @@ class QueryEngine {
                       ServeResult& out);
   int budget_for(int k) const;
 
+  /// Live-mutation mode is active (dynamic graph + opts_.live_mutations).
+  bool live() const { return dyn_graph_ != nullptr && opts_.live_mutations; }
+  /// Batch adoption body; stamps b.epoch when 0. See note_batch().
+  void adopt_batch(dyn::AppliedBatch& b,
+                   std::shared_ptr<const graph::CsrGraph> post)
+      PEEK_REQUIRES(dyn_mu_);
+  /// Background repair thread: pops coalesced RepairTasks, runs
+  /// dyn::repair_trees, re-inserts repaired trees and advances
+  /// repaired_epoch_ — unless the epoch moved meanwhile (results discarded)
+  /// or the repair crashed (falls back to wholesale invalidation; a crash
+  /// never leaves an unbounded-stale answer servable).
+  void repair_loop();
+  /// Epoch-guarded artifact publication: in live mode, an artifact computed
+  /// at `epoch0` may enter the cache only while the epoch is still epoch0
+  /// (checked and inserted under dyn_mu_, so no sweep interleaves). Returns
+  /// false when the epoch moved — the caller's answer raced a batch.
+  bool publish_tree(ArtifactKind kind, vid_t v,
+                    const std::shared_ptr<const sssp::SsspResult>& tree,
+                    std::uint64_t gen, std::uint64_t epoch0);
+  /// Returns false only on an epoch race; a plain cache rejection (budget /
+  /// oversize) sets out.uncached instead, matching put_snapshot's contract.
+  bool publish_snapshot(vid_t s, vid_t t,
+                        const std::shared_ptr<PrunedSnapshot>& snap,
+                        std::uint64_t gen, std::uint64_t epoch0,
+                        ServeResult& out);
+  /// Staleness of an answer computed at `epoch0` and served now: false when
+  /// any intervening batch was structural (the answer may be wrong in ways
+  /// no weight bound covers — recompute instead).
+  bool stale_bound_since(std::uint64_t epoch0, Staleness* out);
+
   const graph::CsrGraph* static_graph_ = nullptr;
   const dyn::DynamicGraph* dyn_graph_ = nullptr;
+  dyn::DynamicGraph* mutable_dyn_ = nullptr;  // set by the mutable ctor
   check::Mutex dyn_mu_;
   std::shared_ptr<const graph::CsrGraph> dyn_snapshot_ PEEK_GUARDED_BY(dyn_mu_);
   std::uint64_t dyn_version_seen_ PEEK_GUARDED_BY(dyn_mu_) = 0;
+  /// Recent batch impacts, newest last (bounded; feeds stale_bound_since).
+  std::deque<BatchImpact> batch_history_ PEEK_GUARDED_BY(dyn_mu_);
+
+  /// Epoch counters (live mode). mutation_epoch_ is stored inside
+  /// note_batch's stale_mu_ section so a reader holding stale_mu_ sees a
+  /// side table consistent with the epoch it reads.
+  std::atomic<std::uint64_t> mutation_epoch_{0};
+  std::atomic<std::uint64_t> repaired_epoch_{0};
+
+  check::Mutex stale_mu_;
+  std::map<std::pair<vid_t, vid_t>, StaleEntry> stale_snaps_
+      PEEK_GUARDED_BY(stale_mu_);
+
+  check::Mutex repair_mu_;
+  check::CondVar repair_cv_;
+  std::optional<RepairTask> repair_pending_ PEEK_GUARDED_BY(repair_mu_);
+  bool repair_busy_ PEEK_GUARDED_BY(repair_mu_) = false;
+  bool repair_stop_ PEEK_GUARDED_BY(repair_mu_) = false;
+  std::thread repair_thread_;
 
   ServeOptions opts_;
   std::atomic<std::uint64_t> generation_{0};

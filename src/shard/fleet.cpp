@@ -100,6 +100,18 @@ struct ShardFleet::Replica {
   check::CondVar cv;
   std::deque<std::shared_ptr<Attempt>> queue PEEK_GUARDED_BY(mu);
   bool stopping PEEK_GUARDED_BY(mu) = false;
+  /// Live-mutation delivery queue: applied batches (with their fleet-built
+  /// post CSR) this replica's engine has not adopted yet. Pushed by
+  /// apply_batch under the fence lock (so order = fence-epoch order),
+  /// drained by deliver_pending; cleared by a heal (the rebuilt engine
+  /// snapshots the current graph, so the backlog is already baked in).
+  std::deque<std::pair<dyn::AppliedBatch,
+                       std::shared_ptr<const graph::CsrGraph>>>
+      pending PEEK_GUARDED_BY(mu);
+  /// Serializes delivery so concurrent drainers cannot reorder epochs.
+  // ts-allow: pure ordering lock — held across pop+note_batch so epochs
+  // reach the engine in queue order; it guards no member of its own.
+  check::Mutex apply_mu;
   /// Filled once in the fleet constructor, joined once in the destructor —
   /// never touched by concurrent phases, hence unguarded.
   std::vector<std::thread> workers;
@@ -121,7 +133,18 @@ struct ShardFleet::Shard {
 };
 
 ShardFleet::ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts)
-    : graph_(&g), opts_(opts), router_(g.num_vertices(), opts.router) {
+    : ShardFleet(&g, nullptr, opts) {}
+
+ShardFleet::ShardFleet(dyn::DynamicGraph& dg, const FleetOptions& opts)
+    : ShardFleet(nullptr, &dg, opts) {}
+
+ShardFleet::ShardFleet(const graph::CsrGraph* g, dyn::DynamicGraph* dg,
+                       const FleetOptions& opts)
+    : graph_(g),
+      dyn_graph_(dg),
+      n_(dg != nullptr ? dg->num_vertices() : g->num_vertices()),
+      opts_(opts),
+      router_(n_, opts.router) {
   // kInvalidArgument at construction instead of silently clamping: a fleet
   // shaped differently than its config claims would undermine every placement
   // and capacity assumption the caller derived from that config.
@@ -141,6 +164,14 @@ ShardFleet::ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts)
   // re-install it (configure() resets the fired counters) — and neither may
   // a healing rebuild mid-soak.
   opts_.serve.injector.reset();
+  if (dyn_graph_ != nullptr) {
+    // Live-mutation fleet: replicas must run the surgical pipeline — legacy
+    // per-query version reconciliation would race apply_batch's fan-out.
+    opts_.serve.live_mutations = true;
+    // Uncontended (no thread exists yet); taken so the annotations hold.
+    check::MutexLock lock(fence_mu_);
+    fence_csr_ = std::make_shared<const graph::CsrGraph>(dyn_graph_->to_csr());
+  }
 
   shards_.reserve(static_cast<size_t>(router_.shards()));
   for (int sh = 0; sh < router_.shards(); ++sh) {
@@ -153,7 +184,12 @@ ShardFleet::ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts)
         // `engine` holds unconditionally.
         check::MutexLock lock(rep->engine_mu);
         rep->engine =
-            std::make_shared<serve::QueryEngine>(g, engine_options(sh, r));
+            dyn_graph_ != nullptr
+                ? std::make_shared<serve::QueryEngine>(
+                      static_cast<const dyn::DynamicGraph&>(*dyn_graph_),
+                      engine_options(sh, r))
+                : std::make_shared<serve::QueryEngine>(*graph_,
+                                                       engine_options(sh, r));
       }
       shard->replicas.push_back(std::move(rep));
     }
@@ -206,6 +242,92 @@ serve::ServeOptions ShardFleet::engine_options(int shard, int replica) const {
   return eo;
 }
 
+// ---------------------------------------------------------------------------
+// Live mutations: fleet-wide fence (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+dyn::AppliedBatch ShardFleet::apply_batch(const dyn::UpdateBatch& batch) {
+  dyn::AppliedBatch b;
+  if (dyn_graph_ == nullptr) return b;  // misuse on a static fleet: no-op
+  check::MutexLock lock(fence_mu_);
+  b = dyn::apply(*dyn_graph_, batch);
+  b.epoch = fence_epoch_.load(std::memory_order_relaxed) + 1;
+  // The post-mutation CSR is built exactly once, here, under the fence lock
+  // — replicas adopting it later must never read the DynamicGraph itself,
+  // which the next apply_batch may be mutating by then.
+  auto post = std::make_shared<const graph::CsrGraph>(
+      fence_csr_ ? dyn::patched_csr(*dyn_graph_, *fence_csr_, b)
+                 : dyn_graph_->to_csr());
+  fence_csr_ = post;
+  fence_history_.push_back({b.epoch, b.structural(), b.weight_delta_sum()});
+  while (fence_history_.size() > 64) fence_history_.pop_front();
+  fence_epoch_.store(b.epoch, std::memory_order_release);
+  PEEK_COUNT_INC("shard.batches");
+  // Fan-out inside the fence lock: concurrent apply_batch calls would
+  // otherwise interleave their pushes and a replica could adopt epochs out
+  // of order. Each replica catches up at its own pace (deliver_pending runs
+  // before every dispatch); the query ladder's fencing covers the gap.
+  for (auto& sh : shards_) {
+    for (auto& rep : sh->replicas) {
+      check::MutexLock rlock(rep->mu);
+      rep->pending.emplace_back(b, post);
+    }
+  }
+  return b;
+}
+
+void ShardFleet::deliver_pending(Replica& rep) {
+  if (dyn_graph_ == nullptr) return;
+  // apply_mu serializes concurrent drainers: pops happen in queue (= epoch)
+  // order and each batch reaches the engine before the next one is popped.
+  check::MutexLock alock(rep.apply_mu);
+  for (;;) {
+    std::optional<std::pair<dyn::AppliedBatch,
+                            std::shared_ptr<const graph::CsrGraph>>>
+        item;
+    {
+      check::MutexLock lock(rep.mu);
+      if (rep.pending.empty()) break;
+      item = std::move(rep.pending.front());
+      rep.pending.pop_front();
+    }
+    // Pin the engine per batch: a heal swapping mid-drain leaves stale
+    // redeliveries, which the engine ignores (epochs <= its own are no-ops).
+    rep.engine_snapshot()->note_batch(item->first, std::move(item->second));
+  }
+}
+
+void ShardFleet::deliver_batches() {
+  if (dyn_graph_ == nullptr) return;
+  for (auto& sh : shards_) {
+    for (auto& rep : sh->replicas) deliver_pending(*rep);
+  }
+}
+
+bool ShardFleet::fence_result(serve::ServeResult& r, std::uint64_t eff,
+                              std::uint64_t fence) {
+  check::MutexLock lock(fence_mu_);
+  // Coverage: the bounded history must contain every batch in (eff, fence]
+  // — epochs are dense, so it does iff the oldest record is <= eff + 1.
+  if (fence_history_.empty() || fence_history_.front().epoch > eff + 1) {
+    return false;
+  }
+  weight_t widen = 0;
+  for (const FenceRecord& fr : fence_history_) {
+    if (fr.epoch <= eff || fr.epoch > fence) continue;
+    if (fr.structural) return false;  // no weight bound covers topology
+    widen += fr.bound;
+  }
+  // Reweight-only gap: extend the answer's staleness window to the fence.
+  // A fresh answer (epochs_behind 0, bound 0) becomes a stale one; an
+  // already-stale answer widens. `epoch` stays the content epoch.
+  r.staleness.stale = true;
+  r.staleness.epochs_behind += fence - eff;
+  r.staleness.weight_bound += widen;
+  PEEK_COUNT_INC("shard.stale_upgrades");
+  return true;
+}
+
 void ShardFleet::worker_loop(Replica& rep) {
   for (;;) {
     std::shared_ptr<Attempt> at;
@@ -230,6 +352,10 @@ void ShardFleet::worker_loop(Replica& rep) {
       r.status = {at->token.why(), "cancelled before dispatch"};
     } else {
       dispatched = true;
+      // Live mutations: adopt this replica's batch backlog before serving,
+      // so staggered delivery never makes an answer lag the fence by more
+      // than the batches that land mid-query.
+      deliver_pending(rep);
       PEEK_FAULT_STALL("shard.replica.stall");
       serve::QueryOptions qo;
       qo.cancel = &at->token;
@@ -457,8 +583,7 @@ FleetResult ShardFleet::query(vid_t s, vid_t t, int k,
   PEEK_COUNT_INC("shard.queries");
   PEEK_TIMER_SCOPE("shard.query");
 
-  const vid_t n = graph_->num_vertices();
-  if (k <= 0 || s < 0 || s >= n || t < 0 || t >= n) {
+  if (k <= 0 || s < 0 || s >= n_ || t < 0 || t >= n_) {
     out.result.status = {fault::Status::kInvalidArgument,
                          "query requires 0 <= s,t < n and k > 0"};
     out.seconds = seconds_since(t0);
@@ -487,6 +612,7 @@ FleetResult ShardFleet::query(vid_t s, vid_t t, int k,
   // replicas than exist, so the loop is bounded even if every answer fails.
   const int max_cert_rounds = router_.shards() * opts_.replicas;
   int cert_rounds = 0;
+  int fence_rounds = 0;
   int shard = home;
   int step = 0;
   for (;;) {
@@ -495,32 +621,82 @@ FleetResult ShardFleet::query(vid_t s, vid_t t, int k,
     out.hedge_won = out.hedge_won || ro.hedge_won;
     if (!ro.unavailable) {
       const int won_shard = ro.shard >= 0 ? ro.shard : shard;
-      if (opts_.certify && ro.result.status.code == fault::Status::kOk &&
-          !ro.result.degraded) {
-        PEEK_COUNT_INC("serve.certify.checks");
-        check::CertifyOptions co;
-        co.upper_bound = ro.result.upper_bound;
-        fault::Status cert =
-            check::certify_paths(*graph_, s, t, ro.result.paths, co);
-        if (!cert.ok()) {
-          // A certificate failure is replica corruption, not query failure:
-          // quarantine + heal the replica, retry the ladder on its peers.
-          PEEK_COUNT_INC("serve.certify.failures");
-          if (ro.replica >= 0) quarantine_replica(won_shard, ro.replica);
-          if (++cert_rounds < max_cert_rounds &&
+      if (dyn_graph_ != nullptr &&
+          ro.result.status.code == fault::Status::kOk && !ro.result.degraded) {
+        // Epoch fence: the answer's engine served it at epoch
+        // `staleness.epoch + epochs_behind`. Behind the fence, it must not
+        // be returned as-is — widen it into an explicitly-bounded stale
+        // answer (reweight-only gap), else force-deliver the lagging
+        // replica's backlog and retry the ladder. Either way no ladder ever
+        // mixes epochs: every non-stale answer it returns is at (or past)
+        // the fence read here.
+        const std::uint64_t eff =
+            ro.result.staleness.epoch + ro.result.staleness.epochs_behind;
+        const std::uint64_t fence =
+            fence_epoch_.load(std::memory_order_acquire);
+        if (eff < fence && !fence_result(ro.result, eff, fence)) {
+          PEEK_COUNT_INC("shard.epoch_bounces");
+          if (ro.replica >= 0) {
+            deliver_pending(*shards_[static_cast<size_t>(won_shard)]
+                                 ->replicas[static_cast<size_t>(ro.replica)]);
+          }
+          if (++fence_rounds < max_cert_rounds &&
               !(base != nullptr && base->triggered())) {
             shard = home;
             step = 0;
             continue;
           }
           out.result = serve::ServeResult{};
-          out.result.certificate_failed = true;
-          out.result.status = {fault::Status::kInternal,
-                               "no replica produced a certified answer: " +
-                                   cert.message};
+          out.result.status = {fault::Status::kOverloaded,
+                               "no replica reached the fence epoch"};
           out.shard = won_shard;
           out.replica = ro.replica;
           break;
+        }
+      }
+      if (opts_.certify && ro.result.status.code == fault::Status::kOk &&
+          !ro.result.degraded && !ro.result.staleness.stale) {
+        // Certification graph: the static CSR, or — live mutations — the
+        // fence CSR, valid only while the answer's epoch still IS the fence
+        // (a batch landing after the fence check above skips certification
+        // for this answer; the engine-side guards already validated it).
+        std::shared_ptr<const graph::CsrGraph> live_cg;
+        if (dyn_graph_ != nullptr) {
+          check::MutexLock lock(fence_mu_);
+          if (ro.result.staleness.epoch ==
+              fence_epoch_.load(std::memory_order_relaxed)) {
+            live_cg = fence_csr_;
+          }
+        }
+        const graph::CsrGraph* cg =
+            dyn_graph_ != nullptr ? live_cg.get() : graph_;
+        if (cg != nullptr) {
+          PEEK_COUNT_INC("serve.certify.checks");
+          check::CertifyOptions co;
+          co.upper_bound = ro.result.upper_bound;
+          fault::Status cert =
+              check::certify_paths(*cg, s, t, ro.result.paths, co);
+          if (!cert.ok()) {
+            // A certificate failure is replica corruption, not query
+            // failure: quarantine + heal the replica, retry the ladder on
+            // its peers.
+            PEEK_COUNT_INC("serve.certify.failures");
+            if (ro.replica >= 0) quarantine_replica(won_shard, ro.replica);
+            if (++cert_rounds < max_cert_rounds &&
+                !(base != nullptr && base->triggered())) {
+              shard = home;
+              step = 0;
+              continue;
+            }
+            out.result = serve::ServeResult{};
+            out.result.certificate_failed = true;
+            out.result.status = {fault::Status::kInternal,
+                                 "no replica produced a certified answer: " +
+                                     cert.message};
+            out.shard = won_shard;
+            out.replica = ro.replica;
+            break;
+          }
         }
       }
       out.result = std::move(ro.result);
@@ -606,19 +782,37 @@ void ShardFleet::heal_replica(int shard, int replica) {
   // through recover::RecoveryManager (checksum-validated; corrupt files are
   // quarantined on disk, not loaded). No injector config here — rebuilding
   // mid-soak must not reset the global injector's fired counters.
-  std::shared_ptr<serve::QueryEngine> fresh;
   try {
-    fresh = std::make_shared<serve::QueryEngine>(
-        *graph_, engine_options(shard, replica));
+    if (dyn_graph_ != nullptr) {
+      // Fence-consistent rebuild: construction, epoch alignment, backlog
+      // clear and swap all happen under the fence lock, so no batch can land
+      // between the fresh engine's graph snapshot and the moment it takes
+      // traffic. The snapshot reflects every batch <= the fence (the graph
+      // only mutates under fence_mu_), reset_epoch claims exactly that, and
+      // the cleared pending queue held only batches the snapshot already
+      // bakes in (any concurrent drain's stale redelivery to the fresh
+      // engine is an epoch <= fence no-op).
+      check::MutexLock fence_lock(fence_mu_);
+      auto fresh = std::make_shared<serve::QueryEngine>(
+          static_cast<const dyn::DynamicGraph&>(*dyn_graph_),
+          engine_options(shard, replica));
+      fresh->reset_epoch(fence_epoch_.load(std::memory_order_relaxed));
+      {
+        check::MutexLock lock(rep.mu);
+        rep.pending.clear();
+      }
+      check::MutexLock lock(rep.engine_mu);
+      rep.engine = std::move(fresh);
+    } else {
+      auto fresh = std::make_shared<serve::QueryEngine>(
+          *graph_, engine_options(shard, replica));
+      check::MutexLock lock(rep.engine_mu);
+      rep.engine = std::move(fresh);
+    }
   } catch (const std::exception&) {
     // Rebuild failed (e.g. injected allocation failure): keep the old
     // engine — its caches are already dropped, which is restart-equivalent
     // minus the warm state.
-    fresh = nullptr;
-  }
-  if (fresh) {
-    check::MutexLock lock(rep.engine_mu);
-    rep.engine = std::move(fresh);
   }
   PEEK_COUNT_INC("shard.replica.warm_restarts");
   // Re-admission is gated by the breaker: release the sticky quarantine so

@@ -45,6 +45,20 @@
 // queries whose success closes the breaker. set_replica_down() remains as
 // the operator force-open/force-close on that breaker.
 //
+// Live mutations (DESIGN.md §15): a fleet constructed over a
+// dyn::DynamicGraph runs every replica engine in surgical live-mutation
+// mode. apply_batch() mutates the shared graph once under the fence lock,
+// stamps the batch with the next fleet-wide fence epoch, builds the
+// post-mutation CSR once, and fans the (batch, CSR) pair into every
+// replica's pending queue — each replica adopts it at its own pace (workers
+// catch up before dispatching). Epoch fencing keeps that staggering honest:
+// the query ladder reads the fence at each completion and never returns a
+// non-stale answer from an engine behind it — a lagging answer is either
+// widened into an explicitly-bounded stale one (when every missed batch was
+// reweight-only) or bounced and retried after force-delivering the lagging
+// replica's queue (shard.epoch_bounces). Two replicas that applied the same
+// batch at different times therefore never mix epochs within one ladder.
+//
 // Shutdown: the destructor stops the healer and every worker after draining
 // its queue, so in-flight query() calls complete; callers must not destroy
 // the fleet while calling query() (same contract as QueryEngine vs its
@@ -62,6 +76,8 @@
 #include <vector>
 
 #include "check/thread_safety.hpp"
+#include "dyn/dynamic_graph.hpp"
+#include "dyn/update_batch.hpp"
 #include "serve/query_engine.hpp"
 #include "shard/health.hpp"
 #include "shard/router.hpp"
@@ -136,6 +152,11 @@ class ShardFleet {
   /// negative hedge/default_deadline/max_queue (the router validates its own
   /// options the same way).
   explicit ShardFleet(const graph::CsrGraph& g, const FleetOptions& opts = {});
+  /// Live-mutation fleet (see header comment): every replica engine runs the
+  /// surgical pipeline (ServeOptions::live_mutations is forced on), and
+  /// mutations flow exclusively through apply_batch() — the caller must not
+  /// touch `dg` behind the fleet's back. The graph must outlive the fleet.
+  explicit ShardFleet(dyn::DynamicGraph& dg, const FleetOptions& opts = {});
   ~ShardFleet();
 
   ShardFleet(const ShardFleet&) = delete;
@@ -165,6 +186,23 @@ class ShardFleet {
   /// Blocks until every queued quarantine heal (cache drop + engine warm
   /// restart) has completed. Test/soak hook.
   void drain_heals();
+
+  // -- Live mutations (dynamic-graph fleets only) ----------------------------
+
+  /// Applies `batch` to the shared DynamicGraph, advances the fence epoch,
+  /// and fans the applied record (plus the post-mutation CSR, built once
+  /// here) out to every replica's pending queue. Returns the applied record,
+  /// fence-epoch-stamped; a no-op record on a static-graph fleet.
+  dyn::AppliedBatch apply_batch(const dyn::UpdateBatch& batch);
+
+  /// Fleet-wide fence: the epoch of the last batch applied via apply_batch.
+  std::uint64_t fence_epoch() const {
+    return fence_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Force-delivers every pending batch to every replica's engine now
+  /// (tests / soak determinism; workers otherwise catch up at dispatch).
+  void deliver_batches();
 
   /// Direct engine access (tests: cache warming, drain assertions). The
   /// reference is stable only while no heal swaps this replica's engine.
@@ -221,11 +259,45 @@ class ShardFleet {
   /// Engine options for one replica (per-replica snapshot subdirectory).
   serve::ServeOptions engine_options(int shard, int replica) const;
   void record_latency(int shard, double seconds);
+  /// Drains one replica's pending batches into its engine, in epoch order
+  /// even under concurrent drainers (per-replica apply lock). No-op on a
+  /// static-graph fleet.
+  void deliver_pending(Replica& rep);
+  /// Epoch-fence reconciliation of a completed answer whose engine was
+  /// `eff` epochs into the fence's past: widens it into an explicitly-
+  /// bounded stale answer when every batch in (eff, fence] was reweight-only
+  /// (shard.stale_upgrades); false when one was structural or the bounded
+  /// history no longer covers the gap — the caller bounces the answer.
+  bool fence_result(serve::ServeResult& r, std::uint64_t eff,
+                    std::uint64_t fence);
 
-  const graph::CsrGraph* graph_;
+  /// One applied batch's fleet-level impact record (feeds fence_result).
+  struct FenceRecord {
+    std::uint64_t epoch = 0;
+    bool structural = false;
+    weight_t bound = 0;  // sum of |Δw| over applied reweights
+  };
+
+  const graph::CsrGraph* graph_;               // static mode; null when live
+  dyn::DynamicGraph* dyn_graph_ = nullptr;     // live mode; null when static
+  vid_t n_ = 0;                                // vertex count (either mode)
   FleetOptions opts_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Live-mutation fence state. apply_batch holds fence_mu_ across the graph
+  /// mutation, the epoch bump AND the per-replica fan-out, so pending queues
+  /// receive batches in fence-epoch order; fence_csr_ is the post-mutation
+  /// CSR at the fence (built once per batch, shared with every replica, and
+  /// the certification graph for at-fence answers).
+  mutable check::Mutex fence_mu_;
+  std::shared_ptr<const graph::CsrGraph> fence_csr_ PEEK_GUARDED_BY(fence_mu_);
+  std::deque<FenceRecord> fence_history_ PEEK_GUARDED_BY(fence_mu_);
+  std::atomic<std::uint64_t> fence_epoch_{0};
+
+  // Shared ctor body of the two public constructors.
+  ShardFleet(const graph::CsrGraph* g, dyn::DynamicGraph* dg,
+             const FleetOptions& opts);
 
   /// Quarantine -> warm-restart pipeline, drained by one healer thread so
   /// query() never blocks on an engine rebuild.

@@ -63,6 +63,59 @@ ResumableDijkstra::ResumableDijkstra(const GraphView& view, vid_t source,
   }
 }
 
+ResumableDijkstra::ResumableDijkstra(const GraphView& view,
+                                     const GraphView& rview, vid_t source,
+                                     const SsspResult& base, weight_t threshold)
+    : view_(view), source_(source) {
+  const vid_t n = view_.num_vertices();
+  dist_.assign(static_cast<size_t>(n), kInfDist);
+  parent_.assign(static_cast<size_t>(n), kNoVertex);
+  settled_.assign(static_cast<size_t>(n), 0);
+  if (source_ < 0 || source_ >= n) return;
+  if (!view_.vertex_alive(source_)) return;
+
+  // Epsilon-widened cone: rounding must only ever grow the poisoned region.
+  const weight_t t = threshold == kInfDist
+                         ? kInfDist
+                         : threshold - (threshold * 1e-12 + 1e-12);
+  const vid_t base_n = static_cast<vid_t>(base.dist.size());
+  std::vector<vid_t> poisoned;
+  for (vid_t v = 0; v < n; ++v) {
+    const weight_t d = v < base_n ? base.dist[v] : kInfDist;
+    if (d < t && view_.vertex_alive(v)) {
+      // Survivor: its tree path stays below the threshold everywhere
+      // (distances are monotone along it), so no batch edge touched it.
+      dist_[v] = d;
+      parent_[v] = v == source_ ? kNoVertex : base.parent[v];
+      settled_[v] = 1;
+    } else {
+      poisoned.push_back(v);
+    }
+  }
+  if (!settled_[source_]) {
+    // threshold <= 0: the cone swallowed the root (and with non-negative
+    // weights, everything else) — degenerate to a fresh full search.
+    dist_[source_] = 0;
+    heap_.push_back({0, source_});
+    return;
+  }
+  for (vid_t x : poisoned) {
+    if (!view_.vertex_alive(x)) continue;
+    for (eid_t e = rview.edge_begin(x); e < rview.edge_end(x); ++e) {
+      if (!rview.edge_alive(e)) continue;
+      const vid_t u = rview.edge_target(e);
+      if (u < 0 || u >= n || !settled_[u]) continue;
+      const weight_t nd = dist_[u] + rview.edge_weight(e);
+      if (nd < dist_[x]) {
+        dist_[x] = nd;
+        parent_[x] = u;
+        heap_.push_back({nd, x});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      }
+    }
+  }
+}
+
 void ResumableDijkstra::relax_out_edges(vid_t u) {
   const weight_t du = dist_[u];
   for (eid_t e = view_.edge_begin(u); e < view_.edge_end(u); ++e) {

@@ -26,6 +26,16 @@ class ResumableDijkstra {
   ResumableDijkstra(const GraphView& view, vid_t source, const SsspResult& base,
                     Bans bans);
 
+  /// Cone-repair seeding (dyn/repair.hpp): `view` is the POST-mutation graph
+  /// and `rview` its transpose; `base` is a complete pre-mutation tree from
+  /// the same source. Every vertex with base.dist < threshold is provably
+  /// unaffected by the mutation (dyn::cone_threshold) and is kept settled;
+  /// the frontier re-opens by relaxing the surviving tails of each poisoned
+  /// vertex's in-edges — O(cone-incident edges), not O(survivor edges).
+  /// run_to_completion() then yields the exact post-mutation tree.
+  ResumableDijkstra(const GraphView& view, const GraphView& rview, vid_t source,
+                    const SsspResult& base, weight_t threshold);
+
   /// Runs until `v` is settled (or the heap empties). Returns dist[v].
   weight_t ensure_settled(vid_t v);
 

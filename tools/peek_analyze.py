@@ -54,8 +54,10 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO, "src")
 
-# Subsystems whose loops must stay cancellable (the pipeline hot path).
-CANCEL_DIRS = ("sssp", "ksp", "compact", "core")
+# Subsystems whose loops must stay cancellable (the pipeline hot path —
+# including the live-mutation repair loop, which runs graph-sized Dijkstra
+# cones on the serving path).
+CANCEL_DIRS = ("sssp", "ksp", "compact", "core", "dyn")
 
 # Pipeline entry points that do graph-sized work per call. A loop whose body
 # invokes one of these repeats whole-graph work and must poll. Extend this

@@ -463,6 +463,68 @@ def check_breaker_transitions():
                 "src/ emits it — the state machine edge lost its metric?")
 
 
+# ------------------------------------------------- staleness contract
+
+# The live-mutation pipeline's observable surface (DESIGN.md §15): every
+# metric in these families and every `dyn.*` fault site must appear in the
+# §15 staleness-contract table, and every table row must exist in code —
+# the bounded-staleness serving contract is only auditable if its telemetry
+# stays documented.
+STALE_TABLE_BEGIN = "<!-- staleness-contract-begin -->"
+STALE_TABLE_END = "<!-- staleness-contract-end -->"
+STALE_ROW_RE = re.compile(r'`([a-z0-9_.]+)`')
+STALE_METRIC_PREFIXES = (
+    "dyn.", "serve.stale", "serve.staleness.", "serve.epoch_",
+    "serve.coalesce_retries", "serve.inflight_invalidations",
+    "serve.cache.region_", "serve.cache.restamps", "serve.batches",
+    "shard.batches", "shard.epoch_", "shard.stale_",
+)
+STALE_SITE_PREFIX = "dyn."
+
+
+def check_staleness_contract():
+    required = {}  # name -> (path, line_no) of first emission/probe
+    for path in source_files(SRC):
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                for m in EMIT_RE.finditer(line):
+                    if m.group(1).startswith(STALE_METRIC_PREFIXES):
+                        required.setdefault(m.group(1), (path, line_no))
+                for m in PROBE_RE.finditer(line):
+                    if m.group(1).startswith(STALE_SITE_PREFIX):
+                        required.setdefault(m.group(1), (path, line_no))
+
+    design = os.path.join(REPO, "DESIGN.md")
+    documented = {}
+    in_table = False
+    with open(design, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            if STALE_TABLE_BEGIN in line:
+                in_table = True
+                continue
+            if STALE_TABLE_END in line:
+                in_table = False
+                continue
+            if in_table and line.strip().startswith("|"):
+                m = STALE_ROW_RE.search(line)
+                if m and m.group(1) not in ("name",):
+                    documented.setdefault(m.group(1), line_no)
+
+    if not documented:
+        finding(design, 1, "staleness_contract",
+                "no staleness-contract table found between the "
+                "staleness-contract-begin/end markers (DESIGN.md §15)")
+    for name in sorted(set(required) - set(documented)):
+        path, line_no = required[name]
+        finding(path, line_no, "staleness_contract",
+                f"live-mutation metric/fault-site `{name}` is used here but "
+                "missing from the DESIGN.md §15 staleness-contract table")
+    for name in sorted(set(documented) - set(required)):
+        finding(design, documented[name], "staleness_contract",
+                f"`{name}` is documented in the §15 staleness contract but "
+                "nothing in src/ emits or probes it — stale table row?")
+
+
 # --------------------------------------------------------------- waivers
 
 # The escape hatches tools/peek_analyze.py honors. Anything after the colon
@@ -504,6 +566,7 @@ CHECKS = {
     "status_codes": check_status_codes,
     "bench_json": check_bench_json,
     "breaker_transitions": check_breaker_transitions,
+    "staleness_contract": check_staleness_contract,
     "waivers": check_waivers,
 }
 
